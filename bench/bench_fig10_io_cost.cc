@@ -1,0 +1,54 @@
+// Reproduces Fig 10: the I/O-cost proxies (#input nodes accessed,
+// #intermediate result size, #index elements looked up) for Q3 on the
+// XMark dataset with scale factor 1.5.
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "workload/xmark.h"
+
+using namespace gtpq;
+using namespace gtpq::bench;
+
+namespace {
+void Row(const char* engine, const EngineStats& s) {
+  std::printf("%-12s %16s %16s %16s\n", engine,
+              FormatWithCommas(static_cast<long long>(s.input_nodes))
+                  .c_str(),
+              FormatWithCommas(
+                  static_cast<long long>(s.intermediate_size))
+                  .c_str(),
+              FormatWithCommas(static_cast<long long>(s.index_lookups))
+                  .c_str());
+}
+}  // namespace
+
+int main() {
+  const double s = BenchScale();
+  workload::XmarkOptions o;
+  o.scale = 1.5 * s;
+  DataGraph g = workload::GenerateXmark(o);
+  EngineBench engines(g);
+  auto wq = workload::BuildXmarkQ3(g, 3, 4, 5);
+  auto cross = EngineBench::CrossIds(wq.query, wq.cross_node_names);
+
+  std::printf("Fig 10: I/O cost for Q3 on XMark scale 1.5 "
+              "(GTPQ_BENCH_SCALE=%g)\n", s);
+  std::printf("%-12s %16s %16s %16s\n", "Engine", "#input",
+              "#intermediate", "#index");
+
+  engines.RunGtea(wq.query);
+  Row("GTEA", engines.gtea().stats());
+  engines.RunHgJoinPlus(wq.query);
+  Row("HGJoin+", engines.stats());
+  engines.RunTwigStackD(wq.query);
+  Row("TwigStackD", engines.stats());
+  engines.RunTwigStack(wq.query, cross);
+  Row("TwigStack", engines.stats());
+  engines.RunTwig2Stack(wq.query, cross);
+  Row("Twig2Stack", engines.stats());
+
+  std::printf("\nPaper shape: GTEA has by far the smallest intermediate "
+              "results; TwigStackD reads the most input (two graph "
+              "traversals); TwigStack/Twig2Stack materialize large path "
+              "solutions.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Micro-benchmarks (google-benchmark) for the propositional-logic
+// substrate: DPLL satisfiability, tautology checking, and the
+// distribution-based normal forms whose blow-up motivates GTPQs over
+// AND/OR-twig representations (Section 2).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "logic/cnf.h"
+#include "logic/sat.h"
+
+namespace gtpq {
+namespace logic {
+namespace {
+
+FormulaRef RandomFormula(Rng* rng, int vars, int depth) {
+  if (depth == 0 || rng->NextBool(0.3)) {
+    FormulaRef v = Formula::Var(static_cast<int>(rng->NextBounded(vars)));
+    return rng->NextBool(0.3) ? Formula::Not(v) : v;
+  }
+  FormulaRef a = RandomFormula(rng, vars, depth - 1);
+  FormulaRef b = RandomFormula(rng, vars, depth - 1);
+  return rng->NextBool() ? Formula::And(a, b) : Formula::Or(a, b);
+}
+
+void BM_DpllSat(benchmark::State& state) {
+  Rng rng(41);
+  std::vector<FormulaRef> formulas;
+  for (int i = 0; i < 64; ++i) {
+    formulas.push_back(
+        RandomFormula(&rng, static_cast<int>(state.range(0)), 5));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsSatisfiable(formulas[i++ % 64]));
+  }
+}
+BENCHMARK(BM_DpllSat)->Arg(8)->Arg(16)->Arg(24);
+
+void BM_Tautology(benchmark::State& state) {
+  Rng rng(43);
+  std::vector<FormulaRef> formulas;
+  for (int i = 0; i < 64; ++i) {
+    FormulaRef f = RandomFormula(&rng, 10, 4);
+    formulas.push_back(Formula::Implies(f, f));  // always valid
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsTautology(formulas[i++ % 64]));
+  }
+}
+BENCHMARK(BM_Tautology);
+
+void BM_DnfDistribution(benchmark::State& state) {
+  // (a1|b1) & ... & (an|bn): 2^n cubes — the OR-block normalization
+  // cost the paper charges to AND/OR-twigs.
+  std::vector<FormulaRef> clauses;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    clauses.push_back(Formula::Or(Formula::Var(static_cast<int>(2 * i)),
+                                  Formula::Var(static_cast<int>(2 * i + 1))));
+  }
+  FormulaRef f = Formula::And(std::move(clauses));
+  for (auto _ : state) {
+    auto dnf = ToDnfByDistribution(f);
+    benchmark::DoNotOptimize(dnf.cubes.size());
+  }
+}
+BENCHMARK(BM_DnfDistribution)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_Tseitin(benchmark::State& state) {
+  Rng rng(47);
+  FormulaRef f = RandomFormula(&rng, 24, 8);
+  for (auto _ : state) {
+    auto cnf = TseitinTransform(f, 64);
+    benchmark::DoNotOptimize(cnf.NumClauses());
+  }
+}
+BENCHMARK(BM_Tseitin);
+
+}  // namespace
+}  // namespace logic
+}  // namespace gtpq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Micro-benchmarks (google-benchmark) for the reachability substrate:
+// index construction and point-query cost of 3-hop / interval tree
+// cover / SSPI / materialized closure, plus contour merging.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "reachability/contour.h"
+#include "reachability/interval_index.h"
+#include "reachability/sspi.h"
+#include "reachability/three_hop.h"
+#include "reachability/transitive_closure.h"
+
+namespace gtpq {
+namespace {
+
+DataGraph MakeDag(size_t n, double degree) {
+  RandomDagOptions o;
+  o.num_nodes = n;
+  o.avg_degree = degree;
+  o.num_labels = 16;
+  o.seed = 9;
+  return RandomDag(o);
+}
+
+void BM_ThreeHopBuild(benchmark::State& state) {
+  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
+  for (auto _ : state) {
+    auto idx = ThreeHopIndex::Build(g.graph());
+    benchmark::DoNotOptimize(idx.TotalLoutSize());
+  }
+}
+BENCHMARK(BM_ThreeHopBuild)->Arg(1000)->Arg(10000)->Arg(50000);
+
+template <typename Index>
+void QueryLoop(benchmark::State& state, const DataGraph& g,
+               const Index& idx) {
+  Rng rng(3);
+  const size_t n = g.NumNodes();
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(n));
+    benchmark::DoNotOptimize(idx.Reaches(a, b));
+  }
+}
+
+void BM_ThreeHopQuery(benchmark::State& state) {
+  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
+  auto idx = ThreeHopIndex::Build(g.graph());
+  QueryLoop(state, g, idx);
+}
+BENCHMARK(BM_ThreeHopQuery)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_IntervalQuery(benchmark::State& state) {
+  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
+  auto idx = IntervalIndex::Build(g.graph());
+  QueryLoop(state, g, idx);
+}
+BENCHMARK(BM_IntervalQuery)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_SspiQuery(benchmark::State& state) {
+  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
+  auto idx = Sspi::Build(g.graph());
+  QueryLoop(state, g, idx);
+}
+BENCHMARK(BM_SspiQuery)->Arg(1000)->Arg(10000);
+
+void BM_ClosureQuery(benchmark::State& state) {
+  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
+  auto idx = TransitiveClosure::Build(g.graph());
+  QueryLoop(state, g, idx);
+}
+BENCHMARK(BM_ClosureQuery)->Arg(1000)->Arg(10000);
+
+void BM_ContourMerge(benchmark::State& state) {
+  DataGraph g = MakeDag(20000, 2.0);
+  auto idx = ThreeHopIndex::Build(g.graph());
+  Rng rng(5);
+  std::vector<NodeId> members;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    members.push_back(static_cast<NodeId>(rng.NextBounded(g.NumNodes())));
+  }
+  for (auto _ : state) {
+    Contour cp = MergePredLists(idx, members);
+    benchmark::DoNotOptimize(cp.size());
+  }
+}
+BENCHMARK(BM_ContourMerge)->Arg(16)->Arg(256)->Arg(4096);
+
+}  // namespace
+}  // namespace gtpq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+#ifndef GTPQ_BENCH_HARNESS_H_
+#define GTPQ_BENCH_HARNESS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baselines/decompose.h"
+#include "baselines/hgjoin.h"
+#include "baselines/tree_encoding.h"
+#include "baselines/twig2stack.h"
+#include "baselines/twig_on_graph.h"
+#include "baselines/twigstack.h"
+#include "baselines/twigstackd.h"
+#include "common/timer.h"
+#include "core/gtea.h"
+#include "workload/xmark_queries.h"
+
+namespace gtpq {
+namespace bench {
+
+/// Global scale knob: all XMark datasets are generated at
+/// (paper scale) x GTPQ_BENCH_SCALE. The default keeps every bench
+/// binary laptop-friendly; raise it (up to 1.0 = the paper's sizes) for
+/// full-scale runs.
+inline double BenchScale() {
+  const char* env = std::getenv("GTPQ_BENCH_SCALE");
+  return env != nullptr ? std::atof(env) : 0.02;
+}
+
+/// Repetitions per measurement (min is reported).
+inline int BenchReps() {
+  const char* env = std::getenv("GTPQ_BENCH_REPS");
+  return env != nullptr ? std::atoi(env) : 3;
+}
+
+template <typename Fn>
+double MinTimeMs(Fn&& fn, int reps) {
+  double best = -1;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    double ms = t.ElapsedMillis();
+    if (best < 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+/// All engines bundled over one data graph, built on demand.
+class EngineBench {
+ public:
+  explicit EngineBench(const DataGraph& g) : g_(g), gtea_(g) {
+    enc_ = BuildRegionEncoding(g);
+    sspi_.emplace(Sspi::Build(g.graph()));
+    interval_.emplace(IntervalIndex::Build(g.graph()));
+  }
+
+  const DataGraph& graph() const { return g_; }
+  GteaEngine& gtea() { return gtea_; }
+
+  QueryResult RunGtea(const Gtpq& q) { return gtea_.Evaluate(q); }
+
+  QueryResult RunTwigStackD(const Gtpq& q) {
+    stats_.Reset();
+    return EvaluateTwigStackD(g_, *sspi_, q, &stats_);
+  }
+
+  QueryResult RunHgJoinPlus(const Gtpq& q) {
+    stats_.Reset();
+    HgJoinOptions o;
+    return EvaluateHgJoin(g_, *interval_, q, o, &stats_, &report_);
+  }
+
+  QueryResult RunHgJoinStar(const Gtpq& q) {
+    stats_.Reset();
+    HgJoinOptions o;
+    o.graph_intermediates = true;
+    return EvaluateHgJoin(g_, *interval_, q, o, &stats_, nullptr);
+  }
+
+  QueryResult RunTwigStack(const Gtpq& q,
+                           const std::vector<QNodeId>& cross) {
+    stats_.Reset();
+    return EvaluateTwigOnGraph(
+        g_, q, cross,
+        [this](const Gtpq& frag) {
+          return EvaluateTwigStack(g_, enc_, frag, &stats_);
+        },
+        &stats_);
+  }
+
+  QueryResult RunTwig2Stack(const Gtpq& q,
+                            const std::vector<QNodeId>& cross) {
+    stats_.Reset();
+    return EvaluateTwigOnGraph(
+        g_, q, cross,
+        [this](const Gtpq& frag) {
+          return EvaluateTwig2Stack(g_, enc_, frag, &stats_);
+        },
+        &stats_);
+  }
+
+  /// GTPQ evaluation via decompose-and-merge over a conjunctive engine.
+  Result<QueryResult> RunDecomposed(const Gtpq& q,
+                                    const std::string& engine) {
+    stats_.Reset();
+    ConjunctiveEvaluator eval;
+    if (engine == "twigstack") {
+      eval = [this](const Gtpq& conj) {
+        return RunTwigStackInner(conj);
+      };
+    } else {
+      eval = [this](const Gtpq& conj) {
+        EngineStats s;
+        return EvaluateTwigStackD(g_, *sspi_, conj, &s);
+      };
+    }
+    return EvaluateByDecomposition(q, eval, &stats_);
+  }
+
+  const EngineStats& stats() const { return stats_; }
+  const HgJoinReport& hgjoin_report() const { return report_; }
+
+  /// Resolves cross-node names (IDREF targets) to query node ids.
+  static std::vector<QNodeId> CrossIds(
+      const Gtpq& q, const std::vector<std::string>& names) {
+    std::vector<QNodeId> out;
+    for (QNodeId u = 0; u < q.NumNodes(); ++u) {
+      for (const auto& name : names) {
+        if (q.node(u).name == name) out.push_back(u);
+      }
+    }
+    return out;
+  }
+
+ private:
+  QueryResult RunTwigStackInner(const Gtpq& conj) {
+    // Decomposed conjunctive fragments keep node names; split at the
+    // IDREF targets that survived.
+    auto cross = CrossIds(conj, {"person", "item", "person2"});
+    EngineStats s;
+    return EvaluateTwigOnGraph(
+        g_, conj, cross,
+        [this, &s](const Gtpq& frag) {
+          return EvaluateTwigStack(g_, enc_, frag, &s);
+        },
+        &s);
+  }
+
+  const DataGraph& g_;
+  GteaEngine gtea_;
+  RegionEncoding enc_;
+  std::optional<Sspi> sspi_;
+  std::optional<IntervalIndex> interval_;
+  EngineStats stats_;
+  HgJoinReport report_;
+};
+
+}  // namespace bench
+}  // namespace gtpq
+
+#endif  // GTPQ_BENCH_HARNESS_H_

@@ -1,0 +1,91 @@
+// Static query analysis (Section 3): satisfiability, containment,
+// equivalence and minimization on the paper's Fig 4 queries.
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "query/query_parser.h"
+
+using namespace gtpq;
+
+namespace {
+
+Gtpq Parse(std::shared_ptr<AttrNames> names, const std::string& text) {
+  auto q = ParseQuery(text, names);
+  GTPQ_CHECK(q.ok()) << q.status().ToString();
+  return q.TakeValue();
+}
+
+}  // namespace
+
+int main() {
+  auto names = std::make_shared<AttrNames>();
+  // Fig 4's Q1 (AD edge to u2) with fs(u1) = p_u2.
+  Gtpq q1 = Parse(names, R"(
+backbone u1 root
+predicate u2 u1 ad
+predicate u4 u2 ad
+backbone u3 u1 ad *
+predicate u5 u3 ad
+predicate u8 u5 ad
+predicate u6 u3 ad
+predicate u7 u6 ad
+attr u1 label=1
+attr u2 label=2
+attr u4 label=3
+attr u3 label=6
+attr u5 label=4
+attr u8 label=5
+attr u6 label=2
+attr u7 label=3
+fs u1 = u2
+fs u2 = u4
+fs u5 = u8
+fs u6 = u7
+fs u3 = (u5 & u6) | (!u5 & u6)
+)");
+  // The unsatisfiable variant: fs(u1) = !u2 (Example 4).
+  Gtpq q1_neg = Parse(names, R"(
+backbone u1 root
+predicate u2 u1 ad
+predicate u4 u2 ad
+backbone u3 u1 ad *
+predicate u6 u3 ad
+predicate u7 u6 ad
+attr u1 label=1
+attr u2 label=2
+attr u4 label=3
+attr u3 label=6
+attr u6 label=2
+attr u7 label=3
+fs u1 = !u2
+fs u6 = u7
+fs u3 = u6
+)");
+
+  std::printf("Q1 (positive) satisfiable: %s\n",
+              IsSatisfiable(q1) ? "yes" : "no");
+  std::printf("Q1 (negated, Example 4) satisfiable: %s  <- the "
+              "subsumption u2 E u6 contradicts !u2\n",
+              IsSatisfiable(q1_neg) ? "yes" : "no");
+
+  QueryAnalysis a(q1);
+  std::printf("\nAnalysis of Q1: %zu nodes, independently-constraint "
+              "flags:\n", q1.NumNodes());
+  for (QNodeId u = 0; u < q1.NumNodes(); ++u) {
+    std::printf("  %-4s ic=%d\n", q1.node(u).name.c_str(),
+                a.independently_constraint(u) ? 1 : 0);
+  }
+  std::printf("fcs(root) = %s\n",
+              logic::ToString(a.fcs(q1.root()), [&q1](int v) {
+                return q1.node(static_cast<QNodeId>(v)).name;
+              }).c_str());
+
+  Gtpq minimized = Minimize(q1);
+  std::printf("\nMinimize(Q1): %zu -> %zu nodes (Example 6: the u2/u4 "
+              "branch is subsumed by u6/u7)\n", q1.size(),
+              minimized.size());
+  std::printf("minimized:\n%s", minimized.ToString(*names).c_str());
+  std::printf("\nEquivalent(minimized, Q1): %s\n",
+              AreEquivalent(minimized, q1) ? "yes" : "no");
+  return 0;
+}

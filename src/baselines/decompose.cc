@@ -1,0 +1,263 @@
+#include "baselines/decompose.h"
+
+#include <algorithm>
+#include <set>
+
+#include "logic/cnf.h"
+
+namespace gtpq {
+
+namespace {
+
+// One conjunctive variant: the positive pattern (included node set) and
+// the negative patterns (each an extra included set to force and
+// subtract).
+struct Variant {
+  std::vector<char> inc;
+  std::vector<std::vector<char>> neg;
+  /// Negated branches whose subtrees contain negation themselves: the
+  /// forced-branch query is evaluated by recursive decomposition.
+  std::vector<QNodeId> complex_neg;
+};
+
+bool SubtreeHasNegation(const Gtpq& q, QNodeId u) {
+  for (QNodeId d : q.Subtree(u)) {
+    std::function<bool(const logic::FormulaRef&)> has_not =
+        [&](const logic::FormulaRef& f) {
+          if (f->kind() == logic::Kind::kNot) return true;
+          for (const auto& c : f->children()) {
+            if (has_not(c)) return true;
+          }
+          return false;
+        };
+    if (has_not(q.node(d).structural_pred)) return true;
+  }
+  return false;
+}
+
+std::vector<Variant> Cross(const std::vector<Variant>& a,
+                           const std::vector<Variant>& b) {
+  std::vector<Variant> out;
+  out.reserve(a.size() * b.size());
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      Variant v = x;
+      for (size_t i = 0; i < v.inc.size(); ++i) v.inc[i] |= y.inc[i];
+      v.neg.insert(v.neg.end(), y.neg.begin(), y.neg.end());
+      v.complex_neg.insert(v.complex_neg.end(), y.complex_neg.begin(),
+                           y.complex_neg.end());
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
+}
+
+// Expands subtree(u) (u included) into conjunctive variants.
+Result<std::vector<Variant>> ExpandNode(const Gtpq& q, QNodeId u) {
+  auto dnf = logic::ToDnfByDistribution(q.node(u).structural_pred);
+  std::vector<Variant> result;
+  for (const auto& cube : dnf.cubes) {
+    Variant seed;
+    seed.inc.assign(q.NumNodes(), 0);
+    seed.inc[u] = 1;
+    std::vector<Variant> partial{seed};
+    // Backbone children are unconditional.
+    for (QNodeId c : q.node(u).children) {
+      if (q.node(c).role != NodeRole::kBackbone) continue;
+      auto sub = ExpandNode(q, c);
+      if (!sub.ok()) return sub.status();
+      partial = Cross(partial, *sub);
+    }
+    bool cube_ok = true;
+    for (const auto& lit : cube) {
+      const QNodeId c = static_cast<QNodeId>(lit.var);
+      if (!lit.negated) {
+        auto sub = ExpandNode(q, c);
+        if (!sub.ok()) return sub.status();
+        if (sub->empty()) {
+          cube_ok = false;  // positive branch unsatisfiable
+          break;
+        }
+        partial = Cross(partial, *sub);
+      } else {
+        if (SubtreeHasNegation(q, c)) {
+          // Negation under negation: force the branch and subtract its
+          // answers, computed by a recursive decomposition.
+          for (auto& p : partial) p.complex_neg.push_back(c);
+          continue;
+        }
+        auto sub = ExpandNode(q, c);
+        if (!sub.ok()) return sub.status();
+        for (auto& p : partial) {
+          for (const auto& sv : *sub) p.neg.push_back(sv.inc);
+        }
+      }
+    }
+    if (!cube_ok) continue;
+    result.insert(result.end(), partial.begin(), partial.end());
+  }
+  return result;
+}
+
+// Builds the conjunctive query over the included node set. Every node
+// is an output: set operations between variants must key on the full
+// bindings (negation anchored below a projected-away node would
+// otherwise subtract too much).
+Gtpq BuildConjunctive(const Gtpq& q, const std::vector<char>& inc) {
+  QueryBuilder b(q.attr_names());
+  std::vector<QNodeId> remap(q.NumNodes(), kInvalidQNode);
+  for (QNodeId u : q.TopDownOrder()) {
+    if (!inc[u]) continue;
+    const QueryNode& n = q.node(u);
+    if (u == q.root()) {
+      remap[u] = b.AddRoot(n.name, n.attr_pred);
+    } else {
+      remap[u] = b.AddBackbone(remap[n.parent], n.incoming, n.name,
+                               n.attr_pred);
+    }
+    b.MarkOutput(remap[u]);
+  }
+  auto built = b.Build();
+  GTPQ_CHECK(built.ok()) << built.status().ToString();
+  return built.TakeValue();
+}
+
+// Ascending original ids of a node set.
+std::vector<QNodeId> NodesOf(const std::vector<char>& inc) {
+  std::vector<QNodeId> out;
+  for (QNodeId u = 0; u < inc.size(); ++u) {
+    if (inc[u]) out.push_back(u);
+  }
+  return out;
+}
+
+// Projects `tuple` (over `from` columns) onto the `to` columns
+// (to must be a subset of from, both ascending).
+ResultTuple Project(const ResultTuple& tuple,
+                    const std::vector<QNodeId>& from,
+                    const std::vector<QNodeId>& to) {
+  ResultTuple out;
+  out.reserve(to.size());
+  size_t j = 0;
+  for (QNodeId u : to) {
+    while (from[j] != u) ++j;
+    out.push_back(tuple[j]);
+  }
+  return out;
+}
+
+// Builds the GTPQ "positive pattern + forced branch c" where c's
+// subtree keeps its original roles and structural predicates (it may
+// contain further logic, handled by the recursive decomposition).
+Gtpq BuildForcedBranch(const Gtpq& q, const std::vector<char>& inc,
+                       QNodeId branch) {
+  std::vector<char> keep = inc;
+  for (QNodeId d : q.Subtree(branch)) keep[d] = 1;
+  QueryBuilder b(q.attr_names());
+  std::vector<QNodeId> remap(q.NumNodes(), kInvalidQNode);
+  std::vector<char> in_branch(q.NumNodes(), 0);
+  for (QNodeId d : q.Subtree(branch)) in_branch[d] = 1;
+  for (QNodeId u : q.TopDownOrder()) {
+    if (!keep[u]) continue;
+    const QueryNode& n = q.node(u);
+    if (u == q.root()) {
+      remap[u] = b.AddRoot(n.name, n.attr_pred);
+    } else if (in_branch[u] && u != branch) {
+      // Inside the forced branch: keep the original role and fs.
+      remap[u] = n.role == NodeRole::kBackbone
+                     ? b.AddBackbone(remap[n.parent], n.incoming, n.name,
+                                     n.attr_pred)
+                     : b.AddPredicate(remap[n.parent], n.incoming,
+                                      n.name, n.attr_pred);
+    } else if (u == branch) {
+      remap[u] = b.AddPredicate(remap[n.parent], n.incoming, n.name,
+                                n.attr_pred);
+    } else {
+      remap[u] = b.AddBackbone(remap[n.parent], n.incoming, n.name,
+                               n.attr_pred);
+    }
+    // Outputs = the caller's positive-pattern nodes: the recursive
+    // answer is keyed on exactly those bindings.
+    if (!in_branch[u]) b.MarkOutput(remap[u]);
+  }
+  for (QNodeId u : q.Subtree(branch)) {
+    std::unordered_map<int, int> ren;
+    for (int v : logic::CollectVars(q.node(u).structural_pred)) {
+      ren[v] = static_cast<int>(remap[static_cast<QNodeId>(v)]);
+    }
+    b.SetStructural(remap[u],
+                    RenameVars(q.node(u).structural_pred, ren));
+  }
+  // Force the branch itself.
+  b.SetStructural(remap[q.node(branch).parent],
+                  logic::Formula::Var(static_cast<int>(remap[branch])));
+  auto built = b.Build();
+  GTPQ_CHECK(built.ok()) << built.status().ToString();
+  return built.TakeValue();
+}
+
+}  // namespace
+
+Result<QueryResult> EvaluateByDecomposition(const Gtpq& q,
+                                            const ConjunctiveEvaluator& eval,
+                                            EngineStats* stats) {
+  auto variants = ExpandNode(q, q.root());
+  if (!variants.ok()) return variants.status();
+
+  QueryResult result;
+  result.output_nodes = q.outputs();
+  std::sort(result.output_nodes.begin(), result.output_nodes.end());
+  std::set<ResultTuple> answer;
+
+  for (const auto& variant : *variants) {
+    const auto inc_nodes = NodesOf(variant.inc);
+    // Positive tuples over the full variant binding.
+    QueryResult pos = eval(BuildConjunctive(q, variant.inc));
+    std::set<ResultTuple> keep(pos.tuples.begin(), pos.tuples.end());
+    stats->intermediate_size += pos.tuples.size() * inc_nodes.size();
+    for (const auto& neg : variant.neg) {
+      if (keep.empty()) break;
+      std::vector<char> merged = variant.inc;
+      for (size_t i = 0; i < merged.size(); ++i) merged[i] |= neg[i];
+      const auto merged_nodes = NodesOf(merged);
+      QueryResult bad = eval(BuildConjunctive(q, merged));
+      stats->intermediate_size += bad.tuples.size() * merged_nodes.size();
+      for (const auto& t : bad.tuples) {
+        ++stats->join_ops;
+        keep.erase(Project(t, merged_nodes, inc_nodes));
+      }
+    }
+    for (QNodeId branch : variant.complex_neg) {
+      if (keep.empty()) break;
+      Gtpq forced = BuildForcedBranch(q, variant.inc, branch);
+      // The forced query's outputs are exactly inc_nodes, so the
+      // recursive answer is keyed on the variant binding directly.
+      auto bad = EvaluateByDecomposition(forced, eval, stats);
+      if (!bad.ok()) return bad.status();
+      stats->intermediate_size += bad->tuples.size() * inc_nodes.size();
+      for (const auto& t : bad->tuples) {
+        ++stats->join_ops;
+        keep.erase(t);
+      }
+    }
+    for (const auto& t : keep) {
+      answer.insert(Project(t, inc_nodes, result.output_nodes));
+    }
+  }
+
+  result.tuples.assign(answer.begin(), answer.end());
+  result.Normalize();
+  return result;
+}
+
+Result<size_t> CountDecomposedQueries(const Gtpq& q) {
+  auto variants = ExpandNode(q, q.root());
+  if (!variants.ok()) return variants.status();
+  size_t count = 0;
+  for (const auto& v : *variants) {
+    count += 1 + v.neg.size() + v.complex_neg.size();
+  }
+  return count;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,38 @@
+#ifndef GTPQ_BASELINES_DECOMPOSE_H_
+#define GTPQ_BASELINES_DECOMPOSE_H_
+
+#include <functional>
+
+#include "common/status.h"
+#include "core/eval_types.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// Conjunctive evaluation callback. The queries handed over are
+/// conjunctive GTPQs whose outputs are all backbone nodes of the
+/// original query (so set operations on answers line up).
+using ConjunctiveEvaluator = std::function<QueryResult(const Gtpq&)>;
+
+/// Decompose-and-merge evaluation of a general GTPQ on top of a
+/// conjunctive-only engine — the strategy the paper ascribes to the
+/// baselines in Exp-2 (Appendix C.2): structural predicates are
+/// expanded to DNF (worst-case exponentially many conjunctive TPQs),
+/// disjuncts are evaluated separately and united, and negated branches
+/// are handled by evaluating the positive query with the branch forced
+/// and subtracting (difference on backbone tuples).
+///
+/// Supported fragment: arbitrary conjunction/disjunction; negation over
+/// branches whose subtrees are themselves negation-free. Nested
+/// negation under negation returns kUnimplemented.
+Result<QueryResult> EvaluateByDecomposition(const Gtpq& q,
+                                            const ConjunctiveEvaluator& eval,
+                                            EngineStats* stats);
+
+/// Exposes the number of conjunctive queries the decomposition of `q`
+/// requires (for the harness to report).
+Result<size_t> CountDecomposedQueries(const Gtpq& q);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_BASELINES_DECOMPOSE_H_

@@ -1,0 +1,141 @@
+#include "baselines/match_graph_util.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace gtpq {
+
+size_t ConjMatchGraph::TotalNodes() const {
+  size_t n = 0;
+  for (const auto& c : cand) n += c.size();
+  return n;
+}
+
+size_t ConjMatchGraph::TotalEdges() const {
+  size_t n = 0;
+  for (const auto& per_node : child_lists) {
+    for (const auto& lst : per_node) n += lst.size();
+  }
+  return n;
+}
+
+bool ReduceConjMatchGraph(const Gtpq& q, ConjMatchGraph* mg) {
+  const size_t n = q.NumNodes();
+  std::vector<std::vector<char>> alive(n);
+  for (QNodeId u = 0; u < n; ++u) alive[u].assign(mg->cand[u].size(), 1);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Kill parents lacking a live match for some child, top-down.
+    for (QNodeId u = 0; u < n; ++u) {
+      for (uint32_t pi = 0; pi < mg->cand[u].size(); ++pi) {
+        if (!alive[u][pi]) continue;
+        for (QNodeId c : q.node(u).children) {
+          bool has_live = false;
+          for (uint32_t wi : mg->child_lists[c][pi]) {
+            if (alive[c][wi]) {
+              has_live = true;
+              break;
+            }
+          }
+          if (!has_live) {
+            alive[u][pi] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+    // Kill children without a live parent referencing them.
+    for (QNodeId c = 1; c < n; ++c) {
+      const QNodeId p = q.node(c).parent;
+      std::vector<char> referenced(mg->cand[c].size(), 0);
+      for (uint32_t pi = 0; pi < mg->cand[p].size(); ++pi) {
+        if (!alive[p][pi]) continue;
+        for (uint32_t wi : mg->child_lists[c][pi]) referenced[wi] = 1;
+      }
+      for (uint32_t wi = 0; wi < mg->cand[c].size(); ++wi) {
+        if (alive[c][wi] && !referenced[wi]) {
+          alive[c][wi] = 0;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Compact.
+  std::vector<std::vector<uint32_t>> remap(n);
+  for (QNodeId u = 0; u < n; ++u) {
+    remap[u].assign(mg->cand[u].size(), UINT32_MAX);
+    uint32_t next = 0;
+    std::vector<NodeId> kept;
+    for (uint32_t i = 0; i < mg->cand[u].size(); ++i) {
+      if (alive[u][i]) {
+        remap[u][i] = next++;
+        kept.push_back(mg->cand[u][i]);
+      }
+    }
+    mg->cand[u] = std::move(kept);
+  }
+  for (QNodeId c = 1; c < n; ++c) {
+    const QNodeId p = q.node(c).parent;
+    std::vector<std::vector<uint32_t>> fixed;
+    for (uint32_t pi = 0; pi < remap[p].size(); ++pi) {
+      if (remap[p][pi] == UINT32_MAX) continue;
+      std::vector<uint32_t> lst;
+      for (uint32_t wi : mg->child_lists[c][pi]) {
+        if (remap[c][wi] != UINT32_MAX) lst.push_back(remap[c][wi]);
+      }
+      fixed.push_back(std::move(lst));
+    }
+    mg->child_lists[c] = std::move(fixed);
+  }
+  for (QNodeId u = 0; u < n; ++u) {
+    if (mg->cand[u].empty()) return false;
+  }
+  return true;
+}
+
+QueryResult EnumerateConjMatchGraph(const Gtpq& q,
+                                    const ConjMatchGraph& mg,
+                                    EngineStats* stats) {
+  QueryResult result;
+  result.output_nodes = q.outputs();
+  std::sort(result.output_nodes.begin(), result.output_nodes.end());
+  std::vector<size_t> slot_of(q.NumNodes(), SIZE_MAX);
+  for (size_t i = 0; i < result.output_nodes.size(); ++i) {
+    slot_of[result.output_nodes[i]] = i;
+  }
+  auto order = q.TopDownOrder();
+  std::vector<uint32_t> chosen(q.NumNodes(), 0);
+  ResultTuple current(result.output_nodes.size(), kInvalidNode);
+
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == order.size()) {
+      result.tuples.push_back(current);
+      return;
+    }
+    const QNodeId u = order[depth];
+    if (u == q.root()) {
+      for (uint32_t i = 0; i < mg.cand[u].size(); ++i) {
+        chosen[u] = i;
+        if (slot_of[u] != SIZE_MAX) current[slot_of[u]] = mg.cand[u][i];
+        recurse(depth + 1);
+      }
+      return;
+    }
+    const QNodeId p = q.node(u).parent;
+    for (uint32_t wi : mg.child_lists[u][chosen[p]]) {
+      ++stats->join_ops;
+      chosen[u] = wi;
+      if (slot_of[u] != SIZE_MAX) current[slot_of[u]] = mg.cand[u][wi];
+      recurse(depth + 1);
+    }
+  };
+  recurse(0);
+  result.Normalize();
+  return result;
+}
+
+}  // namespace gtpq

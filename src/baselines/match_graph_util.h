@@ -1,0 +1,39 @@
+#ifndef GTPQ_BASELINES_MATCH_GRAPH_UTIL_H_
+#define GTPQ_BASELINES_MATCH_GRAPH_UTIL_H_
+
+#include <vector>
+
+#include "core/eval_types.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// Conjunctive match graph shared by TwigStackD's pool stage and
+/// HGJoin*'s graph-shaped intermediates: per query node the candidate
+/// list, and per non-root query node the per-parent-candidate adjacency
+/// into the child's candidates.
+struct ConjMatchGraph {
+  /// cand[u]: candidate data nodes of query node u.
+  std::vector<std::vector<NodeId>> cand;
+  /// child_lists[c][pi]: indices into cand[c] matched by candidate #pi
+  /// of c's query parent (empty vector-of-vectors for the root).
+  std::vector<std::vector<std::vector<uint32_t>>> child_lists;
+
+  size_t TotalNodes() const;
+  size_t TotalEdges() const;
+};
+
+/// Iteratively removes candidates with no parent support or an empty
+/// required-child adjacency ("recursively deleting unqualified nodes").
+/// Returns false when some query node loses all candidates.
+bool ReduceConjMatchGraph(const Gtpq& q, ConjMatchGraph* mg);
+
+/// Enumerates all full matches (every query node bound) and projects
+/// them onto q.outputs(). The graph should be reduced first.
+QueryResult EnumerateConjMatchGraph(const Gtpq& q,
+                                    const ConjMatchGraph& mg,
+                                    EngineStats* stats);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_BASELINES_MATCH_GRAPH_UTIL_H_

@@ -1,0 +1,82 @@
+#include "baselines/naive.h"
+
+#include <algorithm>
+
+namespace gtpq {
+
+namespace {
+
+bool EdgeHolds(const DataGraph& g, const TransitiveClosure& tc,
+               EdgeType type, NodeId v, NodeId w) {
+  return type == EdgeType::kChild ? g.HasEdge(v, w) : tc.Reaches(v, w);
+}
+
+}  // namespace
+
+QueryResult EvaluateBruteForce(const DataGraph& g,
+                               const TransitiveClosure& tc,
+                               const Gtpq& q) {
+  // Downward-match sets D(u) = { v : v |= u }, bottom-up.
+  std::vector<std::vector<NodeId>> down(q.NumNodes());
+  for (QNodeId u : q.BottomUpOrder()) {
+    const QueryNode& qu = q.node(u);
+    const logic::FormulaRef fext = q.ExtendedPredicate(u);
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (!qu.attr_pred.Matches(g, v)) continue;
+      bool ok = logic::Evaluate(fext, [&](int var) {
+        const QNodeId c = static_cast<QNodeId>(var);
+        for (NodeId w : down[c]) {
+          if (EdgeHolds(g, tc, q.node(c).incoming, v, w)) return true;
+        }
+        return false;
+      });
+      if (ok) down[u].push_back(v);
+    }
+  }
+
+  QueryResult result;
+  result.output_nodes = q.outputs();
+  std::sort(result.output_nodes.begin(), result.output_nodes.end());
+  std::vector<size_t> slot_of(q.NumNodes(), SIZE_MAX);
+  for (size_t i = 0; i < result.output_nodes.size(); ++i) {
+    slot_of[result.output_nodes[i]] = i;
+  }
+
+  // Exhaustive backbone enumeration: assign images to backbone nodes
+  // top-down, projecting output slots.
+  ResultTuple current(result.output_nodes.size(), kInvalidNode);
+  std::vector<QNodeId> backbone_order;
+  for (QNodeId u : q.TopDownOrder()) {
+    if (q.IsBackbone(u)) backbone_order.push_back(u);
+  }
+  std::vector<NodeId> image(q.NumNodes(), kInvalidNode);
+
+  auto recurse = [&](auto&& self, size_t depth) -> void {
+    if (depth == backbone_order.size()) {
+      result.tuples.push_back(current);
+      return;
+    }
+    const QNodeId u = backbone_order[depth];
+    const QNodeId parent = q.node(u).parent;
+    for (NodeId v : down[u]) {
+      if (parent != kInvalidQNode &&
+          !EdgeHolds(g, tc, q.node(u).incoming, image[parent], v)) {
+        continue;
+      }
+      image[u] = v;
+      if (slot_of[u] != SIZE_MAX) current[slot_of[u]] = v;
+      self(self, depth + 1);
+    }
+    image[u] = kInvalidNode;
+  };
+  recurse(recurse, 0);
+  result.Normalize();
+  return result;
+}
+
+QueryResult EvaluateBruteForce(const DataGraph& g, const Gtpq& q) {
+  TransitiveClosure tc = TransitiveClosure::Build(g.graph());
+  return EvaluateBruteForce(g, tc, q);
+}
+
+}  // namespace gtpq

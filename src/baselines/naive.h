@@ -1,0 +1,25 @@
+#ifndef GTPQ_BASELINES_NAIVE_H_
+#define GTPQ_BASELINES_NAIVE_H_
+
+#include "core/eval_types.h"
+#include "graph/data_graph.h"
+#include "query/gtpq.h"
+#include "reachability/transitive_closure.h"
+
+namespace gtpq {
+
+/// Brute-force GTPQ evaluation straight from the Section 2 semantics:
+/// memoized downward-match sets over the materialized transitive
+/// closure, then exhaustive backbone-match enumeration. Exponential in
+/// the worst case and quadratic in space — this is the independent
+/// correctness oracle every engine is property-tested against, kept as
+/// simple as possible on purpose.
+QueryResult EvaluateBruteForce(const DataGraph& g,
+                               const TransitiveClosure& tc, const Gtpq& q);
+
+/// Convenience overload that builds the closure internally.
+QueryResult EvaluateBruteForce(const DataGraph& g, const Gtpq& q);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_BASELINES_NAIVE_H_

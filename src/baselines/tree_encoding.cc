@@ -1,0 +1,59 @@
+#include "baselines/tree_encoding.h"
+
+#include "common/logging.h"
+#include "graph/algorithms.h"
+
+namespace gtpq {
+
+RegionEncoding BuildRegionEncoding(const DataGraph& g) {
+  const size_t n = g.NumNodes();
+  RegionEncoding enc;
+  enc.start.assign(n, 0);
+  enc.end.assign(n, 0);
+  enc.level.assign(n, 0);
+
+  std::vector<NodeId> parent(n, kInvalidNode);
+  if (g.HasSpanningTree()) {
+    for (NodeId v = 0; v < n; ++v) parent[v] = g.TreeParentOf(v);
+  } else {
+    auto order = TopologicalSort(g.graph());
+    GTPQ_CHECK(!order.empty() || n == 0)
+        << "region encoding without a spanning tree requires a DAG";
+    for (NodeId v : order) {
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (parent[w] == kInvalidNode) parent[w] = v;
+      }
+    }
+  }
+  std::vector<std::vector<NodeId>> children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent[v] != kInvalidNode) children[parent[v]].push_back(v);
+  }
+
+  uint32_t counter = 0;
+  enc.doc_order.reserve(n);
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (parent[root] != kInvalidNode) continue;
+    stack.emplace_back(root, 0);
+    enc.level[root] = 0;
+    while (!stack.empty()) {
+      auto& [v, cursor] = stack.back();
+      if (cursor == 0) {
+        enc.start[v] = counter++;
+        enc.doc_order.push_back(v);
+      }
+      if (cursor < children[v].size()) {
+        NodeId c = children[v][cursor++];
+        enc.level[c] = enc.level[v] + 1;
+        stack.emplace_back(c, 0);
+        continue;
+      }
+      enc.end[v] = counter++;
+      stack.pop_back();
+    }
+  }
+  return enc;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,35 @@
+#ifndef GTPQ_BASELINES_TREE_ENCODING_H_
+#define GTPQ_BASELINES_TREE_ENCODING_H_
+
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace gtpq {
+
+/// Region (interval) encoding of a data graph's spanning tree:
+/// start/end numbers from a DFS plus depth — the classic labeling
+/// consumed by holistic twig joins (TwigStack [3], Twig2Stack [7]).
+/// Nodes outside the spanning tree root at their own components.
+struct RegionEncoding {
+  std::vector<uint32_t> start, end, level;
+  std::vector<NodeId> doc_order;  // nodes by ascending start
+
+  /// anc is a proper tree ancestor of desc.
+  bool IsTreeAncestor(NodeId anc, NodeId desc) const {
+    return start[anc] < start[desc] && end[desc] <= end[anc];
+  }
+  /// anc is the tree parent of desc.
+  bool IsTreeParent(NodeId anc, NodeId desc) const {
+    return IsTreeAncestor(anc, desc) && level[desc] == level[anc] + 1;
+  }
+};
+
+/// Builds the encoding from the graph's spanning-tree annotation; when
+/// absent, tree edges default to the first in-neighbor of each node in
+/// a topological pass (the graph must then be a DAG).
+RegionEncoding BuildRegionEncoding(const DataGraph& g);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_BASELINES_TREE_ENCODING_H_

@@ -1,0 +1,141 @@
+#include "baselines/twig2stack.h"
+
+#include <algorithm>
+#include <functional>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+namespace {
+
+// Tree parents recovered from the region encoding's spanning forest.
+std::vector<NodeId> TreeParents(const DataGraph& g,
+                                const RegionEncoding& enc) {
+  const size_t n = g.NumNodes();
+  std::vector<NodeId> parent(n, kInvalidNode);
+  // The nearest preceding node in doc order whose region contains v.
+  std::vector<NodeId> stack;
+  for (NodeId v : enc.doc_order) {
+    while (!stack.empty() && enc.end[stack.back()] < enc.start[v]) {
+      stack.pop_back();
+    }
+    if (!stack.empty() && enc.IsTreeAncestor(stack.back(), v)) {
+      parent[v] = stack.back();
+    }
+    stack.push_back(v);
+  }
+  return parent;
+}
+
+}  // namespace
+
+QueryResult EvaluateTwig2Stack(const DataGraph& g,
+                               const RegionEncoding& enc, const Gtpq& q,
+                               EngineStats* stats) {
+  GTPQ_CHECK(q.IsConjunctive())
+      << "Twig2Stack handles conjunctive twigs only";
+  GTPQ_CHECK(q.NumNodes() <= 64) << "query wider than the 64-bit masks";
+  const size_t n = g.NumNodes();
+  auto parent = TreeParents(g, enc);
+  std::vector<std::vector<NodeId>> tree_children(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent[v] != kInvalidNode) tree_children[parent[v]].push_back(v);
+  }
+
+  // Single bottom-up pass (reverse document order): D-bit u of v says
+  // the subtree rooted at v matches the sub-twig rooted at u.
+  std::vector<uint64_t> dmask(n, 0);
+  // Per query node: the minimum start among D-matches seen so far; as
+  // we sweep in reverse document order, a candidate subtree contains a
+  // match iff that minimum lies before the subtree's end.
+  std::vector<uint32_t> min_start(q.NumNodes(), UINT32_MAX);
+  // Per query node: tree parents that have a direct D-matching child.
+  std::vector<std::unordered_set<NodeId>> pc_parents(q.NumNodes());
+  std::vector<std::vector<NodeId>> matches(q.NumNodes());
+
+  for (auto it = enc.doc_order.rbegin(); it != enc.doc_order.rend();
+       ++it) {
+    const NodeId v = *it;
+    ++stats->input_nodes;
+    for (QNodeId u : q.BottomUpOrder()) {
+      if (!q.node(u).attr_pred.Matches(g, v)) continue;
+      bool ok = true;
+      for (QNodeId c : q.node(u).children) {
+        if (q.node(c).incoming == EdgeType::kChild) {
+          if (!pc_parents[c].count(v)) {
+            ok = false;
+            break;
+          }
+        } else {
+          if (min_start[c] >= enc.end[v]) {  // no match inside subtree
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) continue;
+      dmask[v] |= uint64_t{1} << u;
+      matches[u].push_back(v);
+      min_start[u] = std::min(min_start[u], enc.start[v]);
+      if (parent[v] != kInvalidNode) pc_parents[u].insert(parent[v]);
+      ++stats->intermediate_size;  // match-hierarchy entry
+    }
+  }
+
+  // Matches were found in reverse document order; flip to ascending
+  // start for range scans.
+  for (auto& m : matches) std::reverse(m.begin(), m.end());
+
+  // Enumerate from the match hierarchy.
+  QueryResult result;
+  result.output_nodes = q.outputs();
+  std::sort(result.output_nodes.begin(), result.output_nodes.end());
+  std::vector<size_t> slot_of(q.NumNodes(), SIZE_MAX);
+  for (size_t i = 0; i < result.output_nodes.size(); ++i) {
+    slot_of[result.output_nodes[i]] = i;
+  }
+  auto order = q.TopDownOrder();
+  std::vector<NodeId> image(q.NumNodes(), kInvalidNode);
+  ResultTuple current(result.output_nodes.size(), kInvalidNode);
+
+  std::function<void(size_t)> recurse = [&](size_t depth) {
+    if (depth == order.size()) {
+      result.tuples.push_back(current);
+      return;
+    }
+    const QNodeId u = order[depth];
+    auto emit = [&](NodeId v) {
+      image[u] = v;
+      if (slot_of[u] != SIZE_MAX) current[slot_of[u]] = v;
+      recurse(depth + 1);
+    };
+    if (u == q.root()) {
+      for (NodeId v : matches[u]) emit(v);
+      return;
+    }
+    const NodeId pv = image[q.node(u).parent];
+    if (q.node(u).incoming == EdgeType::kChild) {
+      for (NodeId w : tree_children[pv]) {
+        if (dmask[w] & (uint64_t{1} << u)) emit(w);
+      }
+    } else {
+      // Matches of u with start inside pv's region.
+      const auto& m = matches[u];
+      auto lo = std::lower_bound(m.begin(), m.end(), enc.start[pv] + 1,
+                                 [&enc](NodeId a, uint32_t s) {
+                                   return enc.start[a] < s;
+                                 });
+      for (auto mit = lo; mit != m.end(); ++mit) {
+        if (enc.start[*mit] >= enc.end[pv]) break;
+        emit(*mit);
+      }
+    }
+  };
+  recurse(0);
+  result.Normalize();
+  return result;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,27 @@
+#ifndef GTPQ_BASELINES_TWIG2STACK_H_
+#define GTPQ_BASELINES_TWIG2STACK_H_
+
+#include "baselines/tree_encoding.h"
+#include "core/eval_types.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// Twig2Stack-style bottom-up twig evaluation (Chen et al., VLDB'06)
+/// over tree-structured data: a single reverse-document-order pass
+/// computes, per query node, the set of data nodes whose subtree
+/// satisfies the twig (the analogue of the hierarchical-stack match
+/// structures), then answers are enumerated directly from that match
+/// hierarchy — no root-to-leaf path solutions are ever materialized,
+/// which is the property distinguishing it from TwigStack. See
+/// DESIGN.md for the simplifications relative to [7].
+///
+/// Requirements match EvaluateTwigStack (conjunctive query, spanning
+/// tree semantics).
+QueryResult EvaluateTwig2Stack(const DataGraph& g,
+                               const RegionEncoding& enc, const Gtpq& q,
+                               EngineStats* stats);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_BASELINES_TWIG2STACK_H_

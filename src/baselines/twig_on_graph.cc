@@ -1,0 +1,144 @@
+#include "baselines/twig_on_graph.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+namespace {
+
+// Builds the fragment subquery rooted at `frag_root`, stopping at cross
+// children. Every fragment node becomes an output so the cross joins
+// can see full bindings. to_orig maps fragment ids back.
+Gtpq BuildFragment(const Gtpq& q, QNodeId frag_root,
+                   const std::vector<char>& is_cross_child,
+                   std::vector<QNodeId>* to_orig) {
+  QueryBuilder b(q.attr_names());
+  std::vector<std::pair<QNodeId, QNodeId>> stack;  // (orig, new parent)
+  std::map<QNodeId, QNodeId> remap;
+  const QueryNode& rn = q.node(frag_root);
+  QNodeId new_root = b.AddRoot(rn.name, rn.attr_pred);
+  b.MarkOutput(new_root);
+  remap[frag_root] = new_root;
+  to_orig->push_back(frag_root);
+  for (QNodeId u : q.Subtree(frag_root)) {
+    if (u == frag_root) continue;
+    if (is_cross_child[u]) continue;
+    // Skip nodes under a cross child.
+    bool under_cross = false;
+    for (QNodeId x = q.node(u).parent; x != kInvalidQNode && x != frag_root;
+         x = q.node(x).parent) {
+      if (is_cross_child[x]) {
+        under_cross = true;
+        break;
+      }
+    }
+    if (under_cross) continue;
+    const QueryNode& n = q.node(u);
+    QNodeId np = remap.at(n.parent);
+    // Conjunctive predicate nodes behave exactly like backbone nodes,
+    // so fragments are all-backbone: every binding can then be output
+    // and joined across fragments.
+    QNodeId id = b.AddBackbone(np, n.incoming, n.name, n.attr_pred);
+    b.MarkOutput(id);
+    remap[u] = id;
+    to_orig->push_back(u);
+  }
+  auto built = b.Build();
+  GTPQ_CHECK(built.ok()) << built.status().ToString();
+  return built.TakeValue();
+}
+
+}  // namespace
+
+QueryResult EvaluateTwigOnGraph(const DataGraph& g, const Gtpq& q,
+                                const std::vector<QNodeId>& cross_children,
+                                const TreeTwigEvaluator& eval,
+                                EngineStats* stats) {
+  GTPQ_CHECK(q.IsConjunctive());
+  std::vector<char> is_cross(q.NumNodes(), 0);
+  for (QNodeId c : cross_children) {
+    GTPQ_CHECK(q.node(c).incoming == EdgeType::kChild)
+        << "cross edges must be PC (single reference edges)";
+    is_cross[c] = 1;
+  }
+
+  // Fragments: the root fragment plus one per cross child, evaluated
+  // root-fragment first so joins always see the parent side bound.
+  std::vector<QNodeId> frag_roots{q.root()};
+  for (QNodeId c = 0; c < q.NumNodes(); ++c) {
+    if (is_cross[c]) frag_roots.push_back(c);
+  }
+
+  // Tuples over original query width.
+  std::vector<NodeId> unused;
+  std::vector<std::vector<NodeId>> acc;
+  std::vector<char> bound(q.NumNodes(), 0);
+  for (QNodeId frag_root : frag_roots) {
+    std::vector<QNodeId> to_orig;
+    Gtpq fragment = BuildFragment(q, frag_root, is_cross, &to_orig);
+    QueryResult sub = eval(fragment);
+    // Fragment outputs are sorted by fragment id; build column map.
+    std::vector<QNodeId> cols(sub.output_nodes.size());
+    for (size_t i = 0; i < sub.output_nodes.size(); ++i) {
+      cols[i] = to_orig[sub.output_nodes[i]];
+    }
+    stats->intermediate_size += sub.tuples.size() * cols.size();
+
+    if (frag_root == q.root()) {
+      for (const auto& t : sub.tuples) {
+        std::vector<NodeId> row(q.NumNodes(), kInvalidNode);
+        for (size_t i = 0; i < cols.size(); ++i) row[cols[i]] = t[i];
+        acc.push_back(std::move(row));
+      }
+    } else {
+      // Join across the cross edge: parent binding must have a data
+      // edge to the fragment root's binding.
+      const QNodeId parent = q.node(frag_root).parent;
+      GTPQ_CHECK(bound[parent]) << "fragment order broke connectivity";
+      size_t root_col = SIZE_MAX;
+      for (size_t i = 0; i < cols.size(); ++i) {
+        if (cols[i] == frag_root) root_col = i;
+      }
+      GTPQ_CHECK(root_col != SIZE_MAX);
+      std::map<NodeId, std::vector<size_t>> by_root;
+      for (size_t i = 0; i < sub.tuples.size(); ++i) {
+        by_root[sub.tuples[i][root_col]].push_back(i);
+      }
+      std::vector<std::vector<NodeId>> next;
+      for (const auto& row : acc) {
+        for (NodeId w : g.OutNeighbors(row[parent])) {
+          auto it = by_root.find(w);
+          if (it == by_root.end()) continue;
+          for (size_t i : it->second) {
+            ++stats->join_ops;
+            std::vector<NodeId> merged = row;
+            for (size_t k = 0; k < cols.size(); ++k) {
+              merged[cols[k]] = sub.tuples[i][k];
+            }
+            next.push_back(std::move(merged));
+          }
+        }
+      }
+      acc = std::move(next);
+    }
+    for (QNodeId u : to_orig) bound[u] = 1;
+    if (acc.empty()) break;
+  }
+
+  QueryResult result;
+  result.output_nodes = q.outputs();
+  std::sort(result.output_nodes.begin(), result.output_nodes.end());
+  for (const auto& row : acc) {
+    ResultTuple t;
+    t.reserve(result.output_nodes.size());
+    for (QNodeId o : result.output_nodes) t.push_back(row[o]);
+    result.tuples.push_back(std::move(t));
+  }
+  result.Normalize();
+  return result;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,31 @@
+#ifndef GTPQ_BASELINES_TWIG_ON_GRAPH_H_
+#define GTPQ_BASELINES_TWIG_ON_GRAPH_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/eval_types.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// Evaluates one conjunctive tree twig (all nodes output). Plugged with
+/// EvaluateTwigStack / EvaluateTwig2Stack closures.
+using TreeTwigEvaluator = std::function<QueryResult(const Gtpq&)>;
+
+/// Applies a tree-only twig join to a tree+cross-edge graph the way the
+/// paper does for XMark (Section 5.1): the query is decomposed at the
+/// given cross edges (`cross_children` lists the child endpoints, which
+/// root the non-initial fragments), every fragment is evaluated against
+/// the spanning tree with `eval`, and fragment results are joined on
+/// the data graph's actual cross edges (which must be PC query edges).
+/// Fragment results keep all fragment nodes, so the joins reproduce the
+/// decompose-and-merge intermediate-result cost the paper measures.
+QueryResult EvaluateTwigOnGraph(const DataGraph& g, const Gtpq& q,
+                                const std::vector<QNodeId>& cross_children,
+                                const TreeTwigEvaluator& eval,
+                                EngineStats* stats);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_BASELINES_TWIG_ON_GRAPH_H_

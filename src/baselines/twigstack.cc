@@ -1,0 +1,244 @@
+#include "baselines/twigstack.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+namespace {
+
+constexpr uint32_t kInf = UINT32_MAX;
+
+class TwigStackRun {
+ public:
+  TwigStackRun(const DataGraph& g, const RegionEncoding& enc,
+               const Gtpq& q, EngineStats* stats)
+      : g_(g), enc_(enc), q_(q), stats_(stats) {}
+
+  QueryResult Run() {
+    GTPQ_CHECK(q_.IsConjunctive())
+        << "TwigStack handles conjunctive twigs only";
+    const size_t n = q_.NumNodes();
+    stream_.resize(n);
+    cursor_.assign(n, 0);
+    stacks_.resize(n);
+    for (QNodeId u = 0; u < n; ++u) {
+      auto label = q_.node(u).attr_pred.RequiredLabel(g_.label_attr());
+      if (label.has_value() && q_.node(u).attr_pred.atoms().size() == 1) {
+        auto hits = g_.NodesWithLabel(*label);
+        stream_[u].assign(hits.begin(), hits.end());
+      } else {
+        for (NodeId v = 0; v < g_.NumNodes(); ++v) {
+          if (q_.node(u).attr_pred.Matches(g_, v)) stream_[u].push_back(v);
+        }
+      }
+      stats_->input_nodes += stream_[u].size();
+      std::sort(stream_[u].begin(), stream_[u].end(),
+                [this](NodeId a, NodeId b) {
+                  return enc_.start[a] < enc_.start[b];
+                });
+      if (q_.IsLeaf(u)) {
+        leaves_.push_back(u);
+        leaf_index_[u] = path_solutions_.size();
+        path_solutions_.emplace_back();
+      }
+    }
+    // Root-to-node chains (query ancestors, root first).
+    chains_.resize(n);
+    for (QNodeId u = 0; u < n; ++u) {
+      for (QNodeId x = u; x != kInvalidQNode; x = q_.node(x).parent) {
+        chains_[u].push_back(x);
+      }
+      std::reverse(chains_[u].begin(), chains_[u].end());
+    }
+
+    // --- Main holistic loop ---
+    for (;;) {
+      QNodeId act = GetNext(q_.root());
+      if (NextStart(act) == kInf) break;
+      const NodeId v = stream_[act][cursor_[act]];
+      const QNodeId parent = q_.node(act).parent;
+      if (act != q_.root()) CleanStack(parent, enc_.start[v]);
+      if (act == q_.root() || !stacks_[parent].empty()) {
+        CleanStack(act, enc_.start[v]);
+        if (q_.IsLeaf(act)) {
+          EmitPaths(act, v);
+        } else {
+          int parent_top =
+              act == q_.root()
+                  ? -1
+                  : static_cast<int>(stacks_[parent].size()) - 1;
+          stacks_[act].push_back(Entry{v, parent_top});
+        }
+      }
+      ++cursor_[act];
+    }
+
+    return MergePaths();
+  }
+
+ private:
+  struct Entry {
+    NodeId v;
+    int parent_top;  // top of the parent stack at push time
+  };
+
+  uint32_t NextStart(QNodeId u) const {
+    return cursor_[u] < stream_[u].size()
+               ? enc_.start[stream_[u][cursor_[u]]]
+               : kInf;
+  }
+  uint32_t NextEnd(QNodeId u) const {
+    return cursor_[u] < stream_[u].size()
+               ? enc_.end[stream_[u][cursor_[u]]]
+               : kInf;
+  }
+
+  QNodeId GetNext(QNodeId u) {
+    if (q_.IsLeaf(u)) return u;
+    QNodeId qmin = kInvalidQNode, qmax = kInvalidQNode;
+    for (QNodeId c : q_.node(u).children) {
+      QNodeId nc = GetNext(c);
+      // Do not surface exhausted subtrees: the break condition of the
+      // main loop must only fire when every leaf stream has drained.
+      if (nc != c && NextStart(nc) != kInf) return nc;
+      if (qmin == kInvalidQNode || NextStart(c) < NextStart(qmin)) qmin = c;
+      if (qmax == kInvalidQNode || NextStart(c) > NextStart(qmax)) qmax = c;
+    }
+    // Skip u-elements that cannot contain the laggard child.
+    while (NextEnd(u) < NextStart(qmax)) ++cursor_[u];
+    return NextStart(u) < NextStart(qmin) ? u : qmin;
+  }
+
+  void CleanStack(QNodeId u, uint32_t act_start) {
+    auto& s = stacks_[u];
+    while (!s.empty() && enc_.end[s.back().v] < act_start) s.pop_back();
+  }
+
+  // Emits all root-to-leaf path solutions ending at element v of leaf u.
+  void EmitPaths(QNodeId leaf, NodeId v) {
+    const auto& chain = chains_[leaf];  // root ... leaf
+    std::vector<NodeId> tuple(q_.NumNodes(), kInvalidNode);
+    tuple[leaf] = v;
+    auto& out = path_solutions_[leaf_index_[leaf]];
+    // Walk upward choosing stack entries; index bound chains via
+    // parent_top pointers.
+    std::function<void(size_t, int)> ascend = [&](size_t pos,
+                                                  int max_idx) {
+      if (pos == 0) {  // all ancestors chosen (chain[0] is the root)
+        out.push_back(tuple);
+        stats_->intermediate_size += chain.size();
+        return;
+      }
+      const QNodeId anc = chain[pos - 1];
+      const QNodeId below = chain[pos];
+      const auto& s = stacks_[anc];
+      for (int idx = 0; idx <= max_idx; ++idx) {
+        const Entry& e = s[static_cast<size_t>(idx)];
+        if (q_.node(below).incoming == EdgeType::kChild &&
+            !enc_.IsTreeParent(e.v, tuple[below])) {
+          continue;
+        }
+        tuple[anc] = e.v;
+        ascend(pos - 1, e.parent_top);
+      }
+      tuple[anc] = kInvalidNode;
+    };
+    if (chain.size() == 1) {
+      out.push_back(tuple);
+      stats_->intermediate_size += 1;
+      return;
+    }
+    const QNodeId parent = chain[chain.size() - 2];
+    ascend(chain.size() - 1,
+           static_cast<int>(stacks_[parent].size()) - 1);
+  }
+
+  QueryResult MergePaths() {
+    // Fold the per-leaf path relations with hash joins on shared
+    // query-node columns.
+    std::vector<NodeId> acc_cols;  // query nodes bound so far
+    std::vector<std::vector<NodeId>> acc;
+    for (size_t li = 0; li < leaves_.size(); ++li) {
+      const auto& chain = chains_[leaves_[li]];
+      auto& rel = path_solutions_[li];
+      if (li == 0) {
+        acc = std::move(rel);
+        acc_cols.assign(chain.begin(), chain.end());
+        continue;
+      }
+      std::vector<QNodeId> shared;
+      for (QNodeId u : chain) {
+        if (std::find(acc_cols.begin(), acc_cols.end(), u) !=
+            acc_cols.end()) {
+          shared.push_back(u);
+        }
+      }
+      std::map<std::vector<NodeId>, std::vector<size_t>> index;
+      for (size_t i = 0; i < rel.size(); ++i) {
+        std::vector<NodeId> key;
+        for (QNodeId u : shared) key.push_back(rel[i][u]);
+        index[key].push_back(i);
+      }
+      std::vector<std::vector<NodeId>> joined;
+      for (const auto& t : acc) {
+        std::vector<NodeId> key;
+        for (QNodeId u : shared) key.push_back(t[u]);
+        auto it = index.find(key);
+        if (it == index.end()) continue;
+        for (size_t i : it->second) {
+          ++stats_->join_ops;
+          std::vector<NodeId> merged = t;
+          for (QNodeId u : chain) merged[u] = rel[i][u];
+          joined.push_back(std::move(merged));
+        }
+      }
+      acc = std::move(joined);
+      for (QNodeId u : chain) {
+        if (std::find(acc_cols.begin(), acc_cols.end(), u) ==
+            acc_cols.end()) {
+          acc_cols.push_back(u);
+        }
+      }
+      if (acc.empty()) break;
+    }
+
+    QueryResult result;
+    result.output_nodes = q_.outputs();
+    std::sort(result.output_nodes.begin(), result.output_nodes.end());
+    for (const auto& t : acc) {
+      ResultTuple row;
+      row.reserve(result.output_nodes.size());
+      for (QNodeId o : result.output_nodes) row.push_back(t[o]);
+      result.tuples.push_back(std::move(row));
+    }
+    result.Normalize();
+    return result;
+  }
+
+  const DataGraph& g_;
+  const RegionEncoding& enc_;
+  const Gtpq& q_;
+  EngineStats* stats_;
+  std::vector<std::vector<NodeId>> stream_;
+  std::vector<size_t> cursor_;
+  std::vector<std::vector<Entry>> stacks_;
+  std::vector<QNodeId> leaves_;
+  std::map<QNodeId, size_t> leaf_index_;
+  std::vector<std::vector<std::vector<NodeId>>> path_solutions_;
+  std::vector<std::vector<QNodeId>> chains_;
+};
+
+}  // namespace
+
+QueryResult EvaluateTwigStack(const DataGraph& g,
+                              const RegionEncoding& enc, const Gtpq& q,
+                              EngineStats* stats) {
+  TwigStackRun run(g, enc, q, stats);
+  return run.Run();
+}
+
+}  // namespace gtpq

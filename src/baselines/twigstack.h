@@ -1,0 +1,28 @@
+#ifndef GTPQ_BASELINES_TWIGSTACK_H_
+#define GTPQ_BASELINES_TWIGSTACK_H_
+
+#include "baselines/tree_encoding.h"
+#include "core/eval_types.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// TwigStack (Bruno, Koudas, Srivastava, SIGMOD'02): the classical
+/// holistic twig join over *tree-structured* data. Streams of region-
+/// encoded candidates are advanced by getNext; chains of stacks encode
+/// partial AD paths; root-to-leaf path solutions are materialized and
+/// merge-joined into twig matches — the intermediate-result profile the
+/// paper measures in Fig 10.
+///
+/// Requirements: `q` conjunctive (all structural predicates pure
+/// conjunctions); AD edges are interpreted against the spanning tree of
+/// `g` (use the decomposition wrapper in twig_on_graph.h for graphs
+/// with cross edges). Tuples cover all backbone+predicate nodes and are
+/// projected to q.outputs().
+QueryResult EvaluateTwigStack(const DataGraph& g,
+                              const RegionEncoding& enc, const Gtpq& q,
+                              EngineStats* stats);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_BASELINES_TWIGSTACK_H_

@@ -1,0 +1,133 @@
+#include "baselines/twigstackd.h"
+
+#include <algorithm>
+
+#include "baselines/match_graph_util.h"
+#include "common/logging.h"
+#include "graph/algorithms.h"
+
+namespace gtpq {
+
+std::vector<std::vector<NodeId>> TwigStackDPreFilter(const DataGraph& g,
+                                                     const Gtpq& q,
+                                                     EngineStats* stats) {
+  GTPQ_CHECK(q.NumNodes() <= 64) << "query wider than the 64-bit masks";
+  const size_t n = g.NumNodes();
+  auto order = TopologicalSort(g.graph());
+  GTPQ_CHECK(order.size() == n) << "TwigStackD requires a DAG";
+
+  // Attribute matching masks.
+  std::vector<uint64_t> sim(n, 0);
+  for (QNodeId u = 0; u < q.NumNodes(); ++u) {
+    auto label = q.node(u).attr_pred.RequiredLabel(g.label_attr());
+    if (label.has_value() && q.node(u).attr_pred.atoms().size() == 1) {
+      for (NodeId v : g.NodesWithLabel(*label)) sim[v] |= uint64_t{1} << u;
+    } else {
+      for (NodeId v = 0; v < n; ++v) {
+        if (q.node(u).attr_pred.Matches(g, v)) sim[v] |= uint64_t{1} << u;
+      }
+    }
+  }
+
+  // Traversal 1 (bottom-up): down[v] bit u <=> the sub-twig rooted at u
+  // matches below v.
+  std::vector<uint64_t> down(n, 0), desc_acc(n, 0);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    ++stats->input_nodes;
+    uint64_t child_or = 0, desc_or = 0;
+    for (NodeId w : g.OutNeighbors(v)) {
+      child_or |= down[w];
+      desc_or |= desc_acc[w] | down[w];
+    }
+    desc_acc[v] = desc_or;
+    for (QNodeId u : q.BottomUpOrder()) {
+      if (!(sim[v] & (uint64_t{1} << u))) continue;
+      bool ok = true;
+      for (QNodeId c : q.node(u).children) {
+        const uint64_t bit = uint64_t{1} << c;
+        const uint64_t have =
+            q.node(c).incoming == EdgeType::kChild ? child_or : desc_or;
+        if (!(have & bit)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) down[v] |= uint64_t{1} << u;
+    }
+  }
+
+  // Traversal 2 (top-down): keep candidates whose query parent is
+  // matched by a proper ancestor (resp. direct parent).
+  std::vector<uint64_t> up(n, 0), anc_acc(n, 0);
+  for (NodeId v : order) {
+    ++stats->input_nodes;
+    uint64_t parent_or = 0, anc_or = 0;
+    for (NodeId w : g.InNeighbors(v)) {
+      parent_or |= up[w];
+      anc_or |= anc_acc[w] | up[w];
+    }
+    anc_acc[v] = anc_or;
+    for (QNodeId u : q.TopDownOrder()) {
+      if (!(down[v] & (uint64_t{1} << u))) continue;
+      if (u == q.root()) {
+        up[v] |= uint64_t{1} << u;
+        continue;
+      }
+      const uint64_t pbit = uint64_t{1} << q.node(u).parent;
+      const uint64_t have =
+          q.node(u).incoming == EdgeType::kChild ? parent_or : anc_or;
+      if (have & pbit) up[v] |= uint64_t{1} << u;
+    }
+  }
+
+  std::vector<std::vector<NodeId>> mat(q.NumNodes());
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t bits = up[v];
+    while (bits) {
+      int u = __builtin_ctzll(bits);
+      bits &= bits - 1;
+      mat[static_cast<size_t>(u)].push_back(v);
+    }
+  }
+  return mat;
+}
+
+QueryResult EvaluateTwigStackD(const DataGraph& g, const Sspi& sspi,
+                               const Gtpq& q, EngineStats* stats) {
+  GTPQ_CHECK(q.IsConjunctive())
+      << "TwigStackD handles conjunctive twigs only";
+  auto mat = TwigStackDPreFilter(g, q, stats);
+
+  QueryResult empty;
+  empty.output_nodes = q.outputs();
+  std::sort(empty.output_nodes.begin(), empty.output_nodes.end());
+  for (QNodeId u = 0; u < q.NumNodes(); ++u) {
+    if (mat[u].empty()) return empty;
+  }
+
+  // Pool stage: connect candidates with pairwise SSPI probes.
+  sspi.stats().Reset();
+  ConjMatchGraph mg;
+  mg.cand = mat;
+  mg.child_lists.resize(q.NumNodes());
+  for (QNodeId c = 1; c < q.NumNodes(); ++c) {
+    const QNodeId p = q.node(c).parent;
+    mg.child_lists[c].resize(mat[p].size());
+    const bool pc = q.node(c).incoming == EdgeType::kChild;
+    for (uint32_t pi = 0; pi < mat[p].size(); ++pi) {
+      for (uint32_t wi = 0; wi < mat[c].size(); ++wi) {
+        const bool linked = pc ? g.HasEdge(mat[p][pi], mat[c][wi])
+                               : sspi.Reaches(mat[p][pi], mat[c][wi]);
+        if (linked) mg.child_lists[c][pi].push_back(wi);
+      }
+    }
+  }
+  stats->index_lookups += sspi.stats().elements_looked_up;
+  stats->intermediate_size += 2 * (mg.TotalNodes() + mg.TotalEdges());
+
+  if (!ReduceConjMatchGraph(q, &mg)) return empty;
+  return EnumerateConjMatchGraph(q, mg, stats);
+}
+
+}  // namespace gtpq

@@ -1,0 +1,34 @@
+#ifndef GTPQ_BASELINES_TWIGSTACKD_H_
+#define GTPQ_BASELINES_TWIGSTACKD_H_
+
+#include "core/eval_types.h"
+#include "query/gtpq.h"
+#include "reachability/sspi.h"
+
+namespace gtpq {
+
+/// TwigStackD (Chen, Gupta, Kurul, VLDB'05): conjunctive twig matching
+/// over DAGs. Faithful to the measured cost profile:
+///  * the pre-filtering phase performs two full graph traversals
+///    (bottom-up, then top-down) selecting exactly the nodes that can
+///    participate in final matches — this is what makes it competitive
+///    on tree-like XMark data and what dominates #input in Fig 10;
+///  * surviving candidates are connected with pairwise SSPI
+///    reachability probes (the pool/edge-checking stage), which
+///    degenerates on dense, deep graphs — the Fig 9 arXiv behaviour;
+///  * full matches are enumerated from the pooled edges.
+///
+/// Requirements: conjunctive query, acyclic data graph, at most 64
+/// query nodes.
+QueryResult EvaluateTwigStackD(const DataGraph& g, const Sspi& sspi,
+                               const Gtpq& q, EngineStats* stats);
+
+/// Exposes just the pre-filtering stage (both traversals) so the
+/// Fig 9(d) experiment can compare it against GTEA's pruning.
+std::vector<std::vector<NodeId>> TwigStackDPreFilter(const DataGraph& g,
+                                                     const Gtpq& q,
+                                                     EngineStats* stats);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_BASELINES_TWIGSTACKD_H_

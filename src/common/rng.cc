@@ -1,0 +1,73 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace gtpq {
+
+namespace {
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  s_[0] = SplitMix64(&sm);
+  s_[1] = SplitMix64(&sm);
+  if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s_[0];
+  const uint64_t y = s_[1];
+  s_[0] = y;
+  x ^= x << 23;
+  s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s_[1] + y;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::vector<size_t> Rng::SampleDistinct(size_t n, size_t k) {
+  k = std::min(k, n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    Shuffle(&idx);
+    out.assign(idx.begin(), idx.begin() + static_cast<long>(k));
+  } else {
+    std::unordered_set<size_t> seen;
+    while (out.size() < k) {
+      size_t c = static_cast<size_t>(NextBounded(n));
+      if (seen.insert(c).second) out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace gtpq

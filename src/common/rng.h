@@ -1,0 +1,52 @@
+#ifndef GTPQ_COMMON_RNG_H_
+#define GTPQ_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gtpq {
+
+/// Deterministic 64-bit PRNG (splitmix64 seeded xorshift128+). All data
+/// and query generators take an explicit seed so that every experiment in
+/// EXPERIMENTS.md is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n). Returns fewer if k > n.
+  std::vector<size_t> SampleDistinct(size_t n, size_t k);
+
+ private:
+  uint64_t s_[2];
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_COMMON_RNG_H_

@@ -1,0 +1,129 @@
+#ifndef GTPQ_COMMON_STATUS_H_
+#define GTPQ_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gtpq {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Lightweight status object used across the public API instead of
+/// exceptions. An OK status carries no message and no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Modeled after
+/// arrow::Result: checked access via ValueOrDie()/operator*.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok(). Aborts otherwise.
+  T& ValueOrDie();
+  const T& ValueOrDie() const;
+
+  T& operator*() { return ValueOrDie(); }
+  const T& operator*() const { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// Moves the value out. Precondition: ok().
+  T TakeValue() { return std::move(ValueOrDie()); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+T& Result<T>::ValueOrDie() {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::get<T>(repr_);
+}
+
+template <typename T>
+const T& Result<T>::ValueOrDie() const {
+  if (!ok()) internal::DieOnBadResult(status());
+  return std::get<T>(repr_);
+}
+
+/// Propagates a non-OK status from an expression producing a Status.
+#define GTPQ_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::gtpq::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+}  // namespace gtpq
+
+#endif  // GTPQ_COMMON_STATUS_H_

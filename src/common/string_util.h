@@ -1,0 +1,29 @@
+#ifndef GTPQ_COMMON_STRING_UTIL_H_
+#define GTPQ_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gtpq {
+
+/// Splits `s` on `sep`, omitting empty pieces when `skip_empty` is true.
+std::vector<std::string> Split(std::string_view s, char sep,
+                               bool skip_empty = true);
+
+/// Joins pieces with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Renders n with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatWithCommas(long long n);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_COMMON_STRING_UTIL_H_

@@ -1,0 +1,3 @@
+#include "common/timer.h"
+
+// Timer is header-only; this TU anchors the library target.

@@ -1,0 +1,36 @@
+#ifndef GTPQ_COMMON_TIMER_H_
+#define GTPQ_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace gtpq {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness.
+class Timer {
+ public:
+  Timer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction/Restart, in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_COMMON_TIMER_H_

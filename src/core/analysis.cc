@@ -1,0 +1,541 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+using logic::Formula;
+using logic::FormulaRef;
+
+QueryAnalysis::QueryAnalysis(const Gtpq& q) : q_(q) {
+  const size_t n = q.NumNodes();
+  fext_.resize(n);
+  ftr_.resize(n);
+  fcs_.resize(n);
+  ic_.assign(n, 0);
+
+  for (QNodeId u = 0; u < n; ++u) fext_[u] = q.ExtendedPredicate(u);
+
+  // Independently-constraint flags, top-down: the root qualifies when
+  // its (extended) structural predicate is satisfiable; a child u of w
+  // qualifies when flipping p_u can change fext(w) in some satisfiable
+  // context, i.e. (fext(w)[p_u/1] xor fext(w)[p_u/0]) & fext(u) is
+  // satisfiable — and all ancestors qualify.
+  for (QNodeId u : q.TopDownOrder()) {
+    if (u == q.root()) {
+      ic_[u] = logic::IsSatisfiable(fext_[u]) ? 1 : 0;
+      continue;
+    }
+    const QNodeId w = q.node(u).parent;
+    if (!ic_[w]) continue;
+    const int var = static_cast<int>(u);
+    FormulaRef flips = Formula::Xor(SubstituteConst(fext_[w], var, true),
+                                    SubstituteConst(fext_[w], var, false));
+    ic_[u] =
+        logic::IsSatisfiable(Formula::And(flips, fext_[u])) ? 1 : 0;
+  }
+
+  // Transitive predicates, bottom-up (Section 3.1): expand each
+  // independently-constraint child's variable into p_c & ftr(c).
+  for (QNodeId u : q.BottomUpOrder()) {
+    if (q.IsLeaf(u) || !ic_[u]) {
+      ftr_[u] = fext_[u];
+      continue;
+    }
+    std::unordered_map<int, FormulaRef> subst;
+    for (QNodeId c : q.node(u).children) {
+      if (ic_[c]) {
+        subst.emplace(static_cast<int>(c),
+                      Formula::And(Formula::Var(static_cast<int>(c)),
+                                   ftr_[c]));
+      }
+    }
+    ftr_[u] = Substitute(fext_[u], subst);
+  }
+
+  // Complete predicates: pin unsatisfiable-attribute descendants to 0,
+  // then conjoin the subsumption clauses (p_b -> p_a & fext(a)) for
+  // descendant pairs a ⊴ b living in distinct child subtrees of u.
+  for (QNodeId u = 0; u < n; ++u) {
+    FormulaRef f = ftr_[u];
+    auto subtree = q.Subtree(u);
+    for (QNodeId d : subtree) {
+      if (d != u && !q.node(d).attr_pred.IsSatisfiable()) {
+        f = SubstituteConst(f, static_cast<int>(d), false);
+      }
+    }
+    // Branch id of each descendant: which child of u roots it.
+    std::unordered_map<QNodeId, QNodeId> branch;
+    for (QNodeId c : q.node(u).children) {
+      for (QNodeId d : q.Subtree(c)) branch.emplace(d, c);
+    }
+    for (QNodeId a : subtree) {
+      if (a == u) continue;
+      for (QNodeId b : subtree) {
+        if (b == u || a == b || branch[a] == branch[b]) continue;
+        if (Subsumed(a, b)) {
+          f = Formula::And(
+              f, Formula::Or(
+                     Formula::Not(Formula::Var(static_cast<int>(b))),
+                     Formula::And(Formula::Var(static_cast<int>(a)),
+                                  fext_[a])));
+        }
+      }
+    }
+    fcs_[u] = logic::Simplify(f);
+  }
+}
+
+bool QueryAnalysis::Similar(
+    QNodeId u1, QNodeId u2,
+    std::unordered_map<QNodeId, QNodeId>* correspondence) const {
+  if (u1 == u2) {
+    if (correspondence) (*correspondence)[u1] = u2;
+    return true;
+  }
+  // (1) u2 |- u1: u2's attribute predicate entails u1's.
+  if (!q_.node(u1).attr_pred.EntailedBy(q_.node(u2).attr_pred)) {
+    return false;
+  }
+  std::unordered_map<QNodeId, QNodeId> local;
+  local[u1] = u2;
+  // (2) every independently-constraint PC child of u1 matches a PC
+  // child of u2; every such AD child matches some descendant of u2.
+  for (QNodeId c1 : q_.node(u1).children) {
+    if (!ic_[c1]) continue;
+    std::vector<QNodeId> candidates;
+    if (q_.node(c1).incoming == EdgeType::kChild) {
+      for (QNodeId c2 : q_.node(u2).children) {
+        if (q_.node(c2).incoming == EdgeType::kChild) {
+          candidates.push_back(c2);
+        }
+      }
+    } else {
+      auto sub = q_.Subtree(u2);
+      candidates.assign(sub.begin() + 1, sub.end());  // strict descendants
+    }
+    bool found = false;
+    for (QNodeId c2 : candidates) {
+      std::unordered_map<QNodeId, QNodeId> sub;
+      if (Similar(c1, c2, &sub)) {
+        local.insert(sub.begin(), sub.end());
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // (3) ftr(u2) -> ftr(u1)[u1 |-> u2] must be a tautology, renaming
+  // variables along the descendant correspondence.
+  std::unordered_map<int, int> renaming;
+  for (const auto& [a, b] : local) {
+    renaming[static_cast<int>(a)] = static_cast<int>(b);
+  }
+  if (!logic::IsTautology(Formula::Implies(
+          ftr_[u2], RenameVars(ftr_[u1], renaming)))) {
+    return false;
+  }
+  if (correspondence) {
+    correspondence->insert(local.begin(), local.end());
+  }
+  return true;
+}
+
+bool QueryAnalysis::Subsumed(QNodeId u1, QNodeId u2) const {
+  if (u1 == u2 || u1 == q_.root()) return false;
+  // LCA via root paths.
+  auto path_of = [this](QNodeId u) {
+    std::vector<QNodeId> p;
+    for (QNodeId x = u; x != kInvalidQNode; x = q_.node(x).parent) {
+      p.push_back(x);
+    }
+    std::reverse(p.begin(), p.end());
+    return p;
+  };
+  auto p1 = path_of(u1), p2 = path_of(u2);
+  size_t k = 0;
+  while (k < p1.size() && k < p2.size() && p1[k] == p2[k]) ++k;
+  GTPQ_CHECK(k > 0);
+  const QNodeId lca = p1[k - 1];
+  if (q_.node(u1).parent != lca) return false;
+  if (q_.node(u1).incoming == EdgeType::kChild) {
+    if (!(q_.node(u2).parent == lca &&
+          q_.node(u2).incoming == EdgeType::kChild)) {
+      return false;
+    }
+  } else {
+    if (u2 == lca || !q_.IsAncestor(lca, u2)) return false;
+  }
+  return Similar(u1, u2);
+}
+
+bool IsSatisfiable(const Gtpq& q) {
+  if (!q.node(q.root()).attr_pred.IsSatisfiable()) return false;
+  QueryAnalysis analysis(q);
+  return logic::IsSatisfiable(analysis.fcs(q.root()));
+}
+
+namespace {
+
+// Backtracking homomorphism search from `from` into `to` (Theorem 3).
+class HomomorphismSearch {
+ public:
+  HomomorphismSearch(const Gtpq& from, const QueryAnalysis& from_analysis,
+                     const Gtpq& to, const QueryAnalysis& to_analysis)
+      : from_(from), fa_(from_analysis), to_(to), ta_(to_analysis) {
+    for (QNodeId u : from_.TopDownOrder()) {
+      if (fa_.independently_constraint(u)) order_.push_back(u);
+    }
+    lambda_.assign(from_.NumNodes(), kInvalidQNode);
+  }
+
+  bool Exists() {
+    if (from_.outputs().size() != to_.outputs().size()) return false;
+    return Recurse(0);
+  }
+
+ private:
+  bool Recurse(size_t k) {
+    if (k == order_.size()) return CheckFinal();
+    const QNodeId u = order_[k];
+    std::vector<QNodeId> candidates;
+    if (u == from_.root()) {
+      candidates.push_back(to_.root());
+    } else {
+      const QNodeId parent_img = lambda_[from_.node(u).parent];
+      if (parent_img == kInvalidQNode) return false;
+      if (from_.node(u).incoming == EdgeType::kChild) {
+        for (QNodeId c : to_.node(parent_img).children) {
+          if (to_.node(c).incoming == EdgeType::kChild) {
+            candidates.push_back(c);
+          }
+        }
+      } else {
+        auto sub = to_.Subtree(parent_img);
+        candidates.assign(sub.begin() + 1, sub.end());
+      }
+    }
+    for (QNodeId img : candidates) {
+      // Attribute entailment: lambda(u) |- u.
+      if (!from_.node(u).attr_pred.EntailedBy(to_.node(img).attr_pred)) {
+        continue;
+      }
+      // Output bijectivity: outputs map to distinct outputs.
+      if (from_.IsOutput(u)) {
+        if (!to_.IsOutput(img)) continue;
+        bool taken = false;
+        for (QNodeId o : from_.outputs()) {
+          if (o != u && lambda_[o] == img) taken = true;
+        }
+        if (taken) continue;
+      }
+      lambda_[u] = img;
+      if (Recurse(k + 1)) return true;
+      lambda_[u] = kInvalidQNode;
+    }
+    return false;
+  }
+
+  bool CheckFinal() {
+    // Coverage: every output of `to` is an image of an output of `from`.
+    for (QNodeId o2 : to_.outputs()) {
+      bool covered = false;
+      for (QNodeId o1 : from_.outputs()) {
+        if (lambda_[o1] == o2) covered = true;
+      }
+      if (!covered) return false;
+    }
+    // Condition (4): fcs(root of `to`) -> fcs(root of `from`) renamed
+    // by lambda; unmapped variables become fresh.
+    std::unordered_map<int, int> renaming;
+    const int fresh_base =
+        static_cast<int>(to_.NumNodes() + from_.NumNodes());
+    for (QNodeId u = 0; u < from_.NumNodes(); ++u) {
+      renaming[static_cast<int>(u)] =
+          lambda_[u] != kInvalidQNode
+              ? static_cast<int>(lambda_[u])
+              : fresh_base + static_cast<int>(u);
+    }
+    return logic::IsTautology(Formula::Implies(
+        ta_.fcs(to_.root()),
+        RenameVars(fa_.fcs(from_.root()), renaming)));
+  }
+
+  const Gtpq& from_;
+  const QueryAnalysis& fa_;
+  const Gtpq& to_;
+  const QueryAnalysis& ta_;
+  std::vector<QNodeId> order_;
+  std::vector<QNodeId> lambda_;
+};
+
+}  // namespace
+
+bool IsContainedIn(const Gtpq& q1, const Gtpq& q2) {
+  if (!IsSatisfiable(q1)) {
+    return true;  // the empty query is contained in anything
+  }
+  if (!IsSatisfiable(q2)) return false;
+  QueryAnalysis a1(q1), a2(q2);
+  // Q1 ⊑ Q2 iff a homomorphism from Q2 to Q1 exists.
+  HomomorphismSearch search(q2, a2, q1, a1);
+  return search.Exists();
+}
+
+bool AreEquivalent(const Gtpq& q1, const Gtpq& q2) {
+  return IsContainedIn(q1, q2) && IsContainedIn(q2, q1);
+}
+
+namespace {
+
+// Mutable minimization scratch: node removal flags + rewritten fs.
+struct MinState {
+  std::vector<char> removed;
+  std::vector<FormulaRef> fs;
+  std::vector<char> output;
+};
+
+// Rebuilds a validated Gtpq from the scratch state.
+Gtpq Rebuild(const Gtpq& q, const MinState& st) {
+  QueryBuilder b(q.attr_names());
+  std::vector<QNodeId> remap(q.NumNodes(), kInvalidQNode);
+  for (QNodeId u : q.TopDownOrder()) {
+    if (st.removed[u]) continue;
+    const QueryNode& n = q.node(u);
+    if (u == q.root()) {
+      remap[u] = b.AddRoot(n.name, n.attr_pred);
+    } else {
+      QNodeId p = remap[n.parent];
+      GTPQ_CHECK(p != kInvalidQNode) << "kept node under removed parent";
+      remap[u] = n.role == NodeRole::kBackbone
+                     ? b.AddBackbone(p, n.incoming, n.name, n.attr_pred)
+                     : b.AddPredicate(p, n.incoming, n.name, n.attr_pred);
+    }
+  }
+  for (QNodeId u = 0; u < q.NumNodes(); ++u) {
+    if (st.removed[u]) continue;
+    std::unordered_map<int, int> ren;
+    for (int v : logic::CollectVars(st.fs[u])) {
+      GTPQ_CHECK(remap[static_cast<QNodeId>(v)] != kInvalidQNode);
+      ren[v] = static_cast<int>(remap[static_cast<QNodeId>(v)]);
+    }
+    b.SetStructural(remap[u], RenameVars(st.fs[u], ren));
+    if (st.output[u]) b.MarkOutput(remap[u]);
+  }
+  auto built = b.Build();
+  GTPQ_CHECK(built.ok()) << built.status().ToString();
+  return built.TakeValue();
+}
+
+// Removes the subtree rooted at u, substituting `value` for its
+// variable in the parent's structural predicate.
+void RemoveSubtree(const Gtpq& q, QNodeId u, bool value, MinState* st) {
+  for (QNodeId d : q.Subtree(u)) st->removed[d] = 1;
+  const QNodeId p = q.node(u).parent;
+  if (p != kInvalidQNode) {
+    st->fs[p] = logic::Simplify(
+        SubstituteConst(st->fs[p], static_cast<int>(u), value));
+  }
+}
+
+// Structural isomorphism of query subtrees (role, edge type, mutually
+// entailing attribute predicates, matching structural predicates,
+// recursively isomorphic children in some order).
+bool IsomorphicSubtrees(const Gtpq& q, QNodeId a, QNodeId b,
+                        std::unordered_map<QNodeId, QNodeId>* map_out) {
+  const QueryNode& na = q.node(a);
+  const QueryNode& nb = q.node(b);
+  if (na.role != nb.role) return false;
+  if (a != b && na.incoming != nb.incoming &&
+      !(q.node(a).parent == kInvalidQNode ||
+        q.node(b).parent == kInvalidQNode)) {
+    return false;
+  }
+  if (!na.attr_pred.EntailedBy(nb.attr_pred) ||
+      !nb.attr_pred.EntailedBy(na.attr_pred)) {
+    return false;
+  }
+  if (na.children.size() != nb.children.size()) return false;
+  // Greedy child matching with backtracking.
+  std::vector<char> used(nb.children.size(), 0);
+  std::unordered_map<QNodeId, QNodeId> local;
+  local[a] = b;
+  std::function<bool(size_t)> match = [&](size_t i) -> bool {
+    if (i == na.children.size()) return true;
+    for (size_t j = 0; j < nb.children.size(); ++j) {
+      if (used[j]) continue;
+      std::unordered_map<QNodeId, QNodeId> sub;
+      if (IsomorphicSubtrees(q, na.children[i], nb.children[j], &sub)) {
+        used[j] = 1;
+        auto saved = local;
+        local.insert(sub.begin(), sub.end());
+        if (match(i + 1)) return true;
+        local = saved;
+        used[j] = 0;
+      }
+    }
+    return false;
+  };
+  if (!match(0)) return false;
+  // Structural predicates must agree under the child renaming.
+  std::unordered_map<int, int> ren;
+  for (const auto& [x, y] : local) {
+    ren[static_cast<int>(x)] = static_cast<int>(y);
+  }
+  if (!logic::Equivalent(RenameVars(q.node(a).structural_pred, ren),
+                         q.node(b).structural_pred)) {
+    return false;
+  }
+  if (map_out) map_out->insert(local.begin(), local.end());
+  return true;
+}
+
+// Polarity scan: does `var` occur only under an even number of
+// negations in f?
+bool OccursOnlyPositively(const FormulaRef& f, int var, bool negated) {
+  switch (f->kind()) {
+    case logic::Kind::kConst:
+      return true;
+    case logic::Kind::kVar:
+      return f->var() != var || !negated;
+    case logic::Kind::kNot:
+      return OccursOnlyPositively(f->children()[0], var, !negated);
+    case logic::Kind::kAnd:
+    case logic::Kind::kOr:
+      for (const auto& c : f->children()) {
+        if (!OccursOnlyPositively(c, var, negated)) return false;
+      }
+      return true;
+  }
+  return true;
+}
+
+// A canonical minimal unsatisfiable query with the same output arity.
+Gtpq CanonicalUnsat(const Gtpq& q) {
+  QueryBuilder b(q.attr_names());
+  AttributePredicate impossible;
+  const AttrId attr = q.attr_names()->Intern("label");
+  impossible.AddAtom(attr, CmpOp::kEq, AttrValue(int64_t{0}));
+  impossible.AddAtom(attr, CmpOp::kEq, AttrValue(int64_t{1}));
+  QNodeId root = b.AddRoot("unsat", impossible);
+  b.MarkOutput(root);
+  QNodeId prev = root;
+  for (size_t i = 1; i < q.outputs().size(); ++i) {
+    prev = b.AddBackbone(prev, EdgeType::kDescendant,
+                         "unsat" + std::to_string(i), impossible);
+    b.MarkOutput(prev);
+  }
+  return b.Build().TakeValue();
+}
+
+}  // namespace
+
+Gtpq Minimize(const Gtpq& q0) {
+  if (!IsSatisfiable(q0)) return CanonicalUnsat(q0);
+
+  Gtpq cur = q0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    MinState st;
+    st.removed.assign(cur.NumNodes(), 0);
+    st.fs.resize(cur.NumNodes());
+    st.output.assign(cur.NumNodes(), 0);
+    for (QNodeId u = 0; u < cur.NumNodes(); ++u) {
+      st.fs[u] = cur.node(u).structural_pred;
+      st.output[u] = cur.IsOutput(u) ? 1 : 0;
+    }
+
+    QueryAnalysis a(cur);
+    // Stages 1-3: prune subtrees that are unsatisfiable or inert
+    // (unsatisfiable attributes, non-independently-constraint nodes,
+    // unsatisfiable complete predicates), variables pinned to 0.
+    for (QNodeId u : cur.TopDownOrder()) {
+      if (u == cur.root() || st.removed[u]) continue;
+      if (cur.node(u).role != NodeRole::kPredicate) continue;
+      const bool prune =
+          !cur.node(u).attr_pred.IsSatisfiable() ||
+          !a.independently_constraint(u) ||
+          !logic::IsSatisfiable(a.fcs(u));
+      if (prune) {
+        RemoveSubtree(cur, u, false, &st);
+        changed = true;
+      }
+    }
+
+    // Stage 4: always-true variables absorb subsumed subtrees
+    // (variables pinned to 1); always-false variables prune their own
+    // subtree (pinned to 0).
+    if (!changed) {
+      const FormulaRef root_fcs = a.fcs(cur.root());
+      for (QNodeId u = 0; u < cur.NumNodes() && !changed; ++u) {
+        if (u == cur.root() || st.removed[u]) continue;
+        const FormulaRef pu = Formula::Var(static_cast<int>(u));
+        if (logic::Implies(root_fcs, pu)) {
+          for (QNodeId other = 0; other < cur.NumNodes(); ++other) {
+            if (other == u || st.removed[other]) continue;
+            if (cur.IsAncestor(other, u) || cur.IsAncestor(u, other)) {
+              continue;
+            }
+            if (!a.Subsumed(other, u)) continue;
+            // Remap outputs inside the doomed subtree onto isomorphic
+            // counterparts under u (on a scratch copy, so a failed
+            // attempt leaves no trace).
+            MinState attempt = st;
+            bool all_remapped = true;
+            for (QNodeId d : cur.Subtree(other)) {
+              if (!attempt.output[d]) continue;
+              bool remapped = false;
+              for (QNodeId t : cur.Subtree(u)) {
+                if (attempt.output[t]) continue;
+                if (a.Similar(d, t) && IsomorphicSubtrees(cur, d, t,
+                                                          nullptr)) {
+                  attempt.output[d] = 0;
+                  attempt.output[t] = 1;
+                  remapped = true;
+                  break;
+                }
+              }
+              if (!remapped) all_remapped = false;
+            }
+            if (all_remapped) {
+              RemoveSubtree(cur, other, true, &attempt);
+              // Algorithm 1's correctness rests on Theorem 3; guard
+              // each subsumption-based rewrite with the homomorphism
+              // equivalence check before committing it.
+              Gtpq candidate = Rebuild(cur, attempt);
+              if (AreEquivalent(candidate, cur)) {
+                st = std::move(attempt);
+                changed = true;
+                break;
+              }
+            }
+          }
+        } else if (cur.node(u).role == NodeRole::kPredicate &&
+                   OccursOnlyPositively(
+                       st.fs[cur.node(u).parent], static_cast<int>(u),
+                       false) &&
+                   logic::Implies(root_fcs, Formula::Not(pu))) {
+          // Always-false variables may only be pinned to 0 when they
+          // occur positively: under negation the variable's falsity is
+          // a data constraint that the subtree must keep enforcing.
+          MinState attempt = st;
+          RemoveSubtree(cur, u, false, &attempt);
+          Gtpq candidate = Rebuild(cur, attempt);
+          if (AreEquivalent(candidate, cur)) {
+            st = std::move(attempt);
+            changed = true;
+          }
+        }
+      }
+    }
+
+    if (changed) cur = Rebuild(cur, st);
+  }
+  return cur;
+}
+
+}  // namespace gtpq

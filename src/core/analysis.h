@@ -1,0 +1,79 @@
+#ifndef GTPQ_CORE_ANALYSIS_H_
+#define GTPQ_CORE_ANALYSIS_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/sat.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// Static analysis artifacts of Section 3: independently-constraint
+/// flags, transitive predicates ftr, complete predicates fcs, the
+/// similarity (⊳) and subsumption (⊴) relations. Computed eagerly at
+/// construction; query sizes are small in practice (the paper's own
+/// argument for the SAT-based procedures).
+class QueryAnalysis {
+ public:
+  explicit QueryAnalysis(const Gtpq& q);
+
+  const Gtpq& query() const { return q_; }
+
+  /// Whether u's variable can independently affect its ancestors'
+  /// structural predicates (Section 3.1).
+  bool independently_constraint(QNodeId u) const { return ic_[u] != 0; }
+
+  /// fext(u): extended structural predicate.
+  const logic::FormulaRef& fext(QNodeId u) const { return fext_[u]; }
+  /// ftr(u): transitive structural predicate.
+  const logic::FormulaRef& ftr(QNodeId u) const { return ftr_[u]; }
+  /// fcs(u): complete structural predicate.
+  const logic::FormulaRef& fcs(QNodeId u) const { return fcs_[u]; }
+
+  /// u1 ⊳ u2 — "u2 is similar to u1": any (suitably placed) match of u2
+  /// also downward-matches u1. On success *correspondence receives the
+  /// descendant pairing used (including u1 -> u2) when non-null.
+  bool Similar(QNodeId u1, QNodeId u2,
+               std::unordered_map<QNodeId, QNodeId>* correspondence =
+                   nullptr) const;
+
+  /// u1 ⊴ u2 — u1 is subsumed by u2 (similarity + the LCA placement
+  /// conditions of Section 3.1).
+  bool Subsumed(QNodeId u1, QNodeId u2) const;
+
+ private:
+  const Gtpq& q_;
+  std::vector<char> ic_;
+  std::vector<logic::FormulaRef> fext_, ftr_, fcs_;
+};
+
+/// Theorem 1 / 2: Q is satisfiable iff fa(root) and fcs(root) are both
+/// satisfiable. Linear for union-conjunctive queries, NP-complete in
+/// general (decided via the DPLL solver here).
+bool IsSatisfiable(const Gtpq& q);
+
+/// Theorem 3: Q1 ⊑ Q2 iff a homomorphism from Q2 to Q1 exists. The
+/// search enumerates images for Q2's independently-constraint nodes
+/// with backtracking and discharges condition (4) via SAT.
+bool IsContainedIn(const Gtpq& q1, const Gtpq& q2);
+
+/// Q1 ≡ Q2: containment in both directions.
+bool AreEquivalent(const Gtpq& q1, const Gtpq& q2);
+
+/// Algorithm 1 (minGTPQ): computes a minimum equivalent query. Runs the
+/// four reduction stages to a fixpoint:
+///   1. prune unsatisfiable-attribute subtrees  (vars -> 0)
+///   2. prune non-independently-constraint subtrees (vars -> 0)
+///   3. prune subtrees with unsatisfiable fcs  (vars -> 0)
+///   4. prune subsumed subtrees under always-true / always-false
+///      variables (vars -> 1 / 0), remapping output nodes onto
+///      isomorphic counterparts when needed.
+/// If the query is unsatisfiable, a canonical minimal unsatisfiable
+/// query with the same output arity is returned.
+Gtpq Minimize(const Gtpq& q);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_CORE_ANALYSIS_H_

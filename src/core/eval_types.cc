@@ -1,0 +1,27 @@
+#include "core/eval_types.h"
+
+#include <algorithm>
+
+namespace gtpq {
+
+void QueryResult::Normalize() {
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+}
+
+std::string QueryResult::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "(";
+    for (size_t j = 0; j < tuples[i].size(); ++j) {
+      if (j > 0) out += ",";
+      out += "v" + std::to_string(tuples[i][j]);
+    }
+    out += ")";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,74 @@
+#include "core/gtea.h"
+
+#include "common/timer.h"
+#include "core/enumerate.h"
+#include "core/match.h"
+#include "core/matching_graph.h"
+#include "core/prune.h"
+
+namespace gtpq {
+
+GteaEngine::GteaEngine(const DataGraph& g)
+    : g_(g),
+      idx_(std::make_shared<const ThreeHopIndex>(
+          ThreeHopIndex::Build(g.graph()))) {}
+
+GteaEngine::GteaEngine(const DataGraph& g,
+                       std::shared_ptr<const ThreeHopIndex> idx)
+    : g_(g), idx_(std::move(idx)) {}
+
+QueryResult GteaEngine::Evaluate(const Gtpq& q, const GteaOptions& options) {
+  stats_.Reset();
+  idx_->stats().Reset();
+  Timer total;
+
+  QueryResult empty;
+  empty.output_nodes = q.outputs();
+  std::sort(empty.output_nodes.begin(), empty.output_nodes.end());
+
+  auto mat = ComputeCandidates(g_, q, &stats_);
+
+  Timer t;
+  PruneDownward(g_, *idx_, q, &mat, &stats_);
+  stats_.prune_down_ms = t.ElapsedMillis();
+  if (mat[q.root()].empty()) {
+    stats_.index_lookups = idx_->stats().elements_looked_up;
+    stats_.total_ms = total.ElapsedMillis();
+    return empty;
+  }
+
+  auto in_prime = ComputePrimeSubtree(q);
+
+  t.Restart();
+  bool nonempty = true;
+  if (options.upward_pruning) {
+    nonempty = PruneUpward(g_, *idx_, q, in_prime, &mat, options, &stats_);
+  }
+  stats_.prune_up_ms = t.ElapsedMillis();
+  if (!nonempty) {
+    stats_.index_lookups = idx_->stats().elements_looked_up;
+    stats_.total_ms = total.ElapsedMillis();
+    return empty;
+  }
+
+  t.Restart();
+  MatchingGraph mg =
+      BuildMatchingGraph(g_, *idx_, q, in_prime, mat, options, &stats_);
+  nonempty = ReduceMatchingGraph(q, &mg, &stats_);
+  stats_.matching_graph_ms = t.ElapsedMillis();
+  if (!nonempty) {
+    stats_.index_lookups = idx_->stats().elements_looked_up;
+    stats_.total_ms = total.ElapsedMillis();
+    return empty;
+  }
+
+  t.Restart();
+  QueryResult result = EnumerateResults(q, mg, options, &stats_);
+  stats_.enumerate_ms = t.ElapsedMillis();
+
+  stats_.index_lookups = idx_->stats().elements_looked_up;
+  stats_.total_ms = total.ElapsedMillis();
+  return result;
+}
+
+}  // namespace gtpq

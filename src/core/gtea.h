@@ -1,0 +1,48 @@
+#ifndef GTPQ_CORE_GTEA_H_
+#define GTPQ_CORE_GTEA_H_
+
+#include <memory>
+
+#include "core/eval_types.h"
+#include "graph/data_graph.h"
+#include "query/gtpq.h"
+#include "reachability/three_hop.h"
+
+namespace gtpq {
+
+/// GTEA — the GTPQ evaluation algorithm of Section 4. Pipeline:
+///
+///   1. candidate matching  (mat(u) = { v : v ~ u })
+///   2. PruneDownward       (downward structural constraints, Proc. 6)
+///   3. prime subtree       (outputs + PC repairs, Section 4.2.3/4.4)
+///   4. PruneUpward         (upward structural constraints, Proc. 7)
+///   5. maximal matching graph + fixpoint reduction (Section 4.3)
+///   6. shrinking + CollectResults enumeration (Proc. 5)
+///
+/// The engine owns (or shares) a 3-hop index over the data graph and
+/// can evaluate any number of queries against it.
+class GteaEngine {
+ public:
+  /// Builds a fresh 3-hop index for `g`. The graph must outlive the
+  /// engine.
+  explicit GteaEngine(const DataGraph& g);
+  /// Shares a prebuilt index (e.g. across engines in a benchmark).
+  GteaEngine(const DataGraph& g, std::shared_ptr<const ThreeHopIndex> idx);
+
+  /// Evaluates the query; returns the normalized answer Q(G).
+  QueryResult Evaluate(const Gtpq& q, const GteaOptions& options = {});
+
+  /// Stats of the most recent Evaluate call.
+  const EngineStats& stats() const { return stats_; }
+  const ThreeHopIndex& index() const { return *idx_; }
+  const DataGraph& graph() const { return g_; }
+
+ private:
+  const DataGraph& g_;
+  std::shared_ptr<const ThreeHopIndex> idx_;
+  EngineStats stats_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_CORE_GTEA_H_

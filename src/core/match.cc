@@ -1,0 +1,32 @@
+#include "core/match.h"
+
+namespace gtpq {
+
+std::vector<std::vector<NodeId>> ComputeCandidates(const DataGraph& g,
+                                                   const Gtpq& q,
+                                                   EngineStats* stats) {
+  std::vector<std::vector<NodeId>> mat(q.NumNodes());
+  for (QNodeId u = 0; u < q.NumNodes(); ++u) {
+    const AttributePredicate& pred = q.node(u).attr_pred;
+    auto label = pred.RequiredLabel(g.label_attr());
+    if (label.has_value()) {
+      auto hits = g.NodesWithLabel(*label);
+      stats->input_nodes += hits.size();
+      if (pred.atoms().size() == 1) {
+        mat[u].assign(hits.begin(), hits.end());
+      } else {
+        for (NodeId v : hits) {
+          if (pred.Matches(g, v)) mat[u].push_back(v);
+        }
+      }
+    } else {
+      stats->input_nodes += g.NumNodes();
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        if (pred.Matches(g, v)) mat[u].push_back(v);
+      }
+    }
+  }
+  return mat;
+}
+
+}  // namespace gtpq

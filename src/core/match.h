@@ -1,0 +1,22 @@
+#ifndef GTPQ_CORE_MATCH_H_
+#define GTPQ_CORE_MATCH_H_
+
+#include <vector>
+
+#include "core/eval_types.h"
+#include "graph/data_graph.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// Candidate matching nodes: mat(u) = { v : v ~ u } for every query
+/// node, sorted ascending. Label-equality predicates are served from the
+/// graph's inverted label index; other predicates fall back to a scan.
+/// `stats` accumulates #input.
+std::vector<std::vector<NodeId>> ComputeCandidates(const DataGraph& g,
+                                                   const Gtpq& q,
+                                                   EngineStats* stats);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_CORE_MATCH_H_

@@ -1,0 +1,85 @@
+#ifndef GTPQ_CORE_MATCHING_GRAPH_H_
+#define GTPQ_CORE_MATCHING_GRAPH_H_
+
+#include <vector>
+
+#include "core/eval_types.h"
+#include "graph/data_graph.h"
+#include "query/gtpq.h"
+#include "reachability/contour.h"
+
+namespace gtpq {
+
+/// The maximal matching graph Qg(G) of Section 4.3: per prime-subtree
+/// query node the surviving candidates, and per candidate one branch
+/// list per prime child — the graph representation of intermediate
+/// results. A data node appears at most once per query node; an AD/PC
+/// relationship is represented by exactly one edge.
+class MatchingGraph {
+ public:
+  /// Candidates of query node u (ascending order, post-pruning).
+  const std::vector<NodeId>& Candidates(QNodeId u) const {
+    return cand_[u];
+  }
+  /// True when u belongs to the prime subtree this graph covers.
+  bool Covers(QNodeId u) const { return !cand_[u].empty() || covered_[u]; }
+  bool InTree(QNodeId u) const { return covered_[u] != 0; }
+
+  /// Branch list: indices into Candidates(child) matched by candidate
+  /// #i of u. `child_slot` indexes u's prime children in query order.
+  const std::vector<uint32_t>& Branch(QNodeId u, size_t cand_index,
+                                      size_t child_slot) const {
+    return branches_[u][cand_index][child_slot];
+  }
+  /// Prime children of u, in query order.
+  const std::vector<QNodeId>& PrimeChildren(QNodeId u) const {
+    return prime_children_[u];
+  }
+  /// True when candidate #i of u survived reduction.
+  bool Alive(QNodeId u, size_t cand_index) const {
+    return alive_[u][cand_index] != 0;
+  }
+
+  size_t TotalNodes() const;
+  size_t TotalEdges() const;
+
+ private:
+  friend MatchingGraph BuildMatchingGraph(
+      const DataGraph& g, const ThreeHopIndex& idx, const Gtpq& q,
+      const std::vector<char>& in_prime,
+      const std::vector<std::vector<NodeId>>& mat,
+      const GteaOptions& options, EngineStats* stats);
+  friend bool ReduceMatchingGraph(const Gtpq& q, MatchingGraph* mg,
+                                  EngineStats* stats);
+
+  std::vector<char> covered_;
+  std::vector<std::vector<NodeId>> cand_;
+  std::vector<std::vector<QNodeId>> prime_children_;
+  // branches_[u][cand_index][child_slot] -> candidate indices in child.
+  std::vector<std::vector<std::vector<std::vector<uint32_t>>>> branches_;
+  std::vector<std::vector<char>> alive_;
+};
+
+/// Computes edge matches for every prime query edge (Section 4.3). With
+/// options.contour_matching_graph the per-candidate successor-contour
+/// scan is used (all edges out of one candidate in one pass, with the
+/// ascending-chain early break); otherwise straightforward pairwise
+/// reachability via the 3-hop index. PC edges use adjacency.
+MatchingGraph BuildMatchingGraph(const DataGraph& g,
+                                 const ThreeHopIndex& idx, const Gtpq& q,
+                                 const std::vector<char>& in_prime,
+                                 const std::vector<std::vector<NodeId>>& mat,
+                                 const GteaOptions& options,
+                                 EngineStats* stats);
+
+/// Fixpoint reduction: kills candidates lacking a parent edge (non-root
+/// prime nodes) or missing a branch for some prime child — repairing the
+/// PC-as-AD approximation and guaranteeing every surviving candidate
+/// participates in a full match. Returns false iff some prime node lost
+/// all candidates (empty answer).
+bool ReduceMatchingGraph(const Gtpq& q, MatchingGraph* mg,
+                         EngineStats* stats);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_CORE_MATCHING_GRAPH_H_

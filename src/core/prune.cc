@@ -1,0 +1,257 @@
+#include "core/prune.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+namespace {
+
+// True when the PC child must be evaluated exactly during pruning:
+// predicate-role PC children never reach the matching graph, so the
+// AD-approximation cannot be repaired for them.
+bool NeedsExactPc(const Gtpq& q, QNodeId child) {
+  return q.node(child).incoming == EdgeType::kChild &&
+         q.node(child).role == NodeRole::kPredicate;
+}
+
+// Union of in-neighbors of all candidates, sorted (the P_{u'} sets of
+// Section 4.4).
+std::vector<NodeId> CollectParents(const DataGraph& g,
+                                   const std::vector<NodeId>& candidates,
+                                   EngineStats* stats) {
+  std::vector<NodeId> parents;
+  for (NodeId w : candidates) {
+    auto in = g.InNeighbors(w);
+    stats->input_nodes += in.size();
+    parents.insert(parents.end(), in.begin(), in.end());
+  }
+  std::sort(parents.begin(), parents.end());
+  parents.erase(std::unique(parents.begin(), parents.end()), parents.end());
+  return parents;
+}
+
+}  // namespace
+
+void PruneDownward(const DataGraph& g, const ThreeHopIndex& idx,
+                   const Gtpq& q, std::vector<std::vector<NodeId>>* mat,
+                   EngineStats* stats) {
+  std::vector<Contour> contour(q.NumNodes());
+  std::vector<char> val(q.NumNodes(), 0);
+
+  for (QNodeId u : q.BottomUpOrder()) {
+    auto& candidates = (*mat)[u];
+    if (q.IsLeaf(u)) {
+      contour[u] = MergePredLists(idx, candidates);
+      continue;
+    }
+
+    const auto& children = q.node(u).children;
+    std::vector<QNodeId> ad_children, pc_exact_children;
+    for (QNodeId c : children) {
+      (NeedsExactPc(q, c) ? pc_exact_children : ad_children).push_back(c);
+    }
+    std::vector<std::vector<NodeId>> parent_sets(pc_exact_children.size());
+    for (size_t i = 0; i < pc_exact_children.size(); ++i) {
+      parent_sets[i] = CollectParents(g, (*mat)[pc_exact_children[i]], stats);
+    }
+
+    // Group candidates by chain, descending sid within each chain so
+    // that positive AD valuations are inherited down-chain.
+    std::unordered_map<uint32_t, std::vector<NodeId>> chains;
+    for (NodeId v : candidates) {
+      chains[idx.PosOf(v).cid].push_back(v);
+    }
+    const logic::FormulaRef fext = q.ExtendedPredicate(u);
+
+    std::vector<NodeId> kept;
+    kept.reserve(candidates.size());
+    for (auto& [cid, nodes] : chains) {
+      std::sort(nodes.begin(), nodes.end(), [&idx](NodeId a, NodeId b) {
+        const uint32_t sa = idx.PosOf(a).sid, sb = idx.PosOf(b).sid;
+        return sa != sb ? sa > sb : a < b;
+      });
+      for (QNodeId c : children) val[c] = 0;
+      uint32_t visited = UINT32_MAX;  // lowest walked start sid
+
+      for (NodeId v : nodes) {
+        ++stats->input_nodes;
+        const auto cond = idx.CondOf(v);
+        const ChainPos p = idx.PosOfCond(cond);
+        const bool cyclic = idx.CondCyclic(cond);
+
+        bool any_pending = false;
+        for (QNodeId c : ad_children) {
+          if (!val[c]) {
+            // Self probe: v's own position against the child's contour.
+            if (ProbePredecessorContour(contour[c], p, cyclic, v)) {
+              val[c] = 1;
+            } else {
+              any_pending = true;
+            }
+          }
+        }
+        if (any_pending && p.sid < visited) {
+          // Walk the not-yet-visited Lout segment [p.sid, visited).
+          auto cur = idx.Lout(cond).empty() ? idx.NextWithLout(cond) : cond;
+          while (cur != ThreeHopIndex::kNoCond &&
+                 idx.PosOfCond(cur).sid < visited) {
+            for (const ChainPos& e : idx.Lout(cur)) {
+              ++idx.stats().elements_looked_up;
+              for (QNodeId c : ad_children) {
+                if (!val[c] &&
+                    ProbePredecessorContour(contour[c], e, true, v)) {
+                  val[c] = 1;
+                }
+              }
+            }
+            cur = idx.NextWithLout(cur);
+          }
+          visited = p.sid;
+        }
+        for (size_t i = 0; i < pc_exact_children.size(); ++i) {
+          val[pc_exact_children[i]] =
+              std::binary_search(parent_sets[i].begin(),
+                                 parent_sets[i].end(), v)
+                  ? 1
+                  : 0;
+        }
+        const bool ok = logic::Evaluate(
+            fext, [&](int var) { return val[static_cast<QNodeId>(var)]; });
+        if (ok) kept.push_back(v);
+      }
+    }
+    std::sort(kept.begin(), kept.end());
+    candidates = std::move(kept);
+    contour[u] = MergePredLists(idx, candidates);
+  }
+}
+
+std::vector<char> ComputePrimeSubtree(const Gtpq& q) {
+  std::vector<char> in_prime(q.NumNodes(), 0);
+  auto mark_to_root = [&q, &in_prime](QNodeId u) {
+    while (u != kInvalidQNode && !in_prime[u]) {
+      in_prime[u] = 1;
+      u = q.node(u).parent;
+    }
+  };
+  mark_to_root(q.root());
+  for (QNodeId o : q.outputs()) mark_to_root(o);
+  for (QNodeId u = 0; u < q.NumNodes(); ++u) {
+    if (q.node(u).role == NodeRole::kBackbone &&
+        q.node(u).incoming == EdgeType::kChild && u != q.root()) {
+      mark_to_root(u);
+    }
+  }
+  return in_prime;
+}
+
+bool PruneUpward(const DataGraph& g, const ThreeHopIndex& idx,
+                 const Gtpq& q, const std::vector<char>& in_prime,
+                 std::vector<std::vector<NodeId>>* mat,
+                 const GteaOptions& options, EngineStats* stats) {
+  std::vector<Contour> succ(q.NumNodes());
+  std::vector<char> have_contour(q.NumNodes(), 0);
+  succ[q.root()] = MergeSuccLists(idx, (*mat)[q.root()]);
+  have_contour[q.root()] = 1;
+
+  for (QNodeId u : q.TopDownOrder()) {
+    if (!in_prime[u]) continue;
+    if (u != q.root() && !have_contour[u]) continue;  // parent was skipped
+
+    for (QNodeId c : q.node(u).children) {
+      if (!in_prime[c]) continue;
+      auto& cand = (*mat)[c];
+      const bool singleton_skip =
+          options.skip_singleton_upward && cand.size() <= 1;
+
+      if (!singleton_skip) {
+        if (q.node(c).incoming == EdgeType::kChild) {
+          // Exact PC refinement: candidates must be children of some
+          // candidate of u (Section 4.4 first strategy).
+          std::vector<NodeId> child_union;
+          for (NodeId v : (*mat)[u]) {
+            auto out = g.OutNeighbors(v);
+            stats->input_nodes += out.size();
+            child_union.insert(child_union.end(), out.begin(), out.end());
+          }
+          std::sort(child_union.begin(), child_union.end());
+          std::vector<NodeId> kept;
+          std::set_intersection(cand.begin(), cand.end(),
+                                child_union.begin(), child_union.end(),
+                                std::back_inserter(kept));
+          kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+          cand = std::move(kept);
+        } else {
+          // AD refinement via the parent's successor contour: per chain
+          // in ascending sid order; after the first reachable candidate
+          // all larger ones are reachable too (early break), and Lin
+          // segments are walked at most once per chain.
+          std::unordered_map<uint32_t, std::vector<NodeId>> chains;
+          for (NodeId v : cand) chains[idx.PosOf(v).cid].push_back(v);
+          std::vector<NodeId> kept;
+          kept.reserve(cand.size());
+          for (auto& [cid, nodes] : chains) {
+            std::sort(nodes.begin(), nodes.end(),
+                      [&idx](NodeId a, NodeId b) {
+                        const uint32_t sa = idx.PosOf(a).sid;
+                        const uint32_t sb = idx.PosOf(b).sid;
+                        return sa != sb ? sa < sb : a < b;
+                      });
+            bool reached = false;
+            uint32_t visited_floor = 0;
+            bool have_floor = false;
+            for (size_t i = 0; i < nodes.size(); ++i) {
+              NodeId v = nodes[i];
+              ++stats->input_nodes;
+              if (!reached) {
+                const auto cond = idx.CondOf(v);
+                const ChainPos p = idx.PosOfCond(cond);
+                if (ProbeSuccessorContour(succ[u], p,
+                                          idx.CondCyclic(cond), v)) {
+                  reached = true;
+                } else if (!have_floor || p.sid > visited_floor) {
+                  // Walk the new Lin segment (p.sid down to floor).
+                  auto cur =
+                      idx.Lin(cond).empty() ? idx.PrevWithLin(cond) : cond;
+                  while (cur != ThreeHopIndex::kNoCond) {
+                    const ChainPos pc = idx.PosOfCond(cur);
+                    if (have_floor && pc.sid <= visited_floor) break;
+                    for (const ChainPos& e : idx.Lin(cur)) {
+                      ++idx.stats().elements_looked_up;
+                      if (ProbeSuccessorContour(succ[u], e, true, v)) {
+                        reached = true;
+                        break;
+                      }
+                    }
+                    if (reached) break;
+                    cur = idx.PrevWithLin(cur);
+                  }
+                  visited_floor = p.sid;
+                  have_floor = true;
+                }
+              }
+              if (reached) kept.push_back(v);
+            }
+          }
+          std::sort(kept.begin(), kept.end());
+          cand = std::move(kept);
+        }
+        if (cand.empty()) return false;
+      }
+      // The child needs a successor contour iff it has prime children.
+      for (QNodeId gc : q.node(c).children) {
+        if (in_prime[gc]) {
+          succ[c] = MergeSuccLists(idx, cand);
+          have_contour[c] = 1;
+          break;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,51 @@
+#ifndef GTPQ_CORE_PRUNE_H_
+#define GTPQ_CORE_PRUNE_H_
+
+#include <vector>
+
+#include "core/eval_types.h"
+#include "graph/data_graph.h"
+#include "query/gtpq.h"
+#include "reachability/contour.h"
+
+namespace gtpq {
+
+/// First pruning round (Procedure 6, PruneDownward): removes candidates
+/// violating downward structural constraints. Bottom-up over the query;
+/// per chain, child valuations are inherited from larger chain nodes and
+/// Lout segments are walked at most once (the `visited` bookkeeping).
+///
+/// Edge handling (Section 4.4, implemented strategy + correctness
+/// refinement documented in DESIGN.md):
+///  * AD children: contour reachability (exact);
+///  * PC children into predicate nodes: exact parent-set membership —
+///    these never reach the matching graph, so approximation would
+///    corrupt negation/disjunction semantics;
+///  * PC children into backbone nodes: treated as AD here and repaired
+///    on the maximal matching graph.
+void PruneDownward(const DataGraph& g, const ThreeHopIndex& idx,
+                   const Gtpq& q, std::vector<std::vector<NodeId>>* mat,
+                   EngineStats* stats);
+
+/// Prime subtree (Section 4.2.3 + 4.4): the minimal subtree containing
+/// the query root, every output node, and every backbone node with a PC
+/// incoming edge (those were AD-approximated during downward pruning and
+/// must be repaired on the matching graph). Returns one flag per query
+/// node; flagged nodes are always backbone.
+std::vector<char> ComputePrimeSubtree(const Gtpq& q);
+
+/// Second pruning round (Procedure 7, PruneUpward): top-down over the
+/// prime subtree, removes candidates not reachable from the (pruned)
+/// candidates of their prime parent. Chains are scanned in ascending sid
+/// order with the early break: once one candidate on a chain is
+/// reachable, all larger ones are. PC edges use exact child sets.
+/// Returns false when some prime node lost all candidates (empty
+/// answer).
+bool PruneUpward(const DataGraph& g, const ThreeHopIndex& idx,
+                 const Gtpq& q, const std::vector<char>& in_prime,
+                 std::vector<std::vector<NodeId>>* mat,
+                 const GteaOptions& options, EngineStats* stats);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_CORE_PRUNE_H_

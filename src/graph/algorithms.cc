@@ -1,0 +1,164 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+std::vector<NodeId> TopologicalSort(const Digraph& g) {
+  const size_t n = g.NumNodes();
+  std::vector<uint32_t> indegree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    indegree[v] = static_cast<uint32_t>(g.InDegree(v));
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    NodeId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (--indegree[w] == 0) frontier.push_back(w);
+    }
+  }
+  if (order.size() != n) return {};  // cycle
+  return order;
+}
+
+bool IsDag(const Digraph& g) {
+  return g.NumNodes() == 0 || !TopologicalSort(g).empty();
+}
+
+SccResult ComputeScc(const Digraph& g) {
+  const size_t n = g.NumNodes();
+  SccResult result;
+  result.component_of.assign(n, kInvalidNode);
+
+  // Iterative Tarjan with an explicit stack of (node, child cursor).
+  std::vector<uint32_t> index(n, UINT32_MAX), lowlink(n, 0);
+  std::vector<char> on_stack(n, 0);
+  std::vector<NodeId> stack;
+  std::vector<std::pair<NodeId, size_t>> call_stack;
+  uint32_t next_index = 0;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != UINT32_MAX) continue;
+    call_stack.emplace_back(root, 0);
+    while (!call_stack.empty()) {
+      auto& [v, cursor] = call_stack.back();
+      if (cursor == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = 1;
+      }
+      auto nbrs = g.OutNeighbors(v);
+      bool descended = false;
+      while (cursor < nbrs.size()) {
+        NodeId w = nbrs[cursor++];
+        if (index[w] == UINT32_MAX) {
+          call_stack.emplace_back(w, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+      if (lowlink[v] == index[v]) {
+        uint32_t comp = static_cast<uint32_t>(result.num_components++);
+        uint32_t size = 0;
+        for (;;) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = 0;
+          result.component_of[w] = comp;
+          ++size;
+          if (w == v) break;
+        }
+        result.component_size.push_back(size);
+      }
+      NodeId finished = v;
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        NodeId parent = call_stack.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+      }
+    }
+  }
+
+  // Tarjan emits SCCs in reverse topological order already.
+  result.cyclic.assign(result.num_components, 0);
+  for (size_t c = 0; c < result.num_components; ++c) {
+    if (result.component_size[c] > 1) result.cyclic[c] = 1;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    auto nbrs = g.OutNeighbors(v);
+    if (std::binary_search(nbrs.begin(), nbrs.end(), v)) {
+      result.cyclic[result.component_of[v]] = 1;  // self-loop
+    }
+  }
+  return result;
+}
+
+Digraph BuildCondensation(const Digraph& g, const SccResult& scc) {
+  Digraph cond(scc.num_components);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    NodeId cv = scc.component_of[v];
+    for (NodeId w : g.OutNeighbors(v)) {
+      NodeId cw = scc.component_of[w];
+      if (cv != cw) cond.AddEdge(cv, cw);
+    }
+  }
+  cond.Finalize();
+  return cond;
+}
+
+std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId source) {
+  std::vector<char> visited(g.NumNodes(), 0);
+  std::vector<NodeId> queue;
+  std::vector<NodeId> out;
+  for (NodeId w : g.OutNeighbors(source)) {
+    if (!visited[w]) {
+      visited[w] = 1;
+      queue.push_back(w);
+    }
+  }
+  size_t head = 0;
+  while (head < queue.size()) {
+    NodeId v = queue[head++];
+    out.push_back(v);
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (!visited[w]) {
+        visited[w] = 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint32_t> DepthsFromRoots(const Digraph& g, bool longest) {
+  const size_t n = g.NumNodes();
+  std::vector<uint32_t> depth(n, 0);
+  auto order = TopologicalSort(g);
+  GTPQ_CHECK(!order.empty() || n == 0) << "DepthsFromRoots requires a DAG";
+  for (NodeId v : order) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      uint32_t cand = depth[v] + 1;
+      if (longest ? cand > depth[w] : depth[w] == 0) {
+        depth[w] = cand;
+      }
+    }
+  }
+  return depth;
+}
+
+}  // namespace gtpq

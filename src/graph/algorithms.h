@@ -1,0 +1,44 @@
+#ifndef GTPQ_GRAPH_ALGORITHMS_H_
+#define GTPQ_GRAPH_ALGORITHMS_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace gtpq {
+
+/// Topological order of a finalized DAG (Kahn's algorithm). Returns an
+/// empty vector when the graph contains a cycle.
+std::vector<NodeId> TopologicalSort(const Digraph& g);
+
+/// True iff the finalized graph is acyclic.
+bool IsDag(const Digraph& g);
+
+/// Strongly connected components (iterative Tarjan). Components are
+/// numbered in reverse topological order of the condensation: if an edge
+/// leads from component a to component b (a != b), then a > b.
+struct SccResult {
+  std::vector<NodeId> component_of;  // node -> component id
+  size_t num_components = 0;
+  /// component id -> number of member nodes.
+  std::vector<uint32_t> component_size;
+  /// component id -> whether it is cyclic (size > 1 or a self-loop).
+  std::vector<char> cyclic;
+};
+SccResult ComputeScc(const Digraph& g);
+
+/// Condensation DAG: one node per SCC, edges between distinct SCCs
+/// deduplicated. Node ids equal SCC ids from `scc`.
+Digraph BuildCondensation(const Digraph& g, const SccResult& scc);
+
+/// Nodes reachable from `source` by a path of length >= 1 (the paper's
+/// ancestor-descendant relation), via BFS. Used as a small-scale oracle.
+std::vector<NodeId> ReachableFrom(const Digraph& g, NodeId source);
+
+/// Depth of each node from the set of roots (nodes with in-degree 0),
+/// i.e. longest path lengths when `longest` is true, else BFS depth.
+std::vector<uint32_t> DepthsFromRoots(const Digraph& g, bool longest);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,71 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace gtpq {
+
+NodeId Digraph::AddNode() {
+  finalized_ = false;
+  return static_cast<NodeId>(num_nodes_++);
+}
+
+void Digraph::AddNodes(size_t count) {
+  finalized_ = false;
+  num_nodes_ += count;
+}
+
+void Digraph::AddEdge(NodeId from, NodeId to) {
+  GTPQ_DCHECK(from < num_nodes_ && to < num_nodes_);
+  finalized_ = false;
+  pending_edges_.emplace_back(from, to);
+}
+
+void Digraph::Finalize() {
+  if (finalized_) return;
+  std::sort(pending_edges_.begin(), pending_edges_.end());
+  pending_edges_.erase(
+      std::unique(pending_edges_.begin(), pending_edges_.end()),
+      pending_edges_.end());
+
+  out_offsets_.assign(num_nodes_ + 1, 0);
+  in_offsets_.assign(num_nodes_ + 1, 0);
+  out_targets_.clear();
+  in_targets_.clear();
+  out_targets_.reserve(pending_edges_.size());
+  in_targets_.resize(pending_edges_.size());
+
+  for (const auto& [from, to] : pending_edges_) {
+    ++out_offsets_[from + 1];
+    ++in_offsets_[to + 1];
+  }
+  for (size_t i = 1; i <= num_nodes_; ++i) {
+    out_offsets_[i] += out_offsets_[i - 1];
+    in_offsets_[i] += in_offsets_[i - 1];
+  }
+  for (const auto& [from, to] : pending_edges_) {
+    out_targets_.push_back(to);  // pending_edges_ already sorted by (from,to)
+  }
+  std::vector<size_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (const auto& [from, to] : pending_edges_) {
+    in_targets_[cursor[to]++] = from;
+  }
+  // In-neighbor lists are filled in (from, to) order, hence sorted by
+  // `from` within each bucket already.
+  finalized_ = true;
+}
+
+bool Digraph::HasEdge(NodeId from, NodeId to) const {
+  auto nbrs = OutNeighbors(from);
+  return std::binary_search(nbrs.begin(), nbrs.end(), to);
+}
+
+Digraph Digraph::Reversed() const {
+  Digraph rev(num_nodes_);
+  for (const auto& [from, to] : pending_edges_) {
+    rev.AddEdge(to, from);
+  }
+  rev.Finalize();
+  return rev;
+}
+
+}  // namespace gtpq

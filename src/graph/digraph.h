@@ -1,0 +1,78 @@
+#ifndef GTPQ_GRAPH_DIGRAPH_H_
+#define GTPQ_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+/// Node identifier within one graph; dense in [0, NumNodes).
+using NodeId = uint32_t;
+constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Directed graph in mutable adjacency form with an optional frozen CSR
+/// view. Build with AddNode/AddEdge, then call Finalize() once; the
+/// query-time accessors (OutNeighbors etc.) require a finalized graph.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(size_t num_nodes) { AddNodes(num_nodes); }
+
+  /// Adds a node and returns its id.
+  NodeId AddNode();
+  /// Adds `count` nodes.
+  void AddNodes(size_t count);
+  /// Adds edge (from, to). Parallel edges are merged at Finalize().
+  void AddEdge(NodeId from, NodeId to);
+
+  size_t NumNodes() const { return num_nodes_; }
+  /// Distinct edges; only valid after Finalize().
+  size_t NumEdges() const {
+    GTPQ_DCHECK(finalized_);
+    return out_targets_.size();
+  }
+
+  /// Sorts adjacency, removes duplicate edges and builds the reverse
+  /// (in-neighbor) CSR. Idempotent until the next mutation.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Outgoing neighbors of v, sorted ascending. Requires Finalize().
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    GTPQ_DCHECK(finalized_);
+    return {out_targets_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// Incoming neighbors of v, sorted ascending. Requires Finalize().
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    GTPQ_DCHECK(finalized_);
+    return {in_targets_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(NodeId v) const { return OutNeighbors(v).size(); }
+  size_t InDegree(NodeId v) const { return InNeighbors(v).size(); }
+
+  /// Edge membership test via binary search. Requires Finalize().
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  /// The reversed graph (finalized).
+  Digraph Reversed() const;
+
+ private:
+  size_t num_nodes_ = 0;
+  bool finalized_ = false;
+  // Mutable edge list used during construction.
+  std::vector<std::pair<NodeId, NodeId>> pending_edges_;
+  // CSR views (valid when finalized_).
+  std::vector<size_t> out_offsets_, in_offsets_;
+  std::vector<NodeId> out_targets_, in_targets_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_GRAPH_DIGRAPH_H_

@@ -1,0 +1,91 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+DataGraph RandomDag(const RandomDagOptions& options) {
+  const size_t n = options.num_nodes;
+  DataGraph g(n);
+  Rng rng(options.seed);
+  for (NodeId v = 0; v < n; ++v) {
+    g.SetLabel(v, static_cast<int64_t>(rng.NextBounded(
+                      static_cast<uint64_t>(options.num_labels))));
+  }
+  const size_t num_edges =
+      static_cast<size_t>(options.avg_degree * static_cast<double>(n));
+  for (size_t e = 0; e < num_edges; ++e) {
+    if (n < 2) break;
+    NodeId from = static_cast<NodeId>(rng.NextBounded(n - 1));
+    size_t window = std::max<size_t>(
+        1, static_cast<size_t>(options.locality *
+                               static_cast<double>(n - from - 1)));
+    NodeId to = from + 1 + static_cast<NodeId>(rng.NextBounded(window));
+    if (to >= n) to = static_cast<NodeId>(n - 1);
+    g.AddEdge(from, to);
+  }
+  g.Finalize();
+  return g;
+}
+
+DataGraph RandomDigraph(const RandomDigraphOptions& options) {
+  const size_t n = options.num_nodes;
+  DataGraph g(n);
+  Rng rng(options.seed);
+  for (NodeId v = 0; v < n; ++v) {
+    g.SetLabel(v, static_cast<int64_t>(rng.NextBounded(
+                      static_cast<uint64_t>(options.num_labels))));
+  }
+  const size_t num_edges =
+      static_cast<size_t>(options.avg_degree * static_cast<double>(n));
+  for (size_t e = 0; e < num_edges; ++e) {
+    NodeId from = static_cast<NodeId>(rng.NextBounded(n));
+    NodeId to = static_cast<NodeId>(rng.NextBounded(n));
+    g.AddEdge(from, to);
+  }
+  g.Finalize();
+  return g;
+}
+
+DataGraph RandomTreeWithCrossEdges(const RandomTreeOptions& options) {
+  const size_t n = options.num_nodes;
+  GTPQ_CHECK(n >= 1);
+  DataGraph g(n);
+  Rng rng(options.seed);
+  std::vector<uint32_t> depth(n, 0);
+  g.SetTreeParent(0, kInvalidNode);
+  for (NodeId v = 1; v < n; ++v) {
+    // Sample parents until one under the depth cap is found (bounded
+    // retries; falls back to the root).
+    NodeId parent = 0;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      NodeId cand = static_cast<NodeId>(rng.NextBounded(v));
+      if (depth[cand] + 1 <= options.max_depth) {
+        parent = cand;
+        break;
+      }
+    }
+    depth[v] = depth[parent] + 1;
+    g.AddEdge(parent, v);
+    g.SetTreeParent(v, parent);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.SetLabel(v, static_cast<int64_t>(rng.NextBounded(
+                      static_cast<uint64_t>(options.num_labels))));
+  }
+  const size_t num_cross = static_cast<size_t>(
+      options.cross_edge_fraction * static_cast<double>(n));
+  for (size_t e = 0; e < num_cross && n >= 2; ++e) {
+    NodeId from = static_cast<NodeId>(rng.NextBounded(n - 1));
+    NodeId to =
+        from + 1 + static_cast<NodeId>(rng.NextBounded(n - 1 - from));
+    g.AddEdge(from, to);
+  }
+  g.Finalize();
+  return g;
+}
+
+}  // namespace gtpq

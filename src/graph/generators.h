@@ -1,0 +1,60 @@
+#ifndef GTPQ_GRAPH_GENERATORS_H_
+#define GTPQ_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/data_graph.h"
+
+namespace gtpq {
+
+/// Parameters for the random-DAG generator used by property tests and
+/// micro-benchmarks.
+struct RandomDagOptions {
+  size_t num_nodes = 100;
+  /// Expected out-degree; edges go from lower to higher node index, so
+  /// the result is always a DAG.
+  double avg_degree = 2.0;
+  /// Number of distinct labels assigned uniformly.
+  int64_t num_labels = 5;
+  /// Bias edges toward nearby nodes (locality window as a fraction of n;
+  /// 1.0 = uniform over all later nodes).
+  double locality = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Uniform random DAG with labeled nodes; finalized.
+DataGraph RandomDag(const RandomDagOptions& options);
+
+/// Parameters for a random general digraph (cycles allowed).
+struct RandomDigraphOptions {
+  size_t num_nodes = 100;
+  double avg_degree = 2.0;
+  int64_t num_labels = 5;
+  uint64_t seed = 42;
+};
+
+/// Uniform random digraph (may contain cycles and self-loops);
+/// finalized. Exercises the SCC-condensation path of the indexes.
+DataGraph RandomDigraph(const RandomDigraphOptions& options);
+
+/// Parameters for a random tree plus forward cross edges — the
+/// "XML with ID/IDREFs" shape the paper targets.
+struct RandomTreeOptions {
+  size_t num_nodes = 100;
+  /// Maximum tree depth; parents are sampled among recent nodes to keep
+  /// the tree shallow like XMark (avg depth ~5).
+  uint32_t max_depth = 6;
+  /// Number of extra non-tree edges as a fraction of nodes.
+  double cross_edge_fraction = 0.2;
+  int64_t num_labels = 5;
+  uint64_t seed = 42;
+};
+
+/// Random tree with forward cross edges (a DAG); spanning-tree
+/// annotation is populated; finalized.
+DataGraph RandomTreeWithCrossEdges(const RandomTreeOptions& options);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_GRAPH_GENERATORS_H_

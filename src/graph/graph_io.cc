@@ -1,0 +1,131 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace gtpq {
+
+namespace {
+std::string EncodeValue(const AttrValue& v) {
+  if (v.is_string()) return "\"" + v.as_string() + "\"";
+  return v.ToString();
+}
+
+AttrValue DecodeValue(const std::string& text) {
+  if (text.size() >= 2 && text.front() == '"' && text.back() == '"') {
+    return AttrValue(text.substr(1, text.size() - 2));
+  }
+  if (text.find('.') != std::string::npos ||
+      text.find('e') != std::string::npos) {
+    return AttrValue(std::stod(text));
+  }
+  return AttrValue(static_cast<int64_t>(std::stoll(text)));
+}
+}  // namespace
+
+Status SaveDataGraph(const DataGraph& g, std::ostream* out) {
+  (*out) << "gtpq-graph v1\n";
+  (*out) << "nodes " << g.NumNodes() << "\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const auto& tuple = g.Attrs(v);
+    if (g.LabelOf(v) == 0 && tuple.empty()) continue;
+    (*out) << "node " << v << " " << g.LabelOf(v);
+    for (const auto& b : tuple.bindings()) {
+      (*out) << " " << g.attr_names().NameOf(b.attr) << "="
+             << EncodeValue(b.value);
+    }
+    (*out) << "\n";
+  }
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      (*out) << "edge " << v << " " << w;
+      if (g.IsTreeEdge(v, w)) (*out) << " tree";
+      (*out) << "\n";
+    }
+  }
+  if (!out->good()) return Status::Internal("stream write failed");
+  return Status::OK();
+}
+
+Status SaveDataGraphToFile(const DataGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path + " for writing");
+  return SaveDataGraph(g, &out);
+}
+
+Result<DataGraph> LoadDataGraph(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line) ||
+      StripWhitespace(line) != "gtpq-graph v1") {
+    return Status::ParseError("missing 'gtpq-graph v1' header");
+  }
+  if (!std::getline(*in, line)) {
+    return Status::ParseError("missing 'nodes' line");
+  }
+  auto head = Split(line, ' ');
+  if (head.size() != 2 || head[0] != "nodes") {
+    return Status::ParseError("malformed 'nodes' line: " + line);
+  }
+  size_t n = std::stoull(head[1]);
+  DataGraph g(n);
+
+  size_t line_no = 2;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    auto stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    auto parts = Split(stripped, ' ');
+    if (parts[0] == "node") {
+      if (parts.size() < 3) {
+        return Status::ParseError("malformed node line " +
+                                  std::to_string(line_no));
+      }
+      NodeId id = static_cast<NodeId>(std::stoul(parts[1]));
+      if (id >= n) {
+        return Status::ParseError("node id out of range at line " +
+                                  std::to_string(line_no));
+      }
+      g.SetLabel(id, std::stoll(parts[2]));
+      for (size_t i = 3; i < parts.size(); ++i) {
+        auto eq = parts[i].find('=');
+        if (eq == std::string::npos) {
+          return Status::ParseError("malformed attribute at line " +
+                                    std::to_string(line_no));
+        }
+        g.SetAttr(id, parts[i].substr(0, eq),
+                  DecodeValue(parts[i].substr(eq + 1)));
+      }
+    } else if (parts[0] == "edge") {
+      if (parts.size() < 3) {
+        return Status::ParseError("malformed edge line " +
+                                  std::to_string(line_no));
+      }
+      NodeId from = static_cast<NodeId>(std::stoul(parts[1]));
+      NodeId to = static_cast<NodeId>(std::stoul(parts[2]));
+      if (from >= n || to >= n) {
+        return Status::ParseError("edge endpoint out of range at line " +
+                                  std::to_string(line_no));
+      }
+      g.AddEdge(from, to);
+      if (parts.size() >= 4 && parts[3] == "tree") {
+        g.SetTreeParent(to, from);
+      }
+    } else {
+      return Status::ParseError("unknown directive '" + parts[0] +
+                                "' at line " + std::to_string(line_no));
+    }
+  }
+  g.Finalize();
+  return g;
+}
+
+Result<DataGraph> LoadDataGraphFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  return LoadDataGraph(&in);
+}
+
+}  // namespace gtpq

@@ -1,0 +1,31 @@
+#ifndef GTPQ_GRAPH_GRAPH_IO_H_
+#define GTPQ_GRAPH_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "graph/data_graph.h"
+
+namespace gtpq {
+
+/// Serializes a data graph to the plain-text "gtpq-graph v1" format:
+///
+///   gtpq-graph v1
+///   nodes <count>
+///   node <id> <label> [<attr>=<value> ...]
+///   edge <from> <to> [tree]
+///
+/// `node` lines are only emitted for nodes with a nonzero label or extra
+/// attributes. String attribute values are quoted with '"' and must not
+/// contain newlines.
+Status SaveDataGraph(const DataGraph& g, std::ostream* out);
+Status SaveDataGraphToFile(const DataGraph& g, const std::string& path);
+
+/// Parses the format above. The returned graph is finalized.
+Result<DataGraph> LoadDataGraph(std::istream* in);
+Result<DataGraph> LoadDataGraphFromFile(const std::string& path);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,128 @@
+#ifndef GTPQ_LOGIC_FORMULA_H_
+#define GTPQ_LOGIC_FORMULA_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gtpq {
+namespace logic {
+
+/// Node kinds of the propositional formula AST.
+enum class Kind { kConst, kVar, kNot, kAnd, kOr };
+
+class Formula;
+/// Formulas are immutable and shared; cheap to copy and substructure-share.
+using FormulaRef = std::shared_ptr<const Formula>;
+
+/// Immutable propositional formula over integer-identified variables.
+///
+/// Construction goes through the static factories, which perform light
+/// normalization: nested AND/OR of the same kind are flattened, neutral
+/// constants dropped, dominating constants short-circuit, and double
+/// negation is eliminated. The factories never distribute (no blow-up).
+class Formula {
+ public:
+  /// The constant true / false formulas (shared singletons).
+  static FormulaRef True();
+  static FormulaRef False();
+  static FormulaRef Const(bool value) { return value ? True() : False(); }
+
+  /// Propositional variable with the given non-negative id.
+  static FormulaRef Var(int id);
+
+  /// Logical negation (eliminates double negation and constants).
+  static FormulaRef Not(const FormulaRef& f);
+
+  /// N-ary conjunction / disjunction. An empty AND is true; an empty OR
+  /// is false.
+  static FormulaRef And(std::vector<FormulaRef> children);
+  static FormulaRef Or(std::vector<FormulaRef> children);
+  static FormulaRef And(const FormulaRef& a, const FormulaRef& b);
+  static FormulaRef Or(const FormulaRef& a, const FormulaRef& b);
+  /// a -> b, encoded as !a | b.
+  static FormulaRef Implies(const FormulaRef& a, const FormulaRef& b);
+  /// a XOR b, encoded as (a & !b) | (!a & b).
+  static FormulaRef Xor(const FormulaRef& a, const FormulaRef& b);
+
+  Kind kind() const { return kind_; }
+  /// Precondition: kind() == kConst.
+  bool value() const { return value_; }
+  /// Precondition: kind() == kVar.
+  int var() const { return var_; }
+  /// Children of kNot (exactly one), kAnd, kOr; empty otherwise.
+  const std::vector<FormulaRef>& children() const { return children_; }
+
+  bool is_const() const { return kind_ == Kind::kConst; }
+  bool is_true() const { return kind_ == Kind::kConst && value_; }
+  bool is_false() const { return kind_ == Kind::kConst && !value_; }
+
+ private:
+  friend FormulaRef MakeNode(Kind kind, bool value, int var,
+                             std::vector<FormulaRef> children);
+  Formula(Kind kind, bool value, int var, std::vector<FormulaRef> children)
+      : kind_(kind), value_(value), var_(var),
+        children_(std::move(children)) {}
+
+  Kind kind_;
+  bool value_;
+  int var_;
+  std::vector<FormulaRef> children_;
+};
+
+/// Structural equality (same shape after normalization; not semantic
+/// equivalence — use sat::Equivalent for that).
+bool StructurallyEqual(const FormulaRef& a, const FormulaRef& b);
+
+/// Evaluates under a total assignment (var id -> truth value).
+bool Evaluate(const FormulaRef& f,
+              const std::function<bool(int)>& assignment);
+
+/// Evaluates under a dense assignment vector; vars beyond the vector are
+/// treated as false.
+bool Evaluate(const FormulaRef& f, const std::vector<char>& assignment);
+
+/// All distinct variable ids in f, sorted ascending.
+std::vector<int> CollectVars(const FormulaRef& f);
+
+/// Substitutes each mapped variable by its replacement formula (applied
+/// simultaneously), then re-normalizes bottom-up.
+FormulaRef Substitute(const FormulaRef& f,
+                      const std::unordered_map<int, FormulaRef>& map);
+
+/// f[var/value]: assigns a constant to one variable.
+FormulaRef SubstituteConst(const FormulaRef& f, int var, bool value);
+
+/// Renames variables; unmapped variables are kept.
+FormulaRef RenameVars(const FormulaRef& f,
+                      const std::unordered_map<int, int>& renaming);
+
+/// Negation normal form: negation pushed onto variables.
+FormulaRef ToNnf(const FormulaRef& f);
+
+/// Simplification pass: constant folding, flattening, duplicate-child
+/// removal, complementary-literal detection (p & !p -> false) and
+/// absorption within one level. Idempotent.
+FormulaRef Simplify(const FormulaRef& f);
+
+/// Renders with a variable namer; default namer prints p<id>.
+std::string ToString(const FormulaRef& f);
+std::string ToString(const FormulaRef& f,
+                     const std::function<std::string(int)>& namer);
+
+/// Parses formulas in the grammar:
+///   f := term ('|' term)*      term := factor ('&' factor)*
+///   factor := '!' factor | '(' f ')' | '0' | '1' | identifier
+/// Identifiers are interned through `intern` (name -> variable id).
+Result<FormulaRef> ParseFormula(
+    const std::string& text,
+    const std::function<int(const std::string&)>& intern);
+
+}  // namespace logic
+}  // namespace gtpq
+
+#endif  // GTPQ_LOGIC_FORMULA_H_

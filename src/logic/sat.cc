@@ -1,0 +1,217 @@
+#include "logic/sat.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gtpq {
+namespace logic {
+
+namespace {
+
+SatSolver::Stats g_last_stats;
+
+// Dense-variable DPLL working state. Variables are remapped to a compact
+// range before solving.
+class Dpll {
+ public:
+  explicit Dpll(const Cnf& cnf) {
+    // Compact the variable space.
+    std::vector<int> vars;
+    for (const auto& c : cnf.clauses) {
+      for (const auto& l : c) vars.push_back(l.var);
+    }
+    std::sort(vars.begin(), vars.end());
+    vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+    for (size_t i = 0; i < vars.size(); ++i) {
+      dense_of_[vars[i]] = static_cast<int>(i);
+    }
+    orig_of_ = vars;
+    num_vars_ = static_cast<int>(vars.size());
+    clauses_.reserve(cnf.clauses.size());
+    for (const auto& c : cnf.clauses) {
+      std::vector<int> lits;  // encoded: 2*v (pos) / 2*v+1 (neg)
+      lits.reserve(c.size());
+      for (const auto& l : c) {
+        lits.push_back(dense_of_[l.var] * 2 + (l.negated ? 1 : 0));
+      }
+      clauses_.push_back(std::move(lits));
+    }
+    assign_.assign(static_cast<size_t>(num_vars_), -1);
+  }
+
+  bool Solve() {
+    g_last_stats = SatSolver::Stats();
+    return Search();
+  }
+
+  Model ExtractModel() const {
+    Model m;
+    for (int v = 0; v < num_vars_; ++v) {
+      m[orig_of_[static_cast<size_t>(v)]] =
+          assign_[static_cast<size_t>(v)] == 1;
+    }
+    return m;
+  }
+
+ private:
+  // -1 unassigned, 0 false, 1 true.
+  int LitValue(int lit) const {
+    int v = assign_[static_cast<size_t>(lit >> 1)];
+    if (v < 0) return -1;
+    return (lit & 1) ? 1 - v : v;
+  }
+
+  bool Search() {
+    // Unit propagation to fixpoint, with trail for backtracking.
+    std::vector<int> trail;
+    for (;;) {
+      bool changed = false;
+      for (const auto& clause : clauses_) {
+        int unassigned_lit = -1;
+        int num_unassigned = 0;
+        bool satisfied = false;
+        for (int lit : clause) {
+          int val = LitValue(lit);
+          if (val == 1) {
+            satisfied = true;
+            break;
+          }
+          if (val == -1) {
+            ++num_unassigned;
+            unassigned_lit = lit;
+          }
+        }
+        if (satisfied) continue;
+        if (num_unassigned == 0) {
+          Undo(trail);
+          return false;  // conflict
+        }
+        if (num_unassigned == 1) {
+          AssignLit(unassigned_lit, &trail);
+          ++g_last_stats.propagations;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    // Pick a branching variable.
+    int branch = -1;
+    for (int v = 0; v < num_vars_; ++v) {
+      if (assign_[static_cast<size_t>(v)] < 0) {
+        branch = v;
+        break;
+      }
+    }
+    if (branch < 0) return true;  // complete assignment, all satisfied
+    ++g_last_stats.decisions;
+    for (int value : {1, 0}) {
+      assign_[static_cast<size_t>(branch)] = value;
+      if (Search()) return true;
+      assign_[static_cast<size_t>(branch)] = -1;
+    }
+    Undo(trail);
+    return false;
+  }
+
+  void AssignLit(int lit, std::vector<int>* trail) {
+    assign_[static_cast<size_t>(lit >> 1)] = (lit & 1) ? 0 : 1;
+    trail->push_back(lit >> 1);
+  }
+
+  void Undo(const std::vector<int>& trail) {
+    for (int v : trail) assign_[static_cast<size_t>(v)] = -1;
+  }
+
+  std::unordered_map<int, int> dense_of_;
+  std::vector<int> orig_of_;
+  std::vector<std::vector<int>> clauses_;
+  std::vector<int> assign_;
+  int num_vars_ = 0;
+};
+
+}  // namespace
+
+bool SatSolver::IsSatisfiable(const Cnf& cnf) {
+  for (const auto& c : cnf.clauses) {
+    if (c.empty()) return false;
+  }
+  Dpll solver(cnf);
+  return solver.Solve();
+}
+
+std::optional<Model> SatSolver::Solve(const Cnf& cnf) {
+  for (const auto& c : cnf.clauses) {
+    if (c.empty()) return std::nullopt;
+  }
+  Dpll solver(cnf);
+  if (!solver.Solve()) return std::nullopt;
+  return solver.ExtractModel();
+}
+
+SatSolver::Stats SatSolver::last_stats() { return g_last_stats; }
+
+namespace {
+int FirstAuxVar(const FormulaRef& f) {
+  auto vars = CollectVars(f);
+  return vars.empty() ? 0 : vars.back() + 1;
+}
+}  // namespace
+
+bool IsSatisfiable(const FormulaRef& f) {
+  if (f->is_const()) return f->value();
+  return SatSolver::IsSatisfiable(TseitinTransform(f, FirstAuxVar(f)));
+}
+
+std::optional<Model> SolveFormula(const FormulaRef& f) {
+  if (f->is_true()) return Model{};
+  if (f->is_false()) return std::nullopt;
+  auto model = SatSolver::Solve(TseitinTransform(f, FirstAuxVar(f)));
+  if (!model) return std::nullopt;
+  // Project out Tseitin auxiliaries.
+  Model projected;
+  for (int v : CollectVars(f)) {
+    auto it = model->find(v);
+    projected[v] = it != model->end() && it->second;
+  }
+  return projected;
+}
+
+bool IsTautology(const FormulaRef& f) {
+  return !IsSatisfiable(Formula::Not(f));
+}
+
+bool Implies(const FormulaRef& f, const FormulaRef& g) {
+  return !IsSatisfiable(Formula::And(f, Formula::Not(g)));
+}
+
+bool Equivalent(const FormulaRef& f, const FormulaRef& g) {
+  return Implies(f, g) && Implies(g, f);
+}
+
+size_t EnumerateModels(const FormulaRef& f, const std::vector<int>& vars,
+                       const std::function<void(const Model&)>& on_model,
+                       size_t cap) {
+  GTPQ_CHECK(vars.size() <= 30) << "model enumeration limited to 30 vars";
+  size_t count = 0;
+  const size_t total = size_t{1} << vars.size();
+  Model m;
+  for (size_t mask = 0; mask < total && count < cap; ++mask) {
+    m.clear();
+    for (size_t i = 0; i < vars.size(); ++i) {
+      m[vars[i]] = (mask >> i) & 1;
+    }
+    bool value = Evaluate(f, [&m](int v) {
+      auto it = m.find(v);
+      return it != m.end() && it->second;
+    });
+    if (value) {
+      on_model(m);
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace logic
+}  // namespace gtpq

@@ -1,0 +1,66 @@
+#ifndef GTPQ_LOGIC_SAT_H_
+#define GTPQ_LOGIC_SAT_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cnf.h"
+#include "logic/formula.h"
+
+namespace gtpq {
+namespace logic {
+
+/// A (partial) model: var id -> truth value.
+using Model = std::unordered_map<int, bool>;
+
+/// DPLL solver with unit propagation and pure-literal elimination.
+/// Query-sized formulas (tens of variables) are the target workload, per
+/// the paper's observation that "the query size is not much large in
+/// practice" (Section 3.3).
+class SatSolver {
+ public:
+  /// Decides satisfiability of a CNF.
+  static bool IsSatisfiable(const Cnf& cnf);
+
+  /// Like IsSatisfiable but also produces a model on success.
+  static std::optional<Model> Solve(const Cnf& cnf);
+
+  /// Counts the number of DPLL branch decisions of the last call on this
+  /// instance API; exposed for the micro-benchmarks.
+  struct Stats {
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+  };
+  static Stats last_stats();
+};
+
+/// Satisfiability of an arbitrary formula (Tseitin + DPLL).
+bool IsSatisfiable(const FormulaRef& f);
+
+/// Satisfiability returning a model over the *original* variables of f.
+std::optional<Model> SolveFormula(const FormulaRef& f);
+
+/// f is valid (true under every assignment).
+bool IsTautology(const FormulaRef& f);
+
+/// f -> g is valid.
+bool Implies(const FormulaRef& f, const FormulaRef& g);
+
+/// f and g agree on all assignments.
+bool Equivalent(const FormulaRef& f, const FormulaRef& g);
+
+/// Enumerates all satisfying total assignments of f over exactly the
+/// variable set `vars` (callers pass the relevant universe, which may be
+/// a superset of f's own variables). Invokes `on_model` for each; returns
+/// the number visited, stopping early once `cap` models were produced.
+/// Exponential in |vars| by nature; used by the homomorphism procedure
+/// (Theorem 3) where the paper itself enumerates the truth table.
+size_t EnumerateModels(const FormulaRef& f, const std::vector<int>& vars,
+                       const std::function<void(const Model&)>& on_model,
+                       size_t cap = SIZE_MAX);
+
+}  // namespace logic
+}  // namespace gtpq
+
+#endif  // GTPQ_LOGIC_SAT_H_

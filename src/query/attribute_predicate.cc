@@ -1,0 +1,202 @@
+#include "query/attribute_predicate.h"
+
+#include <algorithm>
+
+namespace gtpq {
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool CompareValues(const AttrValue& lhs, CmpOp op, const AttrValue& rhs) {
+  const int c = lhs.Compare(rhs);
+  switch (op) {
+    case CmpOp::kLt:
+      return c < 0;
+    case CmpOp::kLe:
+      return c <= 0;
+    case CmpOp::kEq:
+      return c == 0;
+    case CmpOp::kNe:
+      return c != 0;
+    case CmpOp::kGt:
+      return c > 0;
+    case CmpOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+AttributePredicate AttributePredicate::LabelEquals(AttrId label_attr,
+                                                   int64_t value) {
+  AttributePredicate p;
+  p.AddAtom(label_attr, CmpOp::kEq, AttrValue(value));
+  return p;
+}
+
+void AttributePredicate::AddAtom(AttrId attr, CmpOp op, AttrValue value) {
+  atoms_.push_back(AttrAtom{attr, op, std::move(value)});
+}
+
+bool AttributePredicate::Matches(const DataGraph& g, NodeId v) const {
+  for (const auto& atom : atoms_) {
+    const AttrValue* actual = g.GetAttr(v, atom.attr);
+    if (actual == nullptr || !CompareValues(*actual, atom.op, atom.value)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AttributePredicate::IsSatisfiable() const {
+  // Per attribute: strongest bounds + pinned equality + disequalities,
+  // over a dense value domain.
+  struct Bounds {
+    const AttrValue* lower = nullptr;
+    bool lower_strict = false;
+    const AttrValue* upper = nullptr;
+    bool upper_strict = false;
+    const AttrValue* eq = nullptr;
+    std::vector<const AttrValue*> ne;
+  };
+  std::vector<std::pair<AttrId, Bounds>> per_attr;
+  auto bounds_of = [&per_attr](AttrId a) -> Bounds& {
+    for (auto& [id, b] : per_attr) {
+      if (id == a) return b;
+    }
+    per_attr.emplace_back(a, Bounds{});
+    return per_attr.back().second;
+  };
+  for (const auto& atom : atoms_) {
+    Bounds& b = bounds_of(atom.attr);
+    switch (atom.op) {
+      case CmpOp::kLt:
+      case CmpOp::kLe: {
+        const bool strict = atom.op == CmpOp::kLt;
+        if (b.upper == nullptr || atom.value < *b.upper ||
+            (atom.value == *b.upper && strict)) {
+          b.upper = &atom.value;
+          b.upper_strict = strict;
+        }
+        break;
+      }
+      case CmpOp::kGt:
+      case CmpOp::kGe: {
+        const bool strict = atom.op == CmpOp::kGt;
+        if (b.lower == nullptr || atom.value > *b.lower ||
+            (atom.value == *b.lower && strict)) {
+          b.lower = &atom.value;
+          b.lower_strict = strict;
+        }
+        break;
+      }
+      case CmpOp::kEq:
+        if (b.eq != nullptr && !(*b.eq == atom.value)) return false;
+        b.eq = &atom.value;
+        break;
+      case CmpOp::kNe:
+        b.ne.push_back(&atom.value);
+        break;
+    }
+  }
+  for (const auto& [attr, b] : per_attr) {
+    if (b.eq != nullptr) {
+      if (b.lower != nullptr &&
+          (*b.eq < *b.lower || (*b.eq == *b.lower && b.lower_strict))) {
+        return false;
+      }
+      if (b.upper != nullptr &&
+          (*b.eq > *b.upper || (*b.eq == *b.upper && b.upper_strict))) {
+        return false;
+      }
+      for (const AttrValue* v : b.ne) {
+        if (*v == *b.eq) return false;
+      }
+    } else if (b.lower != nullptr && b.upper != nullptr) {
+      if (*b.lower > *b.upper) return false;
+      if (*b.lower == *b.upper && (b.lower_strict || b.upper_strict)) {
+        return false;
+      }
+      // A dense domain always leaves room around finitely many
+      // disequalities unless the interval is the single point excluded.
+      if (*b.lower == *b.upper) {
+        for (const AttrValue* v : b.ne) {
+          if (*v == *b.lower) return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool AttributePredicate::EntailedBy(
+    const AttributePredicate& stronger) const {
+  for (const auto& atom : atoms_) {
+    bool found = false;
+    for (const auto& other : stronger.atoms_) {
+      if (other.attr != atom.attr || other.op != atom.op) continue;
+      switch (atom.op) {
+        case CmpOp::kLt:
+        case CmpOp::kLe:
+          found = other.value <= atom.value;
+          break;
+        case CmpOp::kGt:
+        case CmpOp::kGe:
+          found = other.value >= atom.value;
+          break;
+        case CmpOp::kEq:
+        case CmpOp::kNe:
+          found = other.value == atom.value;
+          break;
+      }
+      if (found) break;
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::optional<int64_t> AttributePredicate::RequiredLabel(
+    AttrId label_attr) const {
+  for (const auto& atom : atoms_) {
+    if (atom.attr == label_attr && atom.op == CmpOp::kEq &&
+        atom.value.is_int()) {
+      return atom.value.as_int();
+    }
+  }
+  return std::nullopt;
+}
+
+std::string AttributePredicate::ToString(const AttrNames& names) const {
+  // Atoms are space-separated (an implicit conjunction), matching the
+  // `attr` line syntax ParseQuery accepts.
+  if (atoms_.empty()) return "true";
+  std::string out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " ";
+    out += names.NameOf(atoms_[i].attr);
+    out += CmpOpToString(atoms_[i].op);
+    if (atoms_[i].value.is_string()) {
+      out += "\"" + atoms_[i].value.as_string() + "\"";
+    } else {
+      out += atoms_[i].value.ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace gtpq

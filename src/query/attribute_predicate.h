@@ -1,0 +1,69 @@
+#ifndef GTPQ_QUERY_ATTRIBUTE_PREDICATE_H_
+#define GTPQ_QUERY_ATTRIBUTE_PREDICATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+
+namespace gtpq {
+
+/// Comparison operators of attribute formulas "A op a" (Section 2).
+enum class CmpOp { kLt, kLe, kEq, kNe, kGt, kGe };
+
+const char* CmpOpToString(CmpOp op);
+
+/// One atomic formula A op a.
+struct AttrAtom {
+  AttrId attr;
+  CmpOp op;
+  AttrValue value;
+};
+
+/// fa(u): a conjunction of atomic attribute formulas. A node v matches
+/// (v ~ u) when for every atom "A op a" the tuple f(v) contains A = a'
+/// with a' op a — in particular the attribute must be present.
+class AttributePredicate {
+ public:
+  /// The empty conjunction (matches every node).
+  AttributePredicate() = default;
+
+  /// Convenience: the single atom `label = value`.
+  static AttributePredicate LabelEquals(AttrId label_attr, int64_t value);
+
+  void AddAtom(AttrId attr, CmpOp op, AttrValue value);
+  const std::vector<AttrAtom>& atoms() const { return atoms_; }
+  bool IsTriviallyTrue() const { return atoms_.empty(); }
+
+  /// v ~ u against the graph's attribute tuples.
+  bool Matches(const DataGraph& g, NodeId v) const;
+
+  /// Whether some attribute tuple can satisfy the conjunction, treating
+  /// value domains as dense (doubles/strings). Linear in atom count.
+  bool IsSatisfiable() const;
+
+  /// The paper's syntactic entailment used by node similarity
+  /// (condition (1) of Section 3.1): returns true when `stronger`
+  /// matches a subset of the nodes this predicate matches, i.e.
+  /// "stronger |- this": for every atom "A op a1" here, `stronger` has
+  /// "A op a2" with a2 <= a1 (op in {<=,<}), a2 >= a1 (op in {>=,>}),
+  /// or a1 == a2 (op in {=,!=}).
+  bool EntailedBy(const AttributePredicate& stronger) const;
+
+  /// If the predicate pins the integer label attribute (contains
+  /// "label = c"), returns c — the candidate-scan fast path.
+  std::optional<int64_t> RequiredLabel(AttrId label_attr) const;
+
+  std::string ToString(const AttrNames& names) const;
+
+ private:
+  std::vector<AttrAtom> atoms_;
+};
+
+/// Applies op to the comparison a' op a.
+bool CompareValues(const AttrValue& lhs, CmpOp op, const AttrValue& rhs);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_QUERY_ATTRIBUTE_PREDICATE_H_

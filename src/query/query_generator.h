@@ -1,0 +1,52 @@
+#ifndef GTPQ_QUERY_QUERY_GENERATOR_H_
+#define GTPQ_QUERY_QUERY_GENERATOR_H_
+
+#include <optional>
+
+#include "common/rng.h"
+#include "graph/data_graph.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// Knobs for the random query generator. The generator mirrors the
+/// paper's arXiv setup (Section 5.2): "Each query node is associated
+/// with a label randomly chosen from the data graph"; queries are grown
+/// by sampling descendants of concrete data nodes so that most queries
+/// are satisfiable ("meaningful queries").
+struct QueryGenOptions {
+  /// Total query nodes |Vq| (5..13 in the paper's arXiv sweeps).
+  size_t num_nodes = 7;
+  /// Probability that a non-root edge is PC (else AD).
+  double pc_probability = 0.0;
+  /// Probability that a non-root node is a predicate node. The role is
+  /// forced to predicate when the parent already is one.
+  double predicate_fraction = 0.0;
+  /// Probability that a backbone node is an output (the root always
+  /// is; the paper's conjunctive experiments mark every node).
+  double output_fraction = 1.0;
+  /// Probability that an internal node's structural predicate uses a
+  /// disjunction over (some of) its predicate children.
+  double disjunction_probability = 0.0;
+  /// Probability that a predicate variable is negated.
+  double negation_probability = 0.0;
+  /// Maximum random-walk depth used to realize an AD edge.
+  uint32_t max_walk = 3;
+  uint64_t seed = 1;
+};
+
+/// Generates one random query against `g`. Returns nullopt when the
+/// sampled region of the graph cannot host a pattern of the requested
+/// size (caller retries with the next seed).
+std::optional<Gtpq> GenerateRandomQuery(const DataGraph& g,
+                                        const QueryGenOptions& options);
+
+/// Convenience: retries GenerateRandomQuery with derived seeds until a
+/// query is produced (at most `max_attempts`).
+std::optional<Gtpq> GenerateRandomQueryWithRetry(
+    const DataGraph& g, const QueryGenOptions& options,
+    int max_attempts = 32);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_QUERY_QUERY_GENERATOR_H_

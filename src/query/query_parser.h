@@ -1,0 +1,32 @@
+#ifndef GTPQ_QUERY_QUERY_PARSER_H_
+#define GTPQ_QUERY_QUERY_PARSER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+
+/// Parses the line-oriented query format produced by Gtpq::ToString:
+///
+///   # comment
+///   backbone <name> root [*]
+///   backbone <name> <parent> pc|ad [*]
+///   predicate <name> <parent> pc|ad
+///   attr <name> <attr><op><value> [...]      op in < <= = != > >=
+///   fs <name> = <formula over child names>
+///   output <name>
+///
+/// String values are double-quoted; numbers are bare. `*` marks output
+/// nodes inline. Nodes must appear parent-first.
+Result<Gtpq> ParseQuery(const std::string& text,
+                        std::shared_ptr<AttrNames> names);
+
+/// Round-trip helper: parse with a fresh attribute namespace.
+Result<Gtpq> ParseQuery(const std::string& text);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_QUERY_QUERY_PARSER_H_

@@ -1,0 +1,71 @@
+#include "reachability/chain_cover.h"
+
+#include "common/logging.h"
+#include "graph/algorithms.h"
+
+namespace gtpq {
+
+ChainCover BuildGreedyChainCover(const Digraph& dag) {
+  const size_t n = dag.NumNodes();
+  ChainCover cover;
+  cover.cid_of.assign(n, UINT32_MAX);
+  cover.sid_of.assign(n, 0);
+
+  auto order = TopologicalSort(dag);
+  GTPQ_CHECK(order.size() == n) << "chain cover requires a DAG";
+
+  // Remaining unassigned in-degree guides the greedy extension: prefer
+  // successors that no other chain is likely to claim first.
+  std::vector<uint32_t> unassigned_indegree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    unassigned_indegree[v] = static_cast<uint32_t>(dag.InDegree(v));
+  }
+
+  for (NodeId start : order) {
+    if (cover.cid_of[start] != UINT32_MAX) continue;
+    uint32_t cid = static_cast<uint32_t>(cover.chains.size());
+    cover.chains.emplace_back();
+    NodeId v = start;
+    uint32_t sid = 0;
+    for (;;) {
+      cover.cid_of[v] = cid;
+      cover.sid_of[v] = sid++;
+      cover.chains[cid].push_back(v);
+      // Pick the unassigned successor with the fewest competing
+      // unassigned predecessors.
+      NodeId best = kInvalidNode;
+      uint32_t best_deg = UINT32_MAX;
+      for (NodeId w : dag.OutNeighbors(v)) {
+        --unassigned_indegree[w];
+        if (cover.cid_of[w] == UINT32_MAX &&
+            unassigned_indegree[w] < best_deg) {
+          best = w;
+          best_deg = unassigned_indegree[w];
+        }
+      }
+      if (best == kInvalidNode) break;
+      v = best;
+    }
+  }
+  return cover;
+}
+
+bool ValidateChainCover(const Digraph& dag, const ChainCover& cover) {
+  const size_t n = dag.NumNodes();
+  if (cover.cid_of.size() != n || cover.sid_of.size() != n) return false;
+  size_t covered = 0;
+  for (uint32_t cid = 0; cid < cover.chains.size(); ++cid) {
+    const auto& chain = cover.chains[cid];
+    covered += chain.size();
+    for (size_t i = 0; i < chain.size(); ++i) {
+      NodeId v = chain[i];
+      if (cover.cid_of[v] != cid || cover.sid_of[v] != i) return false;
+      if (i + 1 < chain.size() && !dag.HasEdge(v, chain[i + 1])) {
+        return false;  // consecutive chain nodes must share an edge
+      }
+    }
+  }
+  return covered == n;
+}
+
+}  // namespace gtpq

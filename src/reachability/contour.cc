@@ -1,0 +1,167 @@
+#include "reachability/contour.h"
+
+namespace gtpq {
+
+void Contour::UpdateMax(uint32_t cid, const ContourEntry& e) {
+  auto [it, inserted] = entries_.emplace(cid, e);
+  if (inserted) return;
+  ContourEntry& cur = it->second;
+  if (e.sid > cur.sid) {
+    cur = e;
+  } else if (e.sid == cur.sid) {
+    // Same position contributed twice: genuine wins; two distinct self
+    // members imply a multi-node SCC, which is cyclic, hence genuine.
+    if (e.genuine || cur.genuine ||
+        (cur.self_member != kInvalidNode &&
+         e.self_member != kInvalidNode &&
+         cur.self_member != e.self_member)) {
+      cur.genuine = true;
+    }
+  }
+}
+
+void Contour::UpdateMin(uint32_t cid, const ContourEntry& e) {
+  auto [it, inserted] = entries_.emplace(cid, e);
+  if (inserted) return;
+  ContourEntry& cur = it->second;
+  if (e.sid < cur.sid) {
+    cur = e;
+  } else if (e.sid == cur.sid) {
+    if (e.genuine || cur.genuine ||
+        (cur.self_member != kInvalidNode &&
+         e.self_member != kInvalidNode &&
+         cur.self_member != e.self_member)) {
+      cur.genuine = true;
+    }
+  }
+}
+
+Contour MergePredLists(const ThreeHopIndex& idx,
+                       std::span<const NodeId> members) {
+  Contour cp;
+  // Walks proceed downward from each member, so a walk starting at sid s
+  // covers every Lin list at sids <= s. visited[cid] records the highest
+  // start walked so far — Procedure 2's `visited` bookkeeping, letting
+  // overlapping members share the work.
+  std::unordered_map<uint32_t, uint32_t> visited;
+  for (NodeId v : members) {
+    const auto cond = idx.CondOf(v);
+    const ChainPos p = idx.PosOfCond(cond);
+    // The member itself belongs to its complete predecessor list.
+    cp.UpdateMax(p.cid, ContourEntry{p.sid, idx.CondCyclic(cond), v});
+
+    auto it = visited.find(p.cid);
+    const bool chain_seen = it != visited.end();
+    if (chain_seen && p.sid <= it->second) continue;  // segment covered
+
+    auto cur = idx.Lin(cond).empty() ? idx.PrevWithLin(cond) : cond;
+    while (cur != ThreeHopIndex::kNoCond) {
+      const ChainPos pc = idx.PosOfCond(cur);
+      if (chain_seen && pc.sid <= it->second) break;  // already walked
+      for (const ChainPos& e : idx.Lin(cur)) {
+        ++idx.stats().elements_looked_up;
+        cp.UpdateMax(e.cid, ContourEntry{e.sid, true, kInvalidNode});
+      }
+      cur = idx.PrevWithLin(cur);
+    }
+    if (chain_seen) {
+      it->second = p.sid;
+    } else {
+      visited.emplace(p.cid, p.sid);
+    }
+  }
+  return cp;
+}
+
+Contour MergeSuccLists(const ThreeHopIndex& idx,
+                       std::span<const NodeId> members) {
+  Contour cs;
+  // Dual bookkeeping: walks proceed upward, so a walk starting at sid s
+  // covers sids >= s; visited[cid] records the lowest start so far.
+  std::unordered_map<uint32_t, uint32_t> visited;
+  for (NodeId v : members) {
+    const auto cond = idx.CondOf(v);
+    const ChainPos p = idx.PosOfCond(cond);
+    cs.UpdateMin(p.cid, ContourEntry{p.sid, idx.CondCyclic(cond), v});
+
+    auto it = visited.find(p.cid);
+    const bool chain_seen = it != visited.end();
+    if (chain_seen && p.sid >= it->second) continue;
+
+    auto cur = idx.Lout(cond).empty() ? idx.NextWithLout(cond) : cond;
+    while (cur != ThreeHopIndex::kNoCond) {
+      const ChainPos pc = idx.PosOfCond(cur);
+      if (chain_seen && pc.sid >= it->second) break;
+      for (const ChainPos& e : idx.Lout(cur)) {
+        ++idx.stats().elements_looked_up;
+        cs.UpdateMin(e.cid, ContourEntry{e.sid, true, kInvalidNode});
+      }
+      cur = idx.NextWithLout(cur);
+    }
+    if (chain_seen) {
+      it->second = p.sid;
+    } else {
+      visited.emplace(p.cid, p.sid);
+    }
+  }
+  return cs;
+}
+
+namespace {
+
+// Shared pair test: does probe entry x (possibly a zero-length self
+// entry of data node v) match contour entry e so that a non-empty path
+// v -> member exists? `probe_le_entry` is true when the probe must be
+// <=c the contour entry (successor probe vs predecessor contour) and
+// false for the mirrored case.
+bool PairMatches(const ChainPos& x, bool x_genuine, NodeId v,
+                 const ContourEntry& e, bool probe_le_entry) {
+  if (probe_le_entry ? x.sid < e.sid : x.sid > e.sid) return true;
+  if (x.sid != e.sid) return false;
+  // Same position: at least one side must cover a real edge, or the
+  // contour entry must stem from a different data node than v (two
+  // distinct nodes at one position live in a cyclic SCC anyway).
+  if (x_genuine || e.genuine) return true;
+  return e.self_member != kInvalidNode && e.self_member != v;
+}
+
+}  // namespace
+
+bool ProbePredecessorContour(const Contour& cp, const ChainPos& x,
+                             bool x_genuine, NodeId v) {
+  const ContourEntry* e = cp.Find(x.cid);
+  return e != nullptr && PairMatches(x, x_genuine, v, *e, /*probe_le=*/true);
+}
+
+bool ProbeSuccessorContour(const Contour& cs, const ChainPos& y,
+                           bool y_genuine, NodeId v) {
+  const ContourEntry* e = cs.Find(y.cid);
+  return e != nullptr &&
+         PairMatches(y, y_genuine, v, *e, /*probe_le=*/false);
+}
+
+bool NodeReachesContour(const ThreeHopIndex& idx, NodeId v,
+                        const Contour& cp) {
+  if (cp.empty()) return false;
+  const auto cond = idx.CondOf(v);
+  const ChainPos p = idx.PosOfCond(cond);
+  // Self probe: v sits at p with a zero-length path (genuine iff cyclic).
+  if (ProbePredecessorContour(cp, p, idx.CondCyclic(cond), v)) return true;
+  // Walked entries are >= 1 edge away from v.
+  return idx.ForEachSuccessorEntry(cond, [&](const ChainPos& x) {
+    return ProbePredecessorContour(cp, x, /*x_genuine=*/true, v);
+  });
+}
+
+bool ContourReachesNode(const ThreeHopIndex& idx, const Contour& cs,
+                        NodeId v) {
+  if (cs.empty()) return false;
+  const auto cond = idx.CondOf(v);
+  const ChainPos p = idx.PosOfCond(cond);
+  if (ProbeSuccessorContour(cs, p, idx.CondCyclic(cond), v)) return true;
+  return idx.ForEachPredecessorEntry(cond, [&](const ChainPos& y) {
+    return ProbeSuccessorContour(cs, y, /*y_genuine=*/true, v);
+  });
+}
+
+}  // namespace gtpq

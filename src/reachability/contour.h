@@ -1,0 +1,88 @@
+#ifndef GTPQ_REACHABILITY_CONTOUR_H_
+#define GTPQ_REACHABILITY_CONTOUR_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "reachability/three_hop.h"
+
+namespace gtpq {
+
+/// One per-chain contour entry. `genuine` records that the position is
+/// connected to the member set by a path of length >= 1 (an Lin/Lout
+/// derived entry, or a self entry inside a cyclic SCC); for non-genuine
+/// (pure self) entries `self_member` identifies the single contributing
+/// data node, which disambiguates the zero-length corner case of the
+/// paper's non-empty-path AD semantics.
+struct ContourEntry {
+  uint32_t sid = 0;
+  bool genuine = false;
+  NodeId self_member = kInvalidNode;
+};
+
+/// A predecessor or successor contour: chain id -> extreme entry
+/// (maximum sid for predecessor contours, minimum for successor ones).
+/// This is the merged, duplicate-free complete list of Section 4.2.1.
+class Contour {
+ public:
+  using Map = std::unordered_map<uint32_t, ContourEntry>;
+
+  const Map& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  /// Finds the entry for a chain; nullptr when absent.
+  const ContourEntry* Find(uint32_t cid) const {
+    auto it = entries_.find(cid);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+
+  /// Keeps the larger-sid entry (predecessor contours).
+  void UpdateMax(uint32_t cid, const ContourEntry& e);
+  /// Keeps the smaller-sid entry (successor contours).
+  void UpdateMin(uint32_t cid, const ContourEntry& e);
+
+ private:
+  Map entries_;
+};
+
+/// Procedure 2 (MergePredLists): merges the complete predecessor lists
+/// of `members` into a predecessor contour. Each chain segment of Lin
+/// lists is walked at most once thanks to the `visited` bookkeeping.
+Contour MergePredLists(const ThreeHopIndex& idx,
+                       std::span<const NodeId> members);
+
+/// Dual of Procedure 2: merges complete successor lists into a
+/// successor contour.
+Contour MergeSuccLists(const ThreeHopIndex& idx,
+                       std::span<const NodeId> members);
+
+/// Proposition 7, first half: does data node v reach (non-empty path)
+/// at least one member of the set summarized by predecessor contour cp?
+bool NodeReachesContour(const ThreeHopIndex& idx, NodeId v,
+                        const Contour& cp);
+
+/// Proposition 7, second half: does some member of the set summarized
+/// by successor contour cs reach data node v?
+bool ContourReachesNode(const ThreeHopIndex& idx, const Contour& cs,
+                        NodeId v);
+
+/// Single-probe building blocks, exposed so the pruning procedures can
+/// share one chain walk across several contours (Procedure 6/7).
+///
+/// Tests probe position x — an entry of v's complete successor list, or
+/// v's own position with x_genuine = v-on-cycle — against a predecessor
+/// contour: true iff a pair (x, y) with x <=c y certifies a non-empty
+/// path from v into the member set.
+bool ProbePredecessorContour(const Contour& cp, const ChainPos& x,
+                             bool x_genuine, NodeId v);
+
+/// Dual: probe y from v's complete predecessor list against a successor
+/// contour (pair (x, y) with x <=c y, x in the contour).
+bool ProbeSuccessorContour(const Contour& cs, const ChainPos& y,
+                           bool y_genuine, NodeId v);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_REACHABILITY_CONTOUR_H_

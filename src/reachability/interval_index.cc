@@ -1,0 +1,116 @@
+#include "reachability/interval_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+namespace {
+
+// Merges overlapping/adjacent intervals in place; input sorted by low.
+void Compress(std::vector<IntervalIndex::Interval>* ivals) {
+  auto& v = *ivals;
+  if (v.empty()) return;
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.low != b.low ? a.low < b.low : a.post > b.post;
+  });
+  size_t out = 0;
+  for (size_t i = 1; i < v.size(); ++i) {
+    if (v[i].low <= v[out].post + 1) {
+      v[out].post = std::max(v[out].post, v[i].post);
+    } else {
+      v[++out] = v[i];
+    }
+  }
+  v.resize(out + 1);
+}
+
+}  // namespace
+
+IntervalIndex IntervalIndex::Build(const Digraph& g) {
+  IntervalIndex idx;
+  idx.scc_ = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, idx.scc_);
+  const size_t m = cond.NumNodes();
+  idx.post_.assign(m, 0);
+  idx.intervals_.resize(m);
+
+  // Spanning forest: first in-neighbor in a topological pass claims each
+  // node; roots are nodes without a claimed tree parent.
+  auto order = TopologicalSort(cond);
+  GTPQ_CHECK(order.size() == m);
+  std::vector<NodeId> tree_parent(m, kInvalidNode);
+  for (NodeId v : order) {
+    for (NodeId w : cond.OutNeighbors(v)) {
+      if (tree_parent[w] == kInvalidNode) tree_parent[w] = v;
+    }
+  }
+  std::vector<std::vector<NodeId>> tree_children(m);
+  for (NodeId v = 0; v < m; ++v) {
+    if (tree_parent[v] != kInvalidNode) {
+      tree_children[tree_parent[v]].push_back(v);
+    }
+  }
+
+  // Iterative post-order over the forest; low = smallest post in the
+  // subtree, giving the tree interval [low, post].
+  std::vector<uint32_t> low(m, 0);
+  uint32_t counter = 0;
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId root = 0; root < m; ++root) {
+    if (tree_parent[root] != kInvalidNode) continue;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [v, cursor] = stack.back();
+      if (cursor == 0) low[v] = counter;
+      if (cursor < tree_children[v].size()) {
+        NodeId child = tree_children[v][cursor++];
+        stack.emplace_back(child, 0);
+        continue;
+      }
+      idx.post_[v] = counter++;
+      stack.pop_back();
+    }
+  }
+
+  // Inherit interval lists from all successors in reverse topological
+  // order, then compress.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId v = *it;
+    auto& ivals = idx.intervals_[v];
+    ivals.push_back(Interval{low[v], idx.post_[v]});
+    for (NodeId w : cond.OutNeighbors(v)) {
+      const auto& wi = idx.intervals_[w];
+      ivals.insert(ivals.end(), wi.begin(), wi.end());
+    }
+    Compress(&ivals);
+  }
+  for (const auto& iv : idx.intervals_) idx.total_intervals_ += iv.size();
+  return idx;
+}
+
+bool IntervalIndex::Reaches(NodeId from, NodeId to) const {
+  ++stats_.queries;
+  NodeId cu = scc_.component_of[from];
+  NodeId cv = scc_.component_of[to];
+  if (cu == cv) return scc_.cyclic[cu];
+  const uint32_t target = post_[cv];
+  const auto& ivals = intervals_[cu];
+  // Binary search on the sorted, disjoint interval list.
+  size_t lo = 0, hi = ivals.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    ++stats_.elements_looked_up;
+    if (ivals[mid].post < target) {
+      lo = mid + 1;
+    } else if (ivals[mid].low > target) {
+      hi = mid;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,39 @@
+#ifndef GTPQ_REACHABILITY_REACHABILITY_INDEX_H_
+#define GTPQ_REACHABILITY_REACHABILITY_INDEX_H_
+
+#include <cstdint>
+
+#include "graph/digraph.h"
+
+namespace gtpq {
+
+/// Counters shared by all reachability indexes, feeding the #index
+/// metric of the paper's I/O-cost experiment (Fig 10).
+struct IndexStats {
+  /// Index elements (list entries, intervals, surplus links) visited.
+  uint64_t elements_looked_up = 0;
+  /// Point reachability queries answered.
+  uint64_t queries = 0;
+
+  void Reset() { *this = IndexStats(); }
+};
+
+/// Abstract ancestor-descendant oracle. Semantics follow Section 2
+/// exactly: Reaches(u, v) is true iff there is a path of length >= 1
+/// from u to v; hence Reaches(v, v) holds only when v lies on a cycle.
+class ReachabilityOracle {
+ public:
+  virtual ~ReachabilityOracle() = default;
+
+  /// True iff a non-empty path leads from `from` to `to`.
+  virtual bool Reaches(NodeId from, NodeId to) const = 0;
+
+  IndexStats& stats() const { return stats_; }
+
+ protected:
+  mutable IndexStats stats_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_REACHABILITY_REACHABILITY_INDEX_H_

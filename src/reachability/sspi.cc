@@ -1,0 +1,100 @@
+#include "reachability/sspi.h"
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+Sspi Sspi::Build(const Digraph& g) {
+  Sspi idx;
+  idx.scc_ = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, idx.scc_);
+  const size_t m = cond.NumNodes();
+
+  auto order = TopologicalSort(cond);
+  GTPQ_CHECK(order.size() == m);
+  idx.tree_parent_.assign(m, kInvalidNode);
+  for (NodeId v : order) {
+    for (NodeId w : cond.OutNeighbors(v)) {
+      if (idx.tree_parent_[w] == kInvalidNode) idx.tree_parent_[w] = v;
+    }
+  }
+  std::vector<std::vector<NodeId>> children(m);
+  for (NodeId v = 0; v < m; ++v) {
+    if (idx.tree_parent_[v] != kInvalidNode) {
+      children[idx.tree_parent_[v]].push_back(v);
+    }
+  }
+  // Pre/post numbering of the spanning forest.
+  idx.pre_.assign(m, 0);
+  idx.post_.assign(m, 0);
+  uint32_t pre_counter = 0, post_counter = 0;
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId root = 0; root < m; ++root) {
+    if (idx.tree_parent_[root] != kInvalidNode) continue;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [v, cursor] = stack.back();
+      if (cursor == 0) idx.pre_[v] = pre_counter++;
+      if (cursor < children[v].size()) {
+        stack.emplace_back(children[v][cursor++], 0);
+        continue;
+      }
+      idx.post_[v] = post_counter++;
+      stack.pop_back();
+    }
+  }
+  // Surplus predecessors: non-tree in-edges.
+  idx.surplus_.resize(m);
+  for (NodeId v = 0; v < m; ++v) {
+    for (NodeId w : cond.OutNeighbors(v)) {
+      if (idx.tree_parent_[w] != v) {
+        idx.surplus_[w].push_back(v);
+        ++idx.total_surplus_;
+      }
+    }
+  }
+  idx.visit_mark_.assign(m, 0);
+  return idx;
+}
+
+bool Sspi::Reaches(NodeId from, NodeId to) const {
+  ++stats_.queries;
+  NodeId cu = scc_.component_of[from];
+  NodeId cv = scc_.component_of[to];
+  if (cu == cv) return scc_.cyclic[cu];
+
+  // Expand targets backwards: ascend the spanning-tree path of every
+  // frontier node, testing tree ancestry against cu and enqueueing
+  // surplus predecessors. visit_mark_ memoizes across the probe.
+  ++visit_epoch_;
+  std::vector<NodeId> frontier{cv};
+  visit_mark_[cv] = visit_epoch_;
+  while (!frontier.empty()) {
+    NodeId x = frontier.back();
+    frontier.pop_back();
+    if (TreeAncestor(cu, x)) return true;
+    // Walk from x up to the root, collecting surplus predecessors of
+    // every tree ancestor (a surplus edge into an ancestor also reaches
+    // x through the tree). Stop early at already-visited tree nodes.
+    NodeId y = x;
+    while (y != kInvalidNode) {
+      ++stats_.elements_looked_up;
+      for (NodeId p : surplus_[y]) {
+        ++stats_.elements_looked_up;
+        if (p == cu) return true;
+        if (visit_mark_[p] != visit_epoch_) {
+          visit_mark_[p] = visit_epoch_;
+          frontier.push_back(p);
+        }
+      }
+      NodeId parent = tree_parent_[y];
+      if (parent == kInvalidNode) break;
+      if (visit_mark_[parent] == visit_epoch_) break;
+      visit_mark_[parent] = visit_epoch_;
+      y = parent;
+    }
+  }
+  return false;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,47 @@
+#ifndef GTPQ_REACHABILITY_SSPI_H_
+#define GTPQ_REACHABILITY_SSPI_H_
+
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "reachability/reachability_index.h"
+
+namespace gtpq {
+
+/// SSPI — the Surrogate & Surplus Predecessor Index of TwigStackD (Chen,
+/// Gupta, Kurul, VLDB'05). A spanning forest of the (condensed) DAG is
+/// labeled with pre/post intervals; every node keeps the list of its
+/// non-tree ("surplus") predecessors. A reachability probe ascends tree
+/// paths and expands through surplus predecessors with memoization.
+///
+/// The index is tiny (one interval + the surplus lists), which is why
+/// TwigStackD shines on tree-like data; probes degenerate on dense deep
+/// graphs — the behaviour the paper's arXiv experiment (Fig 9) exposes.
+class Sspi : public ReachabilityOracle {
+ public:
+  static Sspi Build(const Digraph& g);
+
+  bool Reaches(NodeId from, NodeId to) const override;
+
+  /// Total surplus predecessor entries (index size metric).
+  size_t TotalSurplus() const { return total_surplus_; }
+
+ private:
+  Sspi() = default;
+
+  bool TreeAncestor(NodeId anc, NodeId desc) const {
+    return pre_[anc] < pre_[desc] && post_[desc] <= post_[anc];
+  }
+
+  SccResult scc_;
+  std::vector<uint32_t> pre_, post_;
+  std::vector<NodeId> tree_parent_;
+  std::vector<std::vector<NodeId>> surplus_;  // per condensation node
+  size_t total_surplus_ = 0;
+  mutable std::vector<uint32_t> visit_mark_;
+  mutable uint32_t visit_epoch_ = 0;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_REACHABILITY_SSPI_H_

@@ -1,0 +1,194 @@
+#include "reachability/three_hop.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+namespace {
+
+// Merges candidate entries into per-chain minima (keep_min) or maxima,
+// excluding entries on `own_chain`. Candidates arrive unsorted.
+std::vector<ChainPos> CompressEntries(std::vector<ChainPos>* candidates,
+                                      uint32_t own_chain, bool keep_min) {
+  auto& c = *candidates;
+  std::sort(c.begin(), c.end(), [](const ChainPos& a, const ChainPos& b) {
+    return a.cid != b.cid ? a.cid < b.cid : a.sid < b.sid;
+  });
+  std::vector<ChainPos> out;
+  for (size_t i = 0; i < c.size();) {
+    size_t j = i;
+    while (j < c.size() && c[j].cid == c[i].cid) ++j;
+    if (c[i].cid != own_chain) {
+      out.push_back(keep_min ? c[i] : c[j - 1]);
+    }
+    i = j;
+  }
+  return out;
+}
+
+// Returns entries of `mine` not already implied by `inherited`:
+// for successor lists an entry is implied when the inherited list has an
+// entry on the same chain with sid <= mine's (keep_min=true); for
+// predecessor lists when it has sid >= mine's.
+std::vector<ChainPos> DiffEntries(const std::vector<ChainPos>& mine,
+                                  const std::vector<ChainPos>& inherited,
+                                  bool keep_min) {
+  std::vector<ChainPos> out;
+  size_t j = 0;
+  for (const ChainPos& e : mine) {
+    while (j < inherited.size() && inherited[j].cid < e.cid) ++j;
+    bool implied = false;
+    if (j < inherited.size() && inherited[j].cid == e.cid) {
+      implied = keep_min ? inherited[j].sid <= e.sid
+                         : inherited[j].sid >= e.sid;
+    }
+    if (!implied) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace
+
+ThreeHopIndex ThreeHopIndex::Build(const Digraph& g) {
+  ThreeHopIndex idx;
+  idx.scc_ = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, idx.scc_);
+  const size_t m = cond.NumNodes();
+  idx.cover_ = BuildGreedyChainCover(cond);
+  idx.pos_.resize(m);
+  for (CondId c = 0; c < m; ++c) {
+    idx.pos_[c] = ChainPos{idx.cover_.cid_of[c], idx.cover_.sid_of[c]};
+  }
+  idx.lout_.resize(m);
+  idx.lin_.resize(m);
+
+  auto order = TopologicalSort(cond);
+  GTPQ_CHECK(order.size() == m);
+
+  // ---- Successor entries: reverse-topological sweep. X[v] holds the
+  // per-chain minimal positions reachable from v via >= 1 edge (own
+  // chain excluded). Lout(v) keeps only entries that improve on the
+  // chain successor's X; freed once all in-neighbors are done.
+  {
+    std::vector<std::vector<ChainPos>> X(m);
+    std::vector<uint32_t> remaining_in(m);
+    for (CondId v = 0; v < m; ++v) {
+      remaining_in[v] = static_cast<uint32_t>(cond.InDegree(v));
+    }
+    std::vector<ChainPos> scratch;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      CondId v = *it;
+      scratch.clear();
+      for (NodeId w : cond.OutNeighbors(v)) {
+        scratch.push_back(idx.pos_[w]);
+        scratch.insert(scratch.end(), X[w].begin(), X[w].end());
+      }
+      X[v] = CompressEntries(&scratch, idx.pos_[v].cid, /*keep_min=*/true);
+
+      const uint32_t cid = idx.pos_[v].cid;
+      const uint32_t sid = idx.pos_[v].sid;
+      if (sid + 1 < idx.cover_.chains[cid].size()) {
+        CondId succ = idx.cover_.chains[cid][sid + 1];
+        idx.lout_[v] = DiffEntries(X[v], X[succ], /*keep_min=*/true);
+      } else {
+        idx.lout_[v] = X[v];
+      }
+      for (NodeId w : cond.OutNeighbors(v)) {
+        if (--remaining_in[w] == 0) {
+          std::vector<ChainPos>().swap(X[w]);
+        }
+      }
+    }
+  }
+
+  // ---- Predecessor entries: topological sweep with per-chain maxima.
+  {
+    std::vector<std::vector<ChainPos>> Y(m);
+    std::vector<uint32_t> remaining_out(m);
+    for (CondId v = 0; v < m; ++v) {
+      remaining_out[v] = static_cast<uint32_t>(cond.OutDegree(v));
+    }
+    std::vector<ChainPos> scratch;
+    for (CondId v : order) {
+      scratch.clear();
+      for (NodeId u : cond.InNeighbors(v)) {
+        scratch.push_back(idx.pos_[u]);
+        scratch.insert(scratch.end(), Y[u].begin(), Y[u].end());
+      }
+      Y[v] = CompressEntries(&scratch, idx.pos_[v].cid, /*keep_min=*/false);
+
+      const uint32_t cid = idx.pos_[v].cid;
+      const uint32_t sid = idx.pos_[v].sid;
+      if (sid > 0) {
+        CondId pred = idx.cover_.chains[cid][sid - 1];
+        idx.lin_[v] = DiffEntries(Y[v], Y[pred], /*keep_min=*/false);
+      } else {
+        idx.lin_[v] = Y[v];
+      }
+      for (NodeId u : cond.InNeighbors(v)) {
+        if (--remaining_out[u] == 0) {
+          std::vector<ChainPos>().swap(Y[u]);
+        }
+      }
+    }
+  }
+
+  // ---- Tracing pointers.
+  idx.next_with_lout_.assign(m, kNoCond);
+  idx.prev_with_lin_.assign(m, kNoCond);
+  for (const auto& chain : idx.cover_.chains) {
+    CondId last_with_lout = kNoCond;
+    for (size_t i = chain.size(); i-- > 0;) {
+      CondId c = chain[i];
+      idx.next_with_lout_[c] = last_with_lout;
+      if (!idx.lout_[c].empty()) last_with_lout = c;
+    }
+    CondId last_with_lin = kNoCond;
+    for (CondId c : chain) {
+      idx.prev_with_lin_[c] = last_with_lin;
+      if (!idx.lin_[c].empty()) last_with_lin = c;
+    }
+  }
+
+  for (CondId c = 0; c < m; ++c) {
+    idx.total_lout_ += idx.lout_[c].size();
+    idx.total_lin_ += idx.lin_[c].size();
+  }
+  return idx;
+}
+
+bool ThreeHopIndex::Reaches(NodeId from, NodeId to) const {
+  ++stats_.queries;
+  CondId cu = CondOf(from);
+  CondId cv = CondOf(to);
+  if (cu == cv) return CondCyclic(cu);
+  ChainPos pu = pos_[cu];
+  ChainPos pv = pos_[cv];
+  if (pu.cid == pv.cid) return pu.sid < pv.sid;
+
+  // Complete successor list of cu as per-chain minima (plus self).
+  // Small maps; queries touch O(|walked lists|) entries.
+  std::unordered_map<uint32_t, uint32_t> xmin;
+  xmin.emplace(pu.cid, pu.sid);
+  ForEachSuccessorEntry(cu, [&xmin](const ChainPos& e) {
+    auto [it, inserted] = xmin.emplace(e.cid, e.sid);
+    if (!inserted && e.sid < it->second) it->second = e.sid;
+    return false;
+  });
+
+  // Direct hit on the target's chain.
+  auto direct = xmin.find(pv.cid);
+  if (direct != xmin.end() && direct->second <= pv.sid) return true;
+
+  // Pair the target's complete predecessor list against the map.
+  bool reached = ForEachPredecessorEntry(cv, [&xmin](const ChainPos& e) {
+    auto it = xmin.find(e.cid);
+    return it != xmin.end() && it->second <= e.sid;
+  });
+  return reached;
+}
+
+}  // namespace gtpq

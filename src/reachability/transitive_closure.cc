@@ -1,0 +1,38 @@
+#include "reachability/transitive_closure.h"
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+TransitiveClosure TransitiveClosure::Build(const Digraph& g) {
+  TransitiveClosure tc;
+  tc.scc_ = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, tc.scc_);
+  const size_t m = cond.NumNodes();
+  tc.words_per_row_ = (m + 63) / 64;
+  tc.rows_.assign(m, std::vector<uint64_t>(tc.words_per_row_, 0));
+
+  auto order = TopologicalSort(cond);
+  GTPQ_CHECK(order.size() == m) << "condensation must be acyclic";
+  // Reverse topological: successors first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    NodeId v = *it;
+    auto& row = tc.rows_[v];
+    for (NodeId w : cond.OutNeighbors(v)) {
+      row[w >> 6] |= uint64_t{1} << (w & 63);
+      const auto& wrow = tc.rows_[w];
+      for (size_t i = 0; i < tc.words_per_row_; ++i) row[i] |= wrow[i];
+    }
+  }
+  return tc;
+}
+
+bool TransitiveClosure::Reaches(NodeId from, NodeId to) const {
+  ++stats_.queries;
+  NodeId cu = scc_.component_of[from];
+  NodeId cv = scc_.component_of[to];
+  if (cu == cv) return scc_.cyclic[cu];
+  return CondReaches(cu, cv);
+}
+
+}  // namespace gtpq

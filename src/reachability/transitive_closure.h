@@ -1,0 +1,38 @@
+#ifndef GTPQ_REACHABILITY_TRANSITIVE_CLOSURE_H_
+#define GTPQ_REACHABILITY_TRANSITIVE_CLOSURE_H_
+
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "reachability/reachability_index.h"
+
+namespace gtpq {
+
+/// Full materialized transitive closure over SCC-condensed bitset rows.
+/// Quadratic space — usable up to a few tens of thousands of nodes. It
+/// is the golden oracle every other index is property-tested against,
+/// and the substrate of the brute-force query evaluator.
+class TransitiveClosure : public ReachabilityOracle {
+ public:
+  /// Builds from a finalized graph (cycles allowed).
+  static TransitiveClosure Build(const Digraph& g);
+
+  bool Reaches(NodeId from, NodeId to) const override;
+
+  size_t NumNodes() const { return scc_.component_of.size(); }
+
+ private:
+  TransitiveClosure() = default;
+
+  bool CondReaches(NodeId cu, NodeId cv) const {
+    return (rows_[cu][cv >> 6] >> (cv & 63)) & 1;
+  }
+
+  SccResult scc_;
+  size_t words_per_row_ = 0;
+  std::vector<std::vector<uint64_t>> rows_;  // per condensation node
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_REACHABILITY_TRANSITIVE_CLOSURE_H_

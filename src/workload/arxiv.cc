@@ -1,0 +1,67 @@
+#include "workload/arxiv.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace gtpq {
+namespace workload {
+
+DataGraph GenerateArxiv(const ArxivOptions& options) {
+  const size_t papers = options.num_papers;
+  const size_t authors = options.num_authors;
+  DataGraph g(papers + authors);
+  Rng rng(options.seed);
+
+  // Zipf-ish paper labels (areas x journals draw a skewed mix).
+  for (NodeId p = 0; p < papers; ++p) {
+    const double z = rng.NextDouble();
+    const auto label = static_cast<int64_t>(
+        std::pow(z, 2.0) * static_cast<double>(options.num_paper_labels));
+    g.SetLabel(p, std::min<int64_t>(
+                      label,
+                      static_cast<int64_t>(options.num_paper_labels) - 1));
+  }
+  const int64_t author_base = ArxivAuthorLabelBase(options);
+  for (NodeId a = 0; a < authors; ++a) {
+    g.SetLabel(static_cast<NodeId>(papers + a),
+               author_base + static_cast<int64_t>(rng.NextBounded(
+                                 options.num_author_labels)));
+  }
+
+  // Authorship: every author writes 1..5 papers.
+  size_t edges = 0;
+  for (NodeId a = 0; a < authors; ++a) {
+    const size_t works = 1 + rng.NextBounded(5);
+    for (size_t k = 0; k < works && edges < options.target_edges; ++k) {
+      g.AddEdge(static_cast<NodeId>(papers + a),
+                static_cast<NodeId>(rng.NextBounded(papers)));
+      ++edges;
+    }
+  }
+  // Citations: papers cite older papers with preferential attachment
+  // (squared skew toward early papers keeps the graph deep and its
+  // in-degree distribution heavy-tailed).
+  while (edges < options.target_edges) {
+    NodeId citing =
+        1 + static_cast<NodeId>(rng.NextBounded(papers - 1));
+    const double z = rng.NextDouble();
+    NodeId cited = static_cast<NodeId>(
+        std::pow(z, 2.0) * static_cast<double>(citing));
+    if (cited >= citing) cited = citing - 1;
+    // Edge direction citing -> cited; ids ascend with publication time,
+    // so edges always point to strictly smaller ids: acyclic.
+    g.AddEdge(citing, cited);
+    ++edges;
+  }
+  g.Finalize();
+  return g;
+}
+
+int64_t ArxivAuthorLabelBase(const ArxivOptions& options) {
+  return static_cast<int64_t>(options.num_paper_labels);
+}
+
+}  // namespace workload
+}  // namespace gtpq

@@ -1,0 +1,244 @@
+#include "workload/xmark_queries.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "query/query_parser.h"
+#include "workload/xmark.h"
+
+namespace gtpq {
+namespace workload {
+
+namespace {
+
+std::string L(int64_t label) { return std::to_string(label); }
+
+// The Fig 11 structural skeleton: name parent edge label.
+struct SkeletonNode {
+  const char* name;
+  const char* parent;
+  const char* edge;
+  int64_t label;
+};
+
+std::vector<SkeletonNode> Fig11Skeleton(int person_group, int item_group,
+                                        int person2_group) {
+  return {
+      {"open_auction", "root", "", kOpenAuction},
+      {"bidder", "open_auction", "pc", kBidder},
+      {"person_ref", "bidder", "pc", kPersonRef},
+      {"person", "person_ref", "pc", kPersonGroupBase + person_group},
+      {"education", "person", "ad", kEducation},
+      {"address", "person", "pc", kAddress},
+      {"city", "address", "pc", kCity},
+      {"item_ref", "open_auction", "pc", kItemRef},
+      {"item", "item_ref", "pc", kItemGroupBase + item_group},
+      {"location", "item", "pc", kLocation},
+      {"mailbox", "item", "pc", kMailbox},
+      {"mail", "mailbox", "pc", kMail},
+      {"seller", "open_auction", "pc", kSeller},
+      {"person2", "seller", "pc", kPersonGroupBase + person2_group},
+      {"profile", "person2", "pc", kProfile},
+  };
+}
+
+// Assembles query text from a skeleton + roles + fs lines + outputs.
+Result<Gtpq> Assemble(const DataGraph& g,
+                      const std::vector<SkeletonNode>& skeleton,
+                      const std::set<std::string>& predicate_names,
+                      const std::map<std::string, std::string>& fs,
+                      const std::set<std::string>& outputs) {
+  std::string text;
+  for (const auto& n : skeleton) {
+    const bool predicate = predicate_names.count(n.name) > 0;
+    text += predicate ? "predicate " : "backbone ";
+    text += n.name;
+    if (std::string(n.parent) == "root") {
+      text += " root";
+    } else {
+      text += std::string(" ") + n.parent + " " + n.edge;
+    }
+    if (!predicate &&
+        (outputs.empty() || outputs.count(n.name) > 0)) {
+      text += " *";
+    }
+    text += "\n";
+    text += std::string("attr ") + n.name + " label=" + L(n.label) + "\n";
+  }
+  for (const auto& [node, formula] : fs) {
+    text += "fs " + node + " = " + formula + "\n";
+  }
+  return ParseQuery(text, g.attr_names_ptr());
+}
+
+XmarkQuery MakeConjunctive(const DataGraph& g,
+                           const std::vector<SkeletonNode>& skeleton,
+                           std::vector<std::string> cross) {
+  auto q = Assemble(g, skeleton, {}, {}, {});
+  GTPQ_CHECK(q.ok()) << q.status().ToString();
+  return XmarkQuery{q.TakeValue(), std::move(cross)};
+}
+
+}  // namespace
+
+XmarkQuery BuildXmarkQ1(const DataGraph& g, int person_group) {
+  std::vector<SkeletonNode> skeleton = {
+      {"open_auction", "root", "", kOpenAuction},
+      {"bidder", "open_auction", "pc", kBidder},
+      {"person_ref", "bidder", "pc", kPersonRef},
+      {"person", "person_ref", "pc", kPersonGroupBase + person_group},
+      {"education", "person", "ad", kEducation},
+      {"address", "person", "pc", kAddress},
+      {"city", "address", "pc", kCity},
+      {"current", "open_auction", "pc", kCurrent},
+  };
+  return MakeConjunctive(g, skeleton, {"person"});
+}
+
+XmarkQuery BuildXmarkQ2(const DataGraph& g, int person_group,
+                        int item_group) {
+  XmarkQuery q1 = BuildXmarkQ1(g, person_group);
+  std::vector<SkeletonNode> skeleton = {
+      {"open_auction", "root", "", kOpenAuction},
+      {"bidder", "open_auction", "pc", kBidder},
+      {"person_ref", "bidder", "pc", kPersonRef},
+      {"person", "person_ref", "pc", kPersonGroupBase + person_group},
+      {"education", "person", "ad", kEducation},
+      {"address", "person", "pc", kAddress},
+      {"city", "address", "pc", kCity},
+      {"current", "open_auction", "pc", kCurrent},
+      {"item_ref", "open_auction", "pc", kItemRef},
+      {"item", "item_ref", "pc", kItemGroupBase + item_group},
+      {"location", "item", "pc", kLocation},
+  };
+  return MakeConjunctive(g, skeleton, {"person", "item"});
+}
+
+XmarkQuery BuildXmarkQ3(const DataGraph& g, int person_group,
+                        int item_group, int person2_group) {
+  std::vector<SkeletonNode> skeleton = {
+      {"open_auction", "root", "", kOpenAuction},
+      {"bidder", "open_auction", "pc", kBidder},
+      {"person_ref", "bidder", "pc", kPersonRef},
+      {"person", "person_ref", "pc", kPersonGroupBase + person_group},
+      {"education", "person", "ad", kEducation},
+      {"address", "person", "pc", kAddress},
+      {"city", "address", "pc", kCity},
+      {"current", "open_auction", "pc", kCurrent},
+      {"item_ref", "open_auction", "pc", kItemRef},
+      {"item", "item_ref", "pc", kItemGroupBase + item_group},
+      {"location", "item", "pc", kLocation},
+      {"seller", "open_auction", "pc", kSeller},
+      {"person2", "seller", "pc", kPersonGroupBase + person2_group},
+      {"profile", "person2", "pc", kProfile},
+  };
+  return MakeConjunctive(g, skeleton, {"person", "item", "person2"});
+}
+
+Result<XmarkQuery> BuildFig11Query(
+    const DataGraph& g, int person_group, int item_group,
+    const std::map<std::string, std::string>& fs,
+    const std::set<std::string>& outputs) {
+  auto skeleton =
+      Fig11Skeleton(person_group, item_group, (person_group + 1) % 10);
+  // Nodes referenced in structural predicates become predicate nodes,
+  // along with their whole subtrees (backbone nodes may not hang off
+  // predicate parents).
+  std::set<std::string> predicate_names;
+  for (const auto& [node, formula] : fs) {
+    std::string token;
+    auto flush = [&]() {
+      if (!token.empty() && token != node) predicate_names.insert(token);
+      token.clear();
+    };
+    for (char c : formula) {
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        token.push_back(c);
+      } else {
+        flush();
+      }
+    }
+    flush();
+  }
+  // Close under descendants.
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& n : skeleton) {
+      if (predicate_names.count(n.parent) &&
+          !predicate_names.count(n.name)) {
+        predicate_names.insert(n.name);
+        grew = true;
+      }
+    }
+  }
+  auto q = Assemble(g, skeleton, predicate_names, fs, outputs);
+  if (!q.ok()) return q.status();
+  return XmarkQuery{q.TakeValue(), {"person", "item", "person2"}};
+}
+
+Result<XmarkQuery> BuildExp1Query(const DataGraph& g, int person_group,
+                                  int item_group, int variant) {
+  static const std::vector<std::set<std::string>> kOutputs = {
+      /*Q4*/ {"open_auction"},
+      /*Q5*/ {"open_auction", "bidder", "seller"},
+      /*Q6*/ {"open_auction", "bidder", "seller", "city", "profile"},
+      /*Q7*/ {"open_auction", "item", "location"},
+      /*Q8*/ {},  // all nodes
+  };
+  if (variant < 4 || variant > 8) {
+    return Status::InvalidArgument("Exp-1 variants are Q4..Q8");
+  }
+  return BuildFig11Query(g, person_group, item_group, {},
+                         kOutputs[static_cast<size_t>(variant - 4)]);
+}
+
+Result<XmarkQuery> BuildExp2Query(const DataGraph& g, int person_group,
+                                  int item_group,
+                                  const std::string& name) {
+  // item_ref stands in for the paper's `item` variable on
+  // open_auction's predicate (the reference edge is where the branch
+  // hangs); fs(item) applies to the item element as in Table 4.
+  static const std::map<std::string,
+                        std::map<std::string, std::string>>
+      kSpecs = {
+          {"DIS1", {{"open_auction", "bidder | seller"}}},
+          {"DIS2",
+           {{"open_auction", "bidder | seller"},
+            {"item", "mailbox | location"}}},
+          {"DIS3", {{"open_auction", "bidder | seller | item_ref"}}},
+          {"NEG1", {{"person", "!education"}}},
+          {"NEG2",
+           {{"open_auction", "!bidder"}, {"person", "!education"}}},
+          {"NEG3",
+           {{"open_auction", "!bidder & !seller"},
+            {"person", "!education"}}},
+          {"DIS_NEG1",
+           {{"open_auction", "!bidder | seller"},
+            {"person", "!education"}}},
+          {"DIS_NEG2",
+           {{"open_auction",
+             "(!bidder & seller) | (bidder & !seller)"}}},
+          {"DIS_NEG3",
+           {{"open_auction", "(!bidder & seller) | (bidder & !seller)"},
+            {"person", "!education"}}},
+          {"DIS_NEG4",
+           {{"open_auction",
+             "(!bidder & seller & item_ref) | "
+             "(bidder & !seller & !item_ref)"},
+            {"person", "!education"}}},
+      };
+  auto it = kSpecs.find(name);
+  if (it == kSpecs.end()) {
+    return Status::NotFound("unknown Exp-2 query " + name);
+  }
+  return BuildFig11Query(g, person_group, item_group, it->second, {});
+}
+
+std::vector<std::string> Exp2QueryNames() {
+  return {"DIS1", "DIS2",     "DIS3",     "NEG1",     "NEG2",
+          "NEG3", "DIS_NEG1", "DIS_NEG2", "DIS_NEG3", "DIS_NEG4"};
+}
+
+}  // namespace workload
+}  // namespace gtpq

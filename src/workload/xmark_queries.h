@@ -1,0 +1,65 @@
+#ifndef GTPQ_WORKLOAD_XMARK_QUERIES_H_
+#define GTPQ_WORKLOAD_XMARK_QUERIES_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+namespace workload {
+
+/// A built benchmark query plus the cross (IDREF) query nodes, which
+/// the TwigStack/Twig2Stack decomposition wrapper splits at.
+struct XmarkQuery {
+  Gtpq query;
+  std::vector<std::string> cross_node_names;
+};
+
+/// Fig 7 queries Q1/Q2/Q3: conjunctive TPQs with all nodes output, over
+/// open_auction records joining persons (and items / second persons)
+/// through IDREF edges. `person_group`/`item_group` pick the random
+/// label instances the paper averages over.
+XmarkQuery BuildXmarkQ1(const DataGraph& g, int person_group);
+XmarkQuery BuildXmarkQ2(const DataGraph& g, int person_group,
+                        int item_group);
+XmarkQuery BuildXmarkQ3(const DataGraph& g, int person_group,
+                        int item_group, int person2_group);
+
+/// The Fig 11 GTPQ skeleton used by Exp-1/Exp-2 (Appendix C.2):
+///
+///   open_auction -- bidder -- person_ref => person(g) {-ad- education,
+///                                            -pc- address -pc- city}
+///                -- item_ref => item(g) { location, mailbox -- mail }
+///                -- seller => person2 -- profile
+///
+/// `fs` maps node names to structural-predicate formulas over child
+/// names (e.g. {"open_auction", "bidder | seller"}); nodes referenced
+/// in any formula become predicate nodes (their whole subtree turns
+/// predicate). `outputs` lists output node names; when empty, all
+/// backbone nodes are output ("all potentially valid backbone nodes").
+Result<XmarkQuery> BuildFig11Query(
+    const DataGraph& g, int person_group, int item_group,
+    const std::map<std::string, std::string>& fs,
+    const std::set<std::string>& outputs);
+
+/// The Table 3 output-node variants Q4..Q8 for Exp-1 (conjunctive).
+Result<XmarkQuery> BuildExp1Query(const DataGraph& g, int person_group,
+                                  int item_group, int variant);
+
+/// The Table 4 predicate variants for Exp-2. Names: DIS1..3, NEG1..3,
+/// DIS_NEG1..4.
+Result<XmarkQuery> BuildExp2Query(const DataGraph& g, int person_group,
+                                  int item_group,
+                                  const std::string& name);
+
+/// All Table 4 variant names, in the paper's order.
+std::vector<std::string> Exp2QueryNames();
+
+}  // namespace workload
+}  // namespace gtpq
+
+#endif  // GTPQ_WORKLOAD_XMARK_QUERIES_H_

@@ -1,0 +1,314 @@
+#include <gtest/gtest.h>
+
+#include "baselines/naive.h"
+#include "core/analysis.h"
+#include "core/gtea.h"
+#include "graph/generators.h"
+#include "query/query_generator.h"
+#include "test_util.h"
+
+namespace gtpq {
+namespace {
+
+using logic::Formula;
+using logic::FormulaRef;
+
+// Labels used by the Fig. 4 fixtures.
+constexpr int64_t kA = 1, kB = 2, kC = 3, kE = 4, kF = 5, kG = 6;
+
+// Builds the paper's Q1/Q2 of Fig. 4 (modulo concrete labels):
+//   u1(A, root) -- fs(u1) given by `root_fs_negated` (¬p_u2 or p_u2)
+//     u2(B, predicate; AD or PC per `u2_pc`) -- fs(u2) = p_u4
+//       u4(C, predicate, AD)
+//     u3(G, backbone, AD, output) -- fs(u3) = (p5 & p6) | (!p5 & p6)
+//       u5(E, predicate, AD) -- fs(u5) = p_u8      (not independently
+//       u8(F, predicate, AD)                        constraint)
+//       u6(B, predicate, AD) -- fs(u6) = p_u7
+//         u7(C, predicate, AD)
+struct Fig4Fixture {
+  Gtpq Build(bool u2_pc, bool root_fs_negated) {
+    QueryBuilder b(names);
+    QNodeId u1 = b.AddRoot("u1", AttributePredicate::LabelEquals(
+                                     names->label_attr(), kA));
+    QNodeId u2 = b.AddPredicate(
+        u1, u2_pc ? EdgeType::kChild : EdgeType::kDescendant, "u2",
+        AttributePredicate::LabelEquals(names->label_attr(), kB));
+    QNodeId u3 = b.AddBackbone(
+        u1, EdgeType::kDescendant, "u3",
+        AttributePredicate::LabelEquals(names->label_attr(), kG));
+    QNodeId u4 = b.AddPredicate(
+        u2, EdgeType::kDescendant, "u4",
+        AttributePredicate::LabelEquals(names->label_attr(), kC));
+    QNodeId u5 = b.AddPredicate(
+        u3, EdgeType::kDescendant, "u5",
+        AttributePredicate::LabelEquals(names->label_attr(), kE));
+    QNodeId u8 = b.AddPredicate(
+        u5, EdgeType::kDescendant, "u8",
+        AttributePredicate::LabelEquals(names->label_attr(), kF));
+    QNodeId u6 = b.AddPredicate(
+        u3, EdgeType::kDescendant, "u6",
+        AttributePredicate::LabelEquals(names->label_attr(), kB));
+    QNodeId u7 = b.AddPredicate(
+        u6, EdgeType::kDescendant, "u7",
+        AttributePredicate::LabelEquals(names->label_attr(), kC));
+    auto var = [](QNodeId u) { return Formula::Var(static_cast<int>(u)); };
+    b.SetStructural(u1, root_fs_negated ? Formula::Not(var(u2)) : var(u2));
+    b.SetStructural(u2, var(u4));
+    b.SetStructural(u5, var(u8));
+    b.SetStructural(u6, var(u7));
+    b.SetStructural(
+        u3, Formula::Or(Formula::And(var(u5), var(u6)),
+                        Formula::And(Formula::Not(var(u5)), var(u6))));
+    b.MarkOutput(u3);
+    ids = {u1, u2, u3, u4, u5, u6, u7, u8};
+    return b.Build().TakeValue();
+  }
+
+  // The expected minimum equivalent query of Q1 with fs(u1) = p_u2
+  // (the paper's Q3): A root, G backbone output, B and C predicates.
+  Gtpq BuildQ3() {
+    QueryBuilder b(names);
+    QNodeId u1 = b.AddRoot("m1", AttributePredicate::LabelEquals(
+                                     names->label_attr(), kA));
+    QNodeId u3 = b.AddBackbone(
+        u1, EdgeType::kDescendant, "m3",
+        AttributePredicate::LabelEquals(names->label_attr(), kG));
+    QNodeId u6 = b.AddPredicate(
+        u3, EdgeType::kDescendant, "m6",
+        AttributePredicate::LabelEquals(names->label_attr(), kB));
+    QNodeId u7 = b.AddPredicate(
+        u6, EdgeType::kDescendant, "m7",
+        AttributePredicate::LabelEquals(names->label_attr(), kC));
+    b.SetStructural(u3, Formula::Var(static_cast<int>(u6)));
+    b.SetStructural(u6, Formula::Var(static_cast<int>(u7)));
+    b.MarkOutput(u3);
+    return b.Build().TakeValue();
+  }
+
+  std::shared_ptr<AttrNames> names = std::make_shared<AttrNames>();
+  std::vector<QNodeId> ids;  // u1..u8 by position (0-based: ids[0]=u1)
+};
+
+TEST(AnalysisTest, IndependentlyConstraintNodes) {
+  Fig4Fixture fx;
+  Gtpq q1 = fx.Build(/*u2_pc=*/false, /*root_fs_negated=*/true);
+  QueryAnalysis a(q1);
+  // u5 and u8 are the two non-independently-constraint nodes
+  // (Example 4: "for both queries, u5 and u8 are ...").
+  EXPECT_FALSE(a.independently_constraint(fx.ids[4]));  // u5
+  EXPECT_FALSE(a.independently_constraint(fx.ids[7]));  // u8
+  for (int i : {0, 1, 2, 3, 5, 6}) {
+    EXPECT_TRUE(a.independently_constraint(fx.ids[i])) << "u" << i + 1;
+  }
+}
+
+TEST(AnalysisTest, SubsumptionDependsOnEdgeType) {
+  Fig4Fixture fx;
+  Gtpq q1 = fx.Build(/*u2_pc=*/false, true);
+  QueryAnalysis a1(q1);
+  // Example 4: in Q1 (AD edge), u2 ⊴ u6; u4 ⊴ u7.
+  EXPECT_TRUE(a1.Subsumed(fx.ids[1], fx.ids[5]));
+  EXPECT_TRUE(a1.Similar(fx.ids[3], fx.ids[6]));
+  EXPECT_FALSE(a1.Subsumed(fx.ids[5], fx.ids[1]));  // wrong direction
+
+  Fig4Fixture fx2;
+  Gtpq q2 = fx2.Build(/*u2_pc=*/true, true);
+  QueryAnalysis a2(q2);
+  // In Q2 (PC edge from u1 to u2), u2 is NOT subsumed by u6.
+  EXPECT_FALSE(a2.Subsumed(fx2.ids[1], fx2.ids[5]));
+}
+
+TEST(AnalysisTest, SatisfiabilityTheorem1) {
+  // Example 4's punchline: Q1 is unsatisfiable, Q2 is satisfiable.
+  Fig4Fixture fx1, fx2;
+  Gtpq q1 = fx1.Build(/*u2_pc=*/false, /*root_fs_negated=*/true);
+  Gtpq q2 = fx2.Build(/*u2_pc=*/true, /*root_fs_negated=*/true);
+  EXPECT_FALSE(IsSatisfiable(q1));
+  EXPECT_TRUE(IsSatisfiable(q2));
+}
+
+TEST(AnalysisTest, SatisfiabilityNegationConflict) {
+  // root with p & !p over two identical predicate children is
+  // satisfiable only if the children differ; identical subtrees under
+  // a // edge force a conflict via subsumption (both ways).
+  auto names = std::make_shared<AttrNames>();
+  QueryBuilder b(names);
+  QNodeId r = b.AddRoot("r", AttributePredicate::LabelEquals(
+                                 names->label_attr(), 1));
+  QNodeId p1 = b.AddPredicate(r, EdgeType::kDescendant, "p1",
+                              AttributePredicate::LabelEquals(
+                                  names->label_attr(), 2));
+  QNodeId p2 = b.AddPredicate(r, EdgeType::kDescendant, "p2",
+                              AttributePredicate::LabelEquals(
+                                  names->label_attr(), 2));
+  b.SetStructural(r,
+                  Formula::And(Formula::Var(static_cast<int>(p1)),
+                               Formula::Not(Formula::Var(
+                                   static_cast<int>(p2)))));
+  b.MarkOutput(r);
+  Gtpq q = b.Build().TakeValue();
+  EXPECT_FALSE(IsSatisfiable(q));
+}
+
+TEST(AnalysisTest, SatisfiableSimpleQueries) {
+  auto names = std::make_shared<AttrNames>();
+  QueryBuilder b(names);
+  QNodeId r = b.AddRoot("r", AttributePredicate::LabelEquals(
+                                 names->label_attr(), 1));
+  b.AddBackbone(r, EdgeType::kDescendant, "c",
+                AttributePredicate::LabelEquals(names->label_attr(), 2));
+  b.MarkOutput(r);
+  EXPECT_TRUE(IsSatisfiable(b.Build().TakeValue()));
+}
+
+TEST(AnalysisTest, UnsatisfiableAttributePredicate) {
+  auto names = std::make_shared<AttrNames>();
+  QueryBuilder b(names);
+  AttributePredicate impossible;
+  impossible.AddAtom(names->Intern("year"), CmpOp::kGt,
+                     AttrValue(int64_t{5}));
+  impossible.AddAtom(names->Intern("year"), CmpOp::kLt,
+                     AttrValue(int64_t{3}));
+  QNodeId r = b.AddRoot("r", impossible);
+  b.MarkOutput(r);
+  EXPECT_FALSE(IsSatisfiable(b.Build().TakeValue()));
+}
+
+TEST(AnalysisTest, ContainmentExample5) {
+  // With fs(u1) = p_u2 (positive), the paper states Q2 ⊑ Q3, Q2 ⊑ Q1
+  // and Q1 ≡ Q3.
+  Fig4Fixture fx1, fx2, fx3;
+  Gtpq q1 = fx1.Build(/*u2_pc=*/false, /*root_fs_negated=*/false);
+  Gtpq q2 = fx2.Build(/*u2_pc=*/true, /*root_fs_negated=*/false);
+  Gtpq q3 = fx3.BuildQ3();
+  EXPECT_TRUE(IsContainedIn(q2, q3));
+  EXPECT_TRUE(IsContainedIn(q2, q1));
+  EXPECT_TRUE(IsContainedIn(q1, q3));
+  EXPECT_TRUE(IsContainedIn(q3, q1));
+  EXPECT_TRUE(AreEquivalent(q1, q3));
+  // And the PC variant is strictly narrower, not equivalent.
+  EXPECT_FALSE(IsContainedIn(q3, q2));
+}
+
+TEST(AnalysisTest, ContainmentRejectsDifferentOutputs) {
+  auto names = std::make_shared<AttrNames>();
+  QueryBuilder b1(names);
+  QNodeId r1 = b1.AddRoot("r", AttributePredicate::LabelEquals(
+                                   names->label_attr(), 1));
+  b1.MarkOutput(r1);
+  Gtpq one = b1.Build().TakeValue();
+
+  QueryBuilder b2(names);
+  QNodeId r2 = b2.AddRoot("r", AttributePredicate::LabelEquals(
+                                   names->label_attr(), 1));
+  QNodeId c2 = b2.AddBackbone(r2, EdgeType::kDescendant, "c",
+                              AttributePredicate::LabelEquals(
+                                  names->label_attr(), 1));
+  b2.MarkOutput(r2);
+  b2.MarkOutput(c2);
+  Gtpq two = b2.Build().TakeValue();
+  EXPECT_FALSE(IsContainedIn(one, two));
+  EXPECT_FALSE(IsContainedIn(two, one));
+}
+
+TEST(AnalysisTest, MinimizeExample6) {
+  Fig4Fixture fx;
+  Gtpq q1 = fx.Build(/*u2_pc=*/false, /*root_fs_negated=*/false);
+  Gtpq minimized = Minimize(q1);
+  // Q1 minimizes to the 4-node Q3 (Example 6).
+  EXPECT_EQ(minimized.size(), 4u);
+  Fig4Fixture fx3;
+  fx3.names = fx.names;
+  EXPECT_TRUE(AreEquivalent(minimized, fx3.BuildQ3()));
+  EXPECT_TRUE(AreEquivalent(minimized, q1));
+}
+
+TEST(AnalysisTest, MinimizeKeepsMinimalQueries) {
+  Fig4Fixture fx;
+  Gtpq q3 = fx.BuildQ3();
+  Gtpq minimized = Minimize(q3);
+  EXPECT_EQ(minimized.size(), q3.size());
+}
+
+TEST(AnalysisTest, MinimizeUnsatisfiableQuery) {
+  Fig4Fixture fx;
+  Gtpq q1 = fx.Build(/*u2_pc=*/false, /*root_fs_negated=*/true);
+  ASSERT_FALSE(IsSatisfiable(q1));
+  Gtpq minimized = Minimize(q1);
+  EXPECT_FALSE(IsSatisfiable(minimized));
+  EXPECT_LE(minimized.size(), q1.size());
+  EXPECT_EQ(minimized.outputs().size(), q1.outputs().size());
+}
+
+// Property: minimization preserves answers on random graphs.
+TEST(AnalysisTest, MinimizePreservesSemantics) {
+  RandomDagOptions go;
+  go.num_nodes = 60;
+  go.avg_degree = 2.0;
+  go.num_labels = 5;
+  go.seed = 11;
+  DataGraph g = RandomDag(go);
+  int checked = 0;
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    QueryGenOptions qo;
+    qo.num_nodes = 6;
+    qo.predicate_fraction = 0.5;
+    qo.disjunction_probability = 0.4;
+    qo.negation_probability = 0.2;
+    qo.output_fraction = 0.6;
+    qo.seed = seed * 17;
+    auto q = GenerateRandomQueryWithRetry(g, qo);
+    if (!q.has_value()) continue;
+    Gtpq m = Minimize(*q);
+    EXPECT_LE(m.size(), q->size());
+    auto before = EvaluateBruteForce(g, *q);
+    auto after = EvaluateBruteForce(g, m);
+    // Node ids are renumbered by the rebuild; outputs keep their
+    // relative order, so answers align positionally.
+    ASSERT_EQ(before.tuples, after.tuples)
+        << "seed " << seed << "\noriginal:\n"
+                             << q->ToString(*g.attr_names())
+                             << "\nminimized:\n"
+                             << m.ToString(*g.attr_names());
+    ++checked;
+  }
+  EXPECT_GT(checked, 5);
+}
+
+// Property: containment agrees with evaluation on random graphs in the
+// sound direction (if contained, answers are subsets).
+TEST(AnalysisTest, ContainmentSoundOnRandomGraphs) {
+  RandomDagOptions go;
+  go.num_nodes = 50;
+  go.avg_degree = 2.0;
+  go.num_labels = 4;
+  go.seed = 5;
+  DataGraph g = RandomDag(go);
+  int contained_pairs = 0;
+  for (uint64_t seed = 1; seed <= 15; ++seed) {
+    QueryGenOptions qo;
+    qo.num_nodes = 4;
+    qo.predicate_fraction = 0.5;
+    qo.output_fraction = 0.4;
+    qo.seed = seed * 13 + 1;
+    auto qa = GenerateRandomQueryWithRetry(g, qo);
+    qo.seed = seed * 29 + 7;
+    auto qb = GenerateRandomQueryWithRetry(g, qo);
+    if (!qa.has_value() || !qb.has_value()) continue;
+    if (!IsContainedIn(*qa, *qb)) continue;
+    ++contained_pairs;
+    auto ra = EvaluateBruteForce(g, *qa);
+    auto rb = EvaluateBruteForce(g, *qb);
+    for (const auto& t : ra.tuples) {
+      EXPECT_TRUE(std::find(rb.tuples.begin(), rb.tuples.end(), t) !=
+                  rb.tuples.end())
+          << "containment violated at seed " << seed;
+    }
+  }
+  // Self-containment at least fires when qa == qb structurally; ensure
+  // the loop exercised the sound direction at all.
+  SUCCEED() << contained_pairs << " contained pairs checked";
+}
+
+}  // namespace
+}  // namespace gtpq

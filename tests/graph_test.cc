@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace gtpq {
+namespace {
+
+using testing::MakeGraph;
+using testing::SmallDag;
+
+TEST(DigraphTest, BasicConstruction) {
+  Digraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  g.AddEdge(0, 1);  // duplicate merged
+  g.Finalize();
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(3), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+  auto in1 = g.InNeighbors(1);
+  ASSERT_EQ(in1.size(), 1u);
+  EXPECT_EQ(in1[0], 0u);
+}
+
+TEST(DigraphTest, Reversed) {
+  Digraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.Finalize();
+  Digraph r = g.Reversed();
+  EXPECT_TRUE(r.HasEdge(1, 0));
+  EXPECT_TRUE(r.HasEdge(2, 1));
+  EXPECT_FALSE(r.HasEdge(0, 1));
+}
+
+TEST(AlgorithmsTest, TopologicalSort) {
+  DataGraph g = SmallDag();
+  auto order = TopologicalSort(g.graph());
+  ASSERT_EQ(order.size(), g.NumNodes());
+  std::vector<size_t> pos(g.NumNodes());
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      EXPECT_LT(pos[v], pos[w]);
+    }
+  }
+}
+
+TEST(AlgorithmsTest, CycleDetection) {
+  DataGraph g = MakeGraph(3, {0, 0, 0}, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_TRUE(TopologicalSort(g.graph()).empty());
+  EXPECT_FALSE(IsDag(g.graph()));
+  EXPECT_TRUE(IsDag(SmallDag().graph()));
+}
+
+TEST(AlgorithmsTest, SccOnMixedGraph) {
+  // Two 2-cycles and two singletons: {1,2}, {4,5}, {0}, {3}.
+  DataGraph g = MakeGraph(
+      6, {0, 0, 0, 0, 0, 0},
+      {{0, 1}, {1, 2}, {2, 1}, {2, 3}, {3, 4}, {4, 5}, {5, 4}});
+  auto scc = ComputeScc(g.graph());
+  EXPECT_EQ(scc.num_components, 4u);
+  EXPECT_EQ(scc.component_of[1], scc.component_of[2]);
+  EXPECT_EQ(scc.component_of[4], scc.component_of[5]);
+  EXPECT_NE(scc.component_of[0], scc.component_of[1]);
+  EXPECT_TRUE(scc.cyclic[scc.component_of[1]]);
+  EXPECT_FALSE(scc.cyclic[scc.component_of[0]]);
+  EXPECT_FALSE(scc.cyclic[scc.component_of[3]]);
+
+  Digraph cond = BuildCondensation(g.graph(), scc);
+  EXPECT_EQ(cond.NumNodes(), 4u);
+  EXPECT_TRUE(IsDag(cond));
+}
+
+TEST(AlgorithmsTest, SccSelfLoop) {
+  DataGraph g = MakeGraph(2, {0, 0}, {{0, 0}, {0, 1}});
+  auto scc = ComputeScc(g.graph());
+  EXPECT_EQ(scc.num_components, 2u);
+  EXPECT_TRUE(scc.cyclic[scc.component_of[0]]);
+  EXPECT_FALSE(scc.cyclic[scc.component_of[1]]);
+}
+
+TEST(AlgorithmsTest, ReachableFrom) {
+  DataGraph g = SmallDag();
+  auto reach = ReachableFrom(g.graph(), 1);
+  EXPECT_EQ(reach, (std::vector<NodeId>{3, 4, 6, 7, 9}));
+}
+
+TEST(AlgorithmsTest, SccTarjanDeepRecursionSafe) {
+  // A long path would blow the stack with a recursive Tarjan.
+  const size_t n = 200000;
+  Digraph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.AddEdge(v, v + 1);
+  g.Finalize();
+  auto scc = ComputeScc(g);
+  EXPECT_EQ(scc.num_components, n);
+}
+
+TEST(GeneratorsTest, RandomDagIsDag) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    RandomDagOptions o;
+    o.num_nodes = 300;
+    o.avg_degree = 3.0;
+    o.seed = seed;
+    DataGraph g = RandomDag(o);
+    EXPECT_TRUE(IsDag(g.graph()));
+    EXPECT_GT(g.NumEdges(), 0u);
+  }
+}
+
+TEST(GeneratorsTest, TreeWithCrossEdgesHasSpanningTree) {
+  RandomTreeOptions o;
+  o.num_nodes = 200;
+  o.seed = 3;
+  DataGraph g = RandomTreeWithCrossEdges(o);
+  EXPECT_TRUE(g.HasSpanningTree());
+  EXPECT_TRUE(IsDag(g.graph()));
+  size_t tree_edges = 0;
+  for (NodeId v = 1; v < g.NumNodes(); ++v) {
+    NodeId p = g.TreeParentOf(v);
+    ASSERT_NE(p, kInvalidNode);
+    EXPECT_TRUE(g.HasEdge(p, v));
+    ++tree_edges;
+  }
+  EXPECT_EQ(tree_edges, g.NumNodes() - 1);
+}
+
+TEST(AttributesTest, TupleAndPredicateBasics) {
+  DataGraph g(2);
+  g.SetLabel(0, 5);
+  g.SetAttr(0, "year", AttrValue(int64_t{2005}));
+  g.SetAttr(0, "name", AttrValue("alice"));
+  g.Finalize();
+  AttrId year = g.attr_names()->Intern("year");
+  AttrId name = g.attr_names()->Intern("name");
+  ASSERT_NE(g.GetAttr(0, year), nullptr);
+  EXPECT_EQ(g.GetAttr(0, year)->as_int(), 2005);
+  EXPECT_EQ(g.GetAttr(0, name)->as_string(), "alice");
+  EXPECT_EQ(g.GetAttr(1, year), nullptr);
+  EXPECT_EQ(g.GetAttr(0, g.label_attr())->as_int(), 5);
+}
+
+TEST(AttributesTest, ValueComparisons) {
+  EXPECT_TRUE(AttrValue(int64_t{3}) < AttrValue(int64_t{5}));
+  EXPECT_TRUE(AttrValue(3.5) > AttrValue(int64_t{3}));
+  EXPECT_TRUE(AttrValue(int64_t{3}) == AttrValue(3.0));
+  EXPECT_TRUE(AttrValue("abc") < AttrValue("abd"));
+  // Numbers sort before strings.
+  EXPECT_TRUE(AttrValue(int64_t{99}) < AttrValue("1"));
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  DataGraph g = SmallDag();
+  g.SetAttr(3, "year", AttrValue(int64_t{2001}));
+  g.SetAttr(4, "name", AttrValue("bob"));
+  g.Finalize();
+  std::ostringstream out;
+  ASSERT_TRUE(SaveDataGraph(g, &out).ok());
+  std::istringstream in(out.str());
+  auto loaded = LoadDataGraph(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->NumNodes(), g.NumNodes());
+  EXPECT_EQ(loaded->NumEdges(), g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_EQ(loaded->LabelOf(v), g.LabelOf(v));
+  }
+  AttrId year = loaded->attr_names()->Lookup("year");
+  ASSERT_NE(year, -1);
+  ASSERT_NE(loaded->GetAttr(3, year), nullptr);
+  EXPECT_EQ(loaded->GetAttr(3, year)->as_int(), 2001);
+}
+
+TEST(GraphIoTest, RejectsMalformedInput) {
+  {
+    std::istringstream in("bogus header\n");
+    EXPECT_FALSE(LoadDataGraph(&in).ok());
+  }
+  {
+    std::istringstream in("gtpq-graph v1\nnodes 2\nedge 0 7\n");
+    EXPECT_FALSE(LoadDataGraph(&in).ok());
+  }
+  {
+    std::istringstream in("gtpq-graph v1\nnodes 2\nfrobnicate\n");
+    EXPECT_FALSE(LoadDataGraph(&in).ok());
+  }
+}
+
+}  // namespace
+}  // namespace gtpq

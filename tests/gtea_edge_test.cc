@@ -1,0 +1,220 @@
+// Edge-case and failure-injection coverage for the GTEA pipeline,
+// complementing the randomized equivalence sweep in gtea_test.cc.
+#include <gtest/gtest.h>
+
+#include "baselines/naive.h"
+#include "core/gtea.h"
+#include "graph/generators.h"
+#include "query/query_generator.h"
+#include "test_util.h"
+
+namespace gtpq {
+namespace {
+
+using logic::Formula;
+using testing::MakeGraph;
+using testing::SmallDag;
+
+TEST(GteaEdgeTest, SingleNodeGraph) {
+  DataGraph g = MakeGraph(1, {5}, {});
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(5));
+  b.MarkOutput(r);
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(b.Build().TakeValue());
+  ASSERT_EQ(result.tuples.size(), 1u);
+  EXPECT_EQ(result.tuples[0], (ResultTuple{0}));
+}
+
+TEST(GteaEdgeTest, SelfLoopIsOwnDescendant) {
+  DataGraph g = MakeGraph(2, {1, 1}, {{0, 0}, {0, 1}});
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));
+  QNodeId c = b.AddBackbone(r, EdgeType::kDescendant, "c", b.Label(1));
+  b.MarkOutput(r);
+  b.MarkOutput(c);
+  GteaEngine engine(g);
+  Gtpq q = b.Build().TakeValue();
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  // (0,0) must appear: node 0 has a self loop.
+  EXPECT_TRUE(std::find(result.tuples.begin(), result.tuples.end(),
+                        ResultTuple{0, 0}) != result.tuples.end());
+  // (1,1) must not: node 1 is acyclic.
+  EXPECT_TRUE(std::find(result.tuples.begin(), result.tuples.end(),
+                        ResultTuple{1, 1}) == result.tuples.end());
+}
+
+TEST(GteaEdgeTest, QueryDeeperThanGraph) {
+  DataGraph g = MakeGraph(3, {0, 1, 2}, {{0, 1}, {1, 2}});
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId u0 = b.AddRoot("a", b.Label(0));
+  QNodeId u1 = b.AddBackbone(u0, EdgeType::kDescendant, "b", b.Label(1));
+  QNodeId u2 = b.AddBackbone(u1, EdgeType::kDescendant, "c", b.Label(2));
+  QNodeId u3 = b.AddBackbone(u2, EdgeType::kDescendant, "d", b.Label(0));
+  (void)u3;
+  b.MarkOutput(u0);
+  GteaEngine engine(g);
+  EXPECT_TRUE(engine.Evaluate(b.Build().TakeValue()).tuples.empty());
+}
+
+TEST(GteaEdgeTest, AllPredicateChildrenWithMixedLogic) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));  // b-nodes 1, 2
+  QNodeId p1 = b.AddPredicate(r, EdgeType::kDescendant, "p1", b.Label(2));
+  QNodeId p2 = b.AddPredicate(r, EdgeType::kDescendant, "p2", b.Label(3));
+  QNodeId p3 = b.AddPredicate(r, EdgeType::kDescendant, "p3", b.Label(5));
+  // (p1 & !p3) | (p2 & p3)
+  b.SetStructural(
+      r, Formula::Or(
+             Formula::And(Formula::Var(static_cast<int>(p1)),
+                          Formula::Not(Formula::Var(static_cast<int>(p3)))),
+             Formula::And(Formula::Var(static_cast<int>(p2)),
+                          Formula::Var(static_cast<int>(p3)))));
+  b.MarkOutput(r);
+  GteaEngine engine(g);
+  Gtpq q = b.Build().TakeValue();
+  EXPECT_EQ(engine.Evaluate(q), EvaluateBruteForce(g, q));
+}
+
+TEST(GteaEdgeTest, StructuralPredicateConstantFalse) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));
+  QNodeId p = b.AddPredicate(r, EdgeType::kDescendant, "p", b.Label(2));
+  // p & !p == false: no match can ever satisfy the root.
+  b.SetStructural(r, Formula::And(Formula::Var(static_cast<int>(p)),
+                                  Formula::Not(Formula::Var(
+                                      static_cast<int>(p)))));
+  b.MarkOutput(r);
+  GteaEngine engine(g);
+  EXPECT_TRUE(engine.Evaluate(b.Build().TakeValue()).tuples.empty());
+}
+
+TEST(GteaEdgeTest, VacuousPredicateChildIsIgnored) {
+  // A predicate child not referenced by fs imposes no constraint.
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(2));  // c-nodes 3, 5
+  b.AddPredicate(r, EdgeType::kDescendant, "p", b.Label(77));  // no match
+  b.MarkOutput(r);
+  GteaEngine engine(g);
+  Gtpq q = b.Build().TakeValue();
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  EXPECT_EQ(result.tuples.size(), 2u);
+}
+
+TEST(GteaEdgeTest, ResultLimitCapsEnumeration) {
+  RandomDagOptions o;
+  o.num_nodes = 200;
+  o.avg_degree = 3.0;
+  o.num_labels = 2;
+  o.seed = 3;
+  DataGraph g = RandomDag(o);
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(0));
+  QNodeId c = b.AddBackbone(r, EdgeType::kDescendant, "c", b.Label(1));
+  (void)c;
+  b.MarkOutput(r);
+  b.MarkOutput(c);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  GteaOptions capped;
+  capped.result_limit = 10;
+  auto limited = engine.Evaluate(q, capped);
+  EXPECT_LE(limited.tuples.size(), 10u);
+  auto full = engine.Evaluate(q);
+  EXPECT_GT(full.tuples.size(), 10u);
+  // The limited tuples must be genuine answers.
+  for (const auto& t : limited.tuples) {
+    EXPECT_TRUE(std::find(full.tuples.begin(), full.tuples.end(), t) !=
+                full.tuples.end());
+  }
+}
+
+TEST(GteaEdgeTest, SharedIndexAcrossEngines) {
+  DataGraph g = SmallDag();
+  auto idx = std::make_shared<const ThreeHopIndex>(
+      ThreeHopIndex::Build(g.graph()));
+  GteaEngine e1(g, idx), e2(g, idx);
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));
+  QNodeId c = b.AddBackbone(r, EdgeType::kDescendant, "c", b.Label(4));
+  (void)c;
+  b.MarkOutput(r);
+  Gtpq q = b.Build().TakeValue();
+  EXPECT_EQ(e1.Evaluate(q), e2.Evaluate(q));
+}
+
+TEST(GteaEdgeTest, DisconnectedOutputSubtreesCartesianProduct) {
+  //     0(a)
+  //    /    \        query: a* with two independent AD branches to
+  //  1(b)   2(c)     b* and c*: answers are the Cartesian product.
+  //  3(b)   4(c)
+  DataGraph g = MakeGraph(5, {0, 1, 2, 1, 2},
+                          {{0, 1}, {0, 2}, {1, 3}, {2, 4}});
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(0));
+  QNodeId x = b.AddBackbone(r, EdgeType::kDescendant, "x", b.Label(1));
+  QNodeId y = b.AddBackbone(r, EdgeType::kDescendant, "y", b.Label(2));
+  b.MarkOutput(x);
+  b.MarkOutput(y);
+  GteaEngine engine(g);
+  Gtpq q = b.Build().TakeValue();
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  EXPECT_EQ(result.tuples.size(), 4u);  // {1,3} x {2,4}
+}
+
+TEST(GteaEdgeTest, StatsArePopulated) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));
+  QNodeId c = b.AddBackbone(r, EdgeType::kDescendant, "c", b.Label(4));
+  (void)c;
+  b.MarkOutput(r);
+  GteaEngine engine(g);
+  engine.Evaluate(b.Build().TakeValue());
+  EXPECT_GT(engine.stats().input_nodes, 0u);
+  EXPECT_GE(engine.stats().total_ms, 0.0);
+  EXPECT_GT(engine.stats().intermediate_size, 0u);
+}
+
+// Dense randomized sweep against brute force over tree+cross graphs
+// with deep queries (regression net for the PC repair path).
+TEST(GteaEdgeTest, DeepQueriesOnTreeCrossGraphs) {
+  RandomTreeOptions o;
+  o.num_nodes = 100;
+  o.cross_edge_fraction = 0.35;
+  o.max_depth = 10;
+  o.num_labels = 4;
+  o.seed = 77;
+  DataGraph g = RandomTreeWithCrossEdges(o);
+  TransitiveClosure tc = TransitiveClosure::Build(g.graph());
+  GteaEngine engine(g);
+  int evaluated = 0;
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    QueryGenOptions qo;
+    qo.num_nodes = 8;
+    qo.pc_probability = 0.5;
+    qo.predicate_fraction = 0.4;
+    qo.disjunction_probability = 0.4;
+    qo.negation_probability = 0.25;
+    qo.output_fraction = 0.5;
+    qo.max_walk = 5;
+    qo.seed = seed * 101;
+    auto q = GenerateRandomQueryWithRetry(g, qo);
+    if (!q.has_value()) continue;
+    auto expected = EvaluateBruteForce(g, tc, *q);
+    ASSERT_EQ(engine.Evaluate(*q), expected)
+        << "seed " << seed << "\n"
+        << q->ToString(*g.attr_names());
+    ++evaluated;
+  }
+  EXPECT_GT(evaluated, 15);
+}
+
+}  // namespace
+}  // namespace gtpq

@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include "baselines/naive.h"
+#include "core/gtea.h"
+#include "graph/generators.h"
+#include "query/query_generator.h"
+#include "test_util.h"
+
+namespace gtpq {
+namespace {
+
+using logic::Formula;
+using testing::MakeGraph;
+using testing::SmallDag;
+
+// ---------- Handcrafted semantics checks ----------
+
+TEST(GteaBasicTest, SingleNodeQuery) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));  // label b
+  b.MarkOutput(r);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(q);
+  ASSERT_EQ(result.tuples.size(), 2u);
+  EXPECT_EQ(result.tuples[0], (ResultTuple{1}));
+  EXPECT_EQ(result.tuples[1], (ResultTuple{2}));
+}
+
+TEST(GteaBasicTest, SimpleAdPath) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));                       // b
+  QNodeId c = b.AddBackbone(r, EdgeType::kDescendant, "c",
+                            b.Label(4));                        // e
+  b.MarkOutput(r);
+  b.MarkOutput(c);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(q);
+  // b-nodes: 1 (reaches e-nodes 6,7), 2 (reaches 7).
+  auto expected = EvaluateBruteForce(g, q);
+  EXPECT_EQ(result, expected);
+  EXPECT_EQ(result.tuples.size(), 3u);
+}
+
+TEST(GteaBasicTest, DisjunctionPredicate) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));  // b
+  QNodeId p1 = b.AddPredicate(r, EdgeType::kDescendant, "p1",
+                              b.Label(5));  // f (only under node 1)
+  QNodeId p2 = b.AddPredicate(r, EdgeType::kDescendant, "p2",
+                              b.Label(3));  // d
+  b.SetStructural(r, Formula::Or(Formula::Var(static_cast<int>(p1)),
+                                 Formula::Var(static_cast<int>(p2))));
+  b.MarkOutput(r);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  // Node 1 reaches f(9) and d(4); node 2 reaches d(8): both qualify.
+  EXPECT_EQ(result.tuples.size(), 2u);
+}
+
+TEST(GteaBasicTest, NegationPredicate) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(2));  // c: nodes 3, 5
+  QNodeId p = b.AddPredicate(r, EdgeType::kDescendant, "p",
+                             b.Label(3));  // d: nodes 4, 8
+  b.SetStructural(r, Formula::Not(Formula::Var(static_cast<int>(p))));
+  b.MarkOutput(r);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  // c-node 3 reaches no d; c-node 5 reaches d(8).
+  ASSERT_EQ(result.tuples.size(), 1u);
+  EXPECT_EQ(result.tuples[0], (ResultTuple{3}));
+}
+
+TEST(GteaBasicTest, PcEdgeOnBackbone) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));  // b
+  QNodeId c = b.AddBackbone(r, EdgeType::kChild, "c", b.Label(2));  // c
+  b.MarkOutput(r);
+  b.MarkOutput(c);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  // Child pairs: (1,3) and (2,5).
+  EXPECT_EQ(result.tuples.size(), 2u);
+}
+
+TEST(GteaBasicTest, PcEdgeOnNegatedPredicate) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(2));  // c: 3, 5
+  QNodeId p = b.AddPredicate(r, EdgeType::kChild, "p", b.Label(4));  // e
+  b.SetStructural(r, Formula::Not(Formula::Var(static_cast<int>(p))));
+  b.MarkOutput(r);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  // 3 has child e(6); 5 has child e(7): both have an e-child -> none...
+  // 3 -> 6 (e) yes; 5 -> 7 (e) yes. Expect empty.
+  EXPECT_TRUE(result.tuples.empty());
+}
+
+TEST(GteaBasicTest, EmptyAnswerWhenLabelMissing) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(1));
+  b.AddBackbone(r, EdgeType::kDescendant, "c", b.Label(77));
+  b.MarkOutput(r);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  EXPECT_TRUE(engine.Evaluate(q).tuples.empty());
+}
+
+TEST(GteaBasicTest, OutputSubsetProjection) {
+  DataGraph g = SmallDag();
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(0));  // a: node 0
+  QNodeId m = b.AddBackbone(r, EdgeType::kDescendant, "m", b.Label(1));
+  QNodeId l = b.AddBackbone(m, EdgeType::kDescendant, "l", b.Label(4));
+  (void)l;
+  b.MarkOutput(m);  // only the middle node is projected
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  // Both b-nodes reach an e-node; root exists; tuples are (1) and (2).
+  EXPECT_EQ(result.tuples.size(), 2u);
+}
+
+TEST(GteaBasicTest, CyclicGraphSelfDescendant) {
+  // 0 -> 1 <-> 2, query: a//a with both outputs.
+  DataGraph g = MakeGraph(3, {7, 7, 7}, {{0, 1}, {1, 2}, {2, 1}});
+  QueryBuilder b(g.attr_names_ptr());
+  QNodeId r = b.AddRoot("r", b.Label(7));
+  QNodeId c = b.AddBackbone(r, EdgeType::kDescendant, "c", b.Label(7));
+  b.MarkOutput(r);
+  b.MarkOutput(c);
+  Gtpq q = b.Build().TakeValue();
+  GteaEngine engine(g);
+  auto result = engine.Evaluate(q);
+  EXPECT_EQ(result, EvaluateBruteForce(g, q));
+  // 1 and 2 are mutually reachable (and self-reachable via the cycle).
+  ResultTuple t11{1, 1};
+  EXPECT_TRUE(std::find(result.tuples.begin(), result.tuples.end(), t11) !=
+              result.tuples.end());
+}
+
+// ---------- Property sweep: GTEA == brute force ----------
+
+struct SweepCase {
+  const char* tag;
+  size_t graph_nodes;
+  double degree;
+  bool cyclic;
+  bool tree_shaped;
+  QueryGenOptions qopts;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) { *os << c.tag; }
+
+class GteaEquivalence : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(GteaEquivalence, MatchesBruteForce) {
+  const SweepCase& c = GetParam();
+  DataGraph g = [&]() {
+    if (c.tree_shaped) {
+      RandomTreeOptions o;
+      o.num_nodes = c.graph_nodes;
+      o.cross_edge_fraction = 0.25;
+      o.num_labels = 6;
+      o.seed = 1234;
+      return RandomTreeWithCrossEdges(o);
+    }
+    if (c.cyclic) {
+      RandomDigraphOptions o;
+      o.num_nodes = c.graph_nodes;
+      o.avg_degree = c.degree;
+      o.num_labels = 6;
+      o.seed = 99;
+      return RandomDigraph(o);
+    }
+    RandomDagOptions o;
+    o.num_nodes = c.graph_nodes;
+    o.avg_degree = c.degree;
+    o.num_labels = 6;
+    o.seed = 7;
+    return RandomDag(o);
+  }();
+  TransitiveClosure tc = TransitiveClosure::Build(g.graph());
+  GteaEngine engine(g);
+  int evaluated = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    QueryGenOptions qo = c.qopts;
+    qo.seed = seed * 31 + 5;
+    auto q = GenerateRandomQueryWithRetry(g, qo);
+    if (!q.has_value()) continue;
+    ++evaluated;
+    auto expected = EvaluateBruteForce(g, tc, *q);
+    auto actual = engine.Evaluate(*q);
+    ASSERT_EQ(actual, expected)
+        << "seed " << seed << "\nquery:\n"
+        << q->ToString(*g.attr_names()) << "\nexpected "
+        << expected.tuples.size() << " tuples, got "
+        << actual.tuples.size();
+  }
+  EXPECT_GT(evaluated, 10) << "generator produced too few queries";
+}
+
+QueryGenOptions Conjunctive(size_t n, double pc) {
+  QueryGenOptions o;
+  o.num_nodes = n;
+  o.pc_probability = pc;
+  o.predicate_fraction = 0.3;
+  o.output_fraction = 0.7;
+  return o;
+}
+
+QueryGenOptions Logical(size_t n, double pc) {
+  QueryGenOptions o = Conjunctive(n, pc);
+  o.predicate_fraction = 0.5;
+  o.disjunction_probability = 0.6;
+  o.negation_probability = 0.3;
+  return o;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GteaEquivalence,
+    ::testing::Values(
+        SweepCase{"dag_small_conj_ad", 40, 1.5, false, false,
+                  Conjunctive(4, 0.0)},
+        SweepCase{"dag_conj_ad", 70, 2.0, false, false,
+                  Conjunctive(6, 0.0)},
+        SweepCase{"dag_conj_pc", 70, 2.0, false, false,
+                  Conjunctive(6, 0.6)},
+        SweepCase{"dag_conj_mixed", 70, 2.5, false, false,
+                  Conjunctive(7, 0.3)},
+        SweepCase{"dag_logic_ad", 70, 2.0, false, false,
+                  Logical(6, 0.0)},
+        SweepCase{"dag_logic_pc", 70, 2.0, false, false, Logical(6, 0.5)},
+        SweepCase{"dag_logic_large", 90, 2.0, false, false,
+                  Logical(9, 0.25)},
+        SweepCase{"cyclic_conj", 50, 2.0, true, false,
+                  Conjunctive(5, 0.2)},
+        SweepCase{"cyclic_logic", 50, 2.0, true, false, Logical(6, 0.3)},
+        SweepCase{"tree_conj", 80, 0, false, true, Conjunctive(7, 0.4)},
+        SweepCase{"tree_logic", 80, 0, false, true, Logical(7, 0.4)}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.tag;
+    });
+
+// ---------- Ablation options keep semantics ----------
+
+TEST(GteaOptionsTest, AblationsPreserveResults) {
+  RandomDagOptions o;
+  o.num_nodes = 60;
+  o.avg_degree = 2.0;
+  o.num_labels = 5;
+  o.seed = 21;
+  DataGraph g = RandomDag(o);
+  GteaEngine engine(g);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    QueryGenOptions qo;
+    qo.num_nodes = 6;
+    qo.predicate_fraction = 0.4;
+    qo.disjunction_probability = 0.5;
+    qo.negation_probability = 0.2;
+    qo.pc_probability = 0.3;
+    qo.output_fraction = 0.8;
+    qo.seed = seed;
+    auto q = GenerateRandomQueryWithRetry(g, qo);
+    if (!q.has_value()) continue;
+    GteaOptions base;
+    auto reference = engine.Evaluate(*q, base);
+
+    GteaOptions no_up = base;
+    no_up.upward_pruning = false;
+    EXPECT_EQ(engine.Evaluate(*q, no_up), reference) << "seed " << seed;
+
+    GteaOptions pairwise = base;
+    pairwise.contour_matching_graph = false;
+    EXPECT_EQ(engine.Evaluate(*q, pairwise), reference) << "seed " << seed;
+
+    GteaOptions skip_singleton = base;
+    skip_singleton.skip_singleton_upward = true;
+    EXPECT_EQ(engine.Evaluate(*q, skip_singleton), reference)
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace gtpq

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "logic/cnf.h"
+#include "logic/formula.h"
+#include "logic/sat.h"
+
+namespace gtpq {
+namespace logic {
+namespace {
+
+FormulaRef V(int i) { return Formula::Var(i); }
+
+TEST(FormulaTest, ConstantsAndNormalization) {
+  EXPECT_TRUE(Formula::True()->is_true());
+  EXPECT_TRUE(Formula::False()->is_false());
+  EXPECT_TRUE(Formula::And(Formula::True(), Formula::True())->is_true());
+  EXPECT_TRUE(Formula::And(V(0), Formula::False())->is_false());
+  EXPECT_TRUE(Formula::Or(V(0), Formula::True())->is_true());
+  // Neutral elements are dropped.
+  EXPECT_EQ(ToString(Formula::And(V(0), Formula::True())), "p0");
+  EXPECT_EQ(ToString(Formula::Or(V(1), Formula::False())), "p1");
+}
+
+TEST(FormulaTest, FlatteningAndDedup) {
+  auto f = Formula::And(Formula::And(V(0), V(1)), Formula::And(V(1), V(2)));
+  EXPECT_EQ(f->children().size(), 3u);
+  EXPECT_EQ(ToString(f), "p0 & p1 & p2");
+}
+
+TEST(FormulaTest, DoubleNegation) {
+  EXPECT_EQ(ToString(Formula::Not(Formula::Not(V(3)))), "p3");
+  EXPECT_TRUE(Formula::Not(Formula::False())->is_true());
+}
+
+TEST(FormulaTest, Evaluate) {
+  auto f = Formula::Or(Formula::And(V(0), Formula::Not(V(1))), V(2));
+  std::vector<char> a{1, 0, 0};
+  EXPECT_TRUE(Evaluate(f, a));
+  std::vector<char> b{1, 1, 0};
+  EXPECT_FALSE(Evaluate(f, b));
+  std::vector<char> c{0, 1, 1};
+  EXPECT_TRUE(Evaluate(f, c));
+}
+
+TEST(FormulaTest, CollectVars) {
+  auto f = Formula::Or(Formula::And(V(5), Formula::Not(V(1))), V(3));
+  EXPECT_EQ(CollectVars(f), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(FormulaTest, SubstituteConst) {
+  auto f = Formula::Or(Formula::And(V(0), V(1)), V(2));
+  EXPECT_EQ(ToString(SubstituteConst(f, 2, false)), "p0 & p1");
+  EXPECT_TRUE(SubstituteConst(f, 2, true)->is_true());
+}
+
+TEST(FormulaTest, SubstituteFormula) {
+  std::unordered_map<int, FormulaRef> map;
+  map.emplace(0, Formula::And(V(7), V(8)));
+  auto f = Substitute(Formula::Or(V(0), V(1)), map);
+  EXPECT_EQ(ToString(f), "(p7 & p8) | p1");
+}
+
+TEST(FormulaTest, RenameVars) {
+  auto f = Formula::And(V(0), Formula::Not(V(1)));
+  auto g = RenameVars(f, {{0, 10}, {1, 11}});
+  EXPECT_EQ(ToString(g), "p10 & !p11");
+}
+
+TEST(FormulaTest, ToNnf) {
+  auto f = Formula::Not(Formula::And(V(0), Formula::Or(V(1), V(2))));
+  EXPECT_EQ(ToString(ToNnf(f)), "!p0 | (!p1 & !p2)");
+}
+
+TEST(FormulaTest, SimplifyComplementsAndAbsorption) {
+  EXPECT_TRUE(Simplify(Formula::And(V(0), Formula::Not(V(0))))->is_false());
+  EXPECT_TRUE(Simplify(Formula::Or(V(0), Formula::Not(V(0))))->is_true());
+  auto absorbed = Simplify(Formula::Or(V(0), Formula::And(V(0), V(1))));
+  EXPECT_EQ(ToString(absorbed), "p0");
+}
+
+TEST(FormulaTest, ParserRoundTrip) {
+  auto intern = [](const std::string& name) {
+    return std::stoi(name.substr(1));
+  };
+  for (const char* text :
+       {"p0", "p0 & p1", "p0 | p1 & p2", "!(p0 | p1)", "p0 & !p1 | p2",
+        "((p0))", "1", "0", "p0 & 1"}) {
+    auto f = ParseFormula(text, intern);
+    ASSERT_TRUE(f.ok()) << text << ": " << f.status().ToString();
+    auto round = ParseFormula(ToString(*f), intern);
+    ASSERT_TRUE(round.ok());
+    EXPECT_TRUE(StructurallyEqual(*f, *round)) << text;
+  }
+}
+
+TEST(FormulaTest, ParserErrors) {
+  auto intern = [](const std::string&) { return 0; };
+  EXPECT_FALSE(ParseFormula("", intern).ok());
+  EXPECT_FALSE(ParseFormula("p0 &", intern).ok());
+  EXPECT_FALSE(ParseFormula("(p0", intern).ok());
+  EXPECT_FALSE(ParseFormula("p0 p1", intern).ok());
+  EXPECT_FALSE(ParseFormula("|p1", intern).ok());
+}
+
+TEST(CnfTest, DistributionMatchesSemantics) {
+  Rng rng(42);
+  for (int round = 0; round < 40; ++round) {
+    // Random formula over 5 vars, depth 3.
+    std::function<FormulaRef(int)> gen = [&](int depth) -> FormulaRef {
+      if (depth == 0 || rng.NextBool(0.3)) {
+        FormulaRef v = V(static_cast<int>(rng.NextBounded(5)));
+        return rng.NextBool(0.3) ? Formula::Not(v) : v;
+      }
+      FormulaRef a = gen(depth - 1);
+      FormulaRef b = gen(depth - 1);
+      return rng.NextBool() ? Formula::And(a, b) : Formula::Or(a, b);
+    };
+    FormulaRef f = gen(3);
+    FormulaRef cnf = CnfToFormula(ToCnfByDistribution(f));
+    FormulaRef dnf = DnfToFormula(ToDnfByDistribution(f));
+    for (uint32_t mask = 0; mask < 32; ++mask) {
+      std::vector<char> a(5);
+      for (int i = 0; i < 5; ++i) a[i] = (mask >> i) & 1;
+      ASSERT_EQ(Evaluate(f, a), Evaluate(cnf, a)) << ToString(f);
+      ASSERT_EQ(Evaluate(f, a), Evaluate(dnf, a)) << ToString(f);
+    }
+  }
+}
+
+TEST(CnfTest, TseitinEquisatisfiable) {
+  Rng rng(77);
+  for (int round = 0; round < 60; ++round) {
+    std::function<FormulaRef(int)> gen = [&](int depth) -> FormulaRef {
+      if (depth == 0 || rng.NextBool(0.3)) {
+        FormulaRef v = V(static_cast<int>(rng.NextBounded(4)));
+        return rng.NextBool(0.4) ? Formula::Not(v) : v;
+      }
+      FormulaRef a = gen(depth - 1);
+      FormulaRef b = gen(depth - 1);
+      return rng.NextBool() ? Formula::And(a, b) : Formula::Or(a, b);
+    };
+    // Random formula conjoined with random literals to get a mix of SAT
+    // and UNSAT instances.
+    FormulaRef f = gen(3);
+    if (rng.NextBool(0.5)) {
+      f = Formula::And(f, Formula::Not(gen(2)));
+    }
+    bool brute_sat = false;
+    for (uint32_t mask = 0; mask < 16 && !brute_sat; ++mask) {
+      std::vector<char> a(4);
+      for (int i = 0; i < 4; ++i) a[i] = (mask >> i) & 1;
+      brute_sat = Evaluate(f, a);
+    }
+    ASSERT_EQ(IsSatisfiable(f), brute_sat) << ToString(f);
+  }
+}
+
+TEST(CnfTest, ExponentialDistributionBlowup) {
+  // (a1|b1) & (a2|b2) & ... distributes to 2^n DNF cubes — the cost the
+  // paper attributes to OR-block normalization of AND/OR-twigs.
+  std::vector<FormulaRef> clauses;
+  const int n = 10;
+  for (int i = 0; i < n; ++i) {
+    clauses.push_back(Formula::Or(V(2 * i), V(2 * i + 1)));
+  }
+  auto dnf = ToDnfByDistribution(Formula::And(std::move(clauses)));
+  EXPECT_EQ(dnf.cubes.size(), size_t{1} << n);
+}
+
+TEST(SatTest, TautologyAndImplication) {
+  auto f = Formula::Or(V(0), Formula::Not(V(0)));
+  EXPECT_TRUE(IsTautology(f));
+  EXPECT_FALSE(IsTautology(V(0)));
+  EXPECT_TRUE(Implies(Formula::And(V(0), V(1)), V(0)));
+  EXPECT_FALSE(Implies(V(0), Formula::And(V(0), V(1))));
+  EXPECT_TRUE(Equivalent(Formula::Not(Formula::And(V(0), V(1))),
+                         Formula::Or(Formula::Not(V(0)),
+                                     Formula::Not(V(1)))));
+}
+
+TEST(SatTest, SolveProducesModel) {
+  auto f = Formula::And(Formula::Or(V(0), V(1)), Formula::Not(V(0)));
+  auto model = SolveFormula(f);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_FALSE((*model)[0]);
+  EXPECT_TRUE((*model)[1]);
+  EXPECT_FALSE(SolveFormula(Formula::And(V(0), Formula::Not(V(0))))
+                   .has_value());
+}
+
+TEST(SatTest, EnumerateModels) {
+  auto f = Formula::Or(V(0), V(1));
+  std::vector<Model> models;
+  size_t count = EnumerateModels(
+      f, {0, 1}, [&models](const Model& m) { models.push_back(m); });
+  EXPECT_EQ(count, 3u);
+  EXPECT_EQ(models.size(), 3u);
+}
+
+TEST(SatTest, ConstantFormulas) {
+  EXPECT_TRUE(IsSatisfiable(Formula::True()));
+  EXPECT_FALSE(IsSatisfiable(Formula::False()));
+  EXPECT_TRUE(IsTautology(Formula::True()));
+  EXPECT_FALSE(IsTautology(Formula::False()));
+}
+
+}  // namespace
+}  // namespace logic
+}  // namespace gtpq

@@ -1,0 +1,55 @@
+#ifndef GTPQ_TESTS_TEST_UTIL_H_
+#define GTPQ_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/data_graph.h"
+#include "query/gtpq.h"
+
+namespace gtpq {
+namespace testing {
+
+/// Builds a finalized labeled graph from an edge list.
+inline DataGraph MakeGraph(size_t n, const std::vector<int64_t>& labels,
+                           const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  DataGraph g(n);
+  for (NodeId v = 0; v < n && v < labels.size(); ++v) {
+    g.SetLabel(v, labels[v]);
+  }
+  for (const auto& [a, b] : edges) g.AddEdge(a, b);
+  g.Finalize();
+  return g;
+}
+
+/// A 10-node DAG used across unit tests:
+///
+///        0(a)
+///       /    \
+///     1(b)   2(b)
+///     /  \      \
+///   3(c) 4(d)   5(c)
+///    |     \   /  \
+///   6(e)   7(e)   8(d)
+///            |
+///           9(f)
+///
+/// Labels: a=0 b=1 c=2 d=3 e=4 f=5.
+inline DataGraph SmallDag() {
+  return MakeGraph(10, {0, 1, 1, 2, 3, 2, 4, 4, 3, 5},
+                   {{0, 1},
+                    {0, 2},
+                    {1, 3},
+                    {1, 4},
+                    {2, 5},
+                    {3, 6},
+                    {4, 7},
+                    {5, 7},
+                    {5, 8},
+                    {7, 9}});
+}
+
+}  // namespace testing
+}  // namespace gtpq
+
+#endif  // GTPQ_TESTS_TEST_UTIL_H_
