@@ -1,16 +1,26 @@
 // Reproduces Fig 10: the I/O-cost proxies (#input nodes accessed,
 // #intermediate result size, #index elements looked up) for Q3 on the
 // XMark dataset with scale factor 1.5.
+//
+// GTEA runs once per selected reachability backend, so the #index
+// column doubles as a per-backend lookup-cost comparison:
+//   --index=contour,three_hop     (default: contour, the paper's setup)
+//   --index=all                   sweep every registered backend
+#include <cstring>
+#include <string>
+
 #include "bench/harness.h"
 #include "common/string_util.h"
+#include "reachability/factory.h"
 #include "workload/xmark.h"
 
 using namespace gtpq;
 using namespace gtpq::bench;
 
 namespace {
-void Row(const char* engine, const EngineStats& s) {
-  std::printf("%-12s %16s %16s %16s\n", engine,
+
+void Row(const std::string& engine, const EngineStats& s) {
+  std::printf("%-24s %16s %16s %16s\n", engine.c_str(),
               FormatWithCommas(static_cast<long long>(s.input_nodes))
                   .c_str(),
               FormatWithCommas(
@@ -19,9 +29,48 @@ void Row(const char* engine, const EngineStats& s) {
               FormatWithCommas(static_cast<long long>(s.index_lookups))
                   .c_str());
 }
+
+std::vector<ReachabilityBackend> ParseIndexFlag(int argc, char** argv) {
+  std::string spec = "contour";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--index=", 8) == 0) spec = argv[i] + 8;
+  }
+  if (spec == "all") return AllReachabilityBackends();
+  std::vector<ReachabilityBackend> out;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string name = spec.substr(pos, comma - pos);
+    if (!name.empty()) {
+      auto kind = ParseReachabilityBackend(name);
+      if (kind.has_value()) {
+        out.push_back(*kind);
+      } else {
+        std::fprintf(stderr, "unknown backend '%s' (known:", name.c_str());
+        for (auto k : AllReachabilityBackends()) {
+          std::fprintf(stderr, " %s",
+                       std::string(ReachabilityBackendName(k)).c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        std::exit(2);
+      }
+    }
+    pos = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "--index= selected no backends; pass a comma-separated "
+                 "list or 'all'\n");
+    std::exit(2);
+  }
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto backends = ParseIndexFlag(argc, argv);
   const double s = BenchScale();
   workload::XmarkOptions o;
   o.scale = 1.5 * s;
@@ -32,11 +81,14 @@ int main() {
 
   std::printf("Fig 10: I/O cost for Q3 on XMark scale 1.5 "
               "(GTPQ_BENCH_SCALE=%g)\n", s);
-  std::printf("%-12s %16s %16s %16s\n", "Engine", "#input",
+  std::printf("%-24s %16s %16s %16s\n", "Engine", "#input",
               "#intermediate", "#index");
 
-  engines.RunGtea(wq.query);
-  Row("GTEA", engines.gtea().stats());
+  for (ReachabilityBackend backend : backends) {
+    GteaEngine gtea(g, backend);
+    gtea.Evaluate(wq.query);
+    Row(std::string(gtea.name()), gtea.stats());
+  }
   engines.RunHgJoinPlus(wq.query);
   Row("HGJoin+", engines.stats());
   engines.RunTwigStackD(wq.query);
@@ -49,6 +101,7 @@ int main() {
   std::printf("\nPaper shape: GTEA has by far the smallest intermediate "
               "results; TwigStackD reads the most input (two graph "
               "traversals); TwigStack/Twig2Stack materialize large path "
-              "solutions.\n");
+              "solutions. Across GTEA backends, #index isolates each "
+              "oracle's per-probe cost.\n");
   return 0;
 }

@@ -1,15 +1,13 @@
 // Micro-benchmarks (google-benchmark) for the reachability substrate:
-// index construction and point-query cost of 3-hop / interval tree
-// cover / SSPI / materialized closure, plus contour merging.
+// index construction and point-query cost of every registered backend
+// (via the factory), plus contour merging.
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "reachability/contour.h"
-#include "reachability/interval_index.h"
-#include "reachability/sspi.h"
+#include "reachability/factory.h"
 #include "reachability/three_hop.h"
-#include "reachability/transitive_closure.h"
 
 namespace gtpq {
 namespace {
@@ -32,9 +30,8 @@ void BM_ThreeHopBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreeHopBuild)->Arg(1000)->Arg(10000)->Arg(50000);
 
-template <typename Index>
 void QueryLoop(benchmark::State& state, const DataGraph& g,
-               const Index& idx) {
+               const ReachabilityOracle& idx) {
   Rng rng(3);
   const size_t n = g.NumNodes();
   for (auto _ : state) {
@@ -44,33 +41,44 @@ void QueryLoop(benchmark::State& state, const DataGraph& g,
   }
 }
 
-void BM_ThreeHopQuery(benchmark::State& state) {
-  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
-  auto idx = ThreeHopIndex::Build(g.graph());
-  QueryLoop(state, g, idx);
+// One build + one point-query benchmark per registered backend; the
+// heavier backends (sspi probes, quadratic closure, wide chain table)
+// run at the smaller sizes only.
+void BM_BackendBuild(benchmark::State& state) {
+  const auto backend = static_cast<ReachabilityBackend>(state.range(0));
+  DataGraph g = MakeDag(static_cast<size_t>(state.range(1)), 2.0);
+  for (auto _ : state) {
+    auto idx = MakeReachabilityIndex(backend, g.graph());
+    benchmark::DoNotOptimize(idx.get());
+  }
+  state.SetLabel(std::string(ReachabilityBackendName(backend)));
 }
-BENCHMARK(BM_ThreeHopQuery)->Arg(1000)->Arg(10000)->Arg(50000);
 
-void BM_IntervalQuery(benchmark::State& state) {
-  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
-  auto idx = IntervalIndex::Build(g.graph());
-  QueryLoop(state, g, idx);
+void BM_BackendQuery(benchmark::State& state) {
+  const auto backend = static_cast<ReachabilityBackend>(state.range(0));
+  DataGraph g = MakeDag(static_cast<size_t>(state.range(1)), 2.0);
+  auto idx = MakeReachabilityIndex(backend, g.graph());
+  QueryLoop(state, g, *idx);
+  state.SetLabel(std::string(ReachabilityBackendName(backend)));
 }
-BENCHMARK(BM_IntervalQuery)->Arg(1000)->Arg(10000)->Arg(50000);
 
-void BM_SspiQuery(benchmark::State& state) {
-  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
-  auto idx = Sspi::Build(g.graph());
-  QueryLoop(state, g, idx);
+void RegisterBackendSweeps() {
+  for (ReachabilityBackend backend : AllReachabilityBackends()) {
+    const auto arg = static_cast<int64_t>(backend);
+    const bool heavy = backend == ReachabilityBackend::kSspi ||
+                       backend == ReachabilityBackend::kChainCover ||
+                       backend == ReachabilityBackend::kTransitiveClosure;
+    auto* build = benchmark::RegisterBenchmark("BM_BackendBuild",
+                                               BM_BackendBuild);
+    auto* query = benchmark::RegisterBenchmark("BM_BackendQuery",
+                                               BM_BackendQuery);
+    for (int64_t n : {int64_t{1000}, int64_t{10000}, int64_t{50000}}) {
+      if (heavy && n > 10000) continue;
+      build->Args({arg, n});
+      query->Args({arg, n});
+    }
+  }
 }
-BENCHMARK(BM_SspiQuery)->Arg(1000)->Arg(10000);
-
-void BM_ClosureQuery(benchmark::State& state) {
-  DataGraph g = MakeDag(static_cast<size_t>(state.range(0)), 2.0);
-  auto idx = TransitiveClosure::Build(g.graph());
-  QueryLoop(state, g, idx);
-}
-BENCHMARK(BM_ClosureQuery)->Arg(1000)->Arg(10000);
 
 void BM_ContourMerge(benchmark::State& state) {
   DataGraph g = MakeDag(20000, 2.0);
@@ -90,4 +98,11 @@ BENCHMARK(BM_ContourMerge)->Arg(16)->Arg(256)->Arg(4096);
 }  // namespace
 }  // namespace gtpq
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  gtpq::RegisterBackendSweeps();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

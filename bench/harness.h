@@ -3,17 +3,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
-#include "baselines/decompose.h"
-#include "baselines/hgjoin.h"
-#include "baselines/tree_encoding.h"
-#include "baselines/twig2stack.h"
-#include "baselines/twig_on_graph.h"
-#include "baselines/twigstack.h"
-#include "baselines/twigstackd.h"
+#include "baselines/engines.h"
 #include "common/timer.h"
 #include "core/gtea.h"
 #include "workload/xmark_queries.h"
@@ -48,80 +43,93 @@ double MinTimeMs(Fn&& fn, int reps) {
   return best;
 }
 
-/// All engines bundled over one data graph, built on demand.
+/// All engines bundled over one data graph, behind the shared Evaluator
+/// seam. Indexes (region encoding, SSPI, intervals) are built once and
+/// shared across the engines that consume them; stats() reports the most
+/// recently run engine.
 class EngineBench {
  public:
-  explicit EngineBench(const DataGraph& g) : g_(g), gtea_(g) {
-    enc_ = BuildRegionEncoding(g);
-    sspi_.emplace(Sspi::Build(g.graph()));
-    interval_.emplace(IntervalIndex::Build(g.graph()));
+  explicit EngineBench(const DataGraph& g) : g_(g) {
+    auto enc =
+        std::make_shared<const RegionEncoding>(BuildRegionEncoding(g));
+    auto sspi = std::make_shared<const Sspi>(Sspi::Build(g.graph()));
+    auto interval = std::make_shared<const IntervalIndex>(
+        IntervalIndex::Build(g.graph()));
+    // IDREF targets the XMark workload decomposes twig queries at.
+    const std::vector<std::string> xmark_cross{"person", "item",
+                                               "person2"};
+    twigstack_ = std::make_shared<TwigStackEngine>(g, false, xmark_cross,
+                                                   enc);
+    twig2stack_ = std::make_shared<TwigStackEngine>(g, true, xmark_cross,
+                                                    enc);
+    twigstackd_ = std::make_shared<TwigStackDEngine>(g, sspi);
+    hgjoin_plus_ = std::make_shared<HgJoinEngine>(g, false, interval);
+    hgjoin_star_ = std::make_shared<HgJoinEngine>(g, true, interval);
   }
 
   const DataGraph& graph() const { return g_; }
-  GteaEngine& gtea() { return gtea_; }
+  /// Built on first use — benches that only exercise baselines (or
+  /// construct per-backend GTEA engines themselves) skip the default
+  /// contour-index build entirely.
+  GteaEngine& gtea() {
+    if (!gtea_.has_value()) gtea_.emplace(g_);
+    return *gtea_;
+  }
 
-  QueryResult RunGtea(const Gtpq& q) { return gtea_.Evaluate(q); }
+  QueryResult RunGtea(const Gtpq& q) {
+    GteaEngine& engine = gtea();
+    last_stats_ = &engine.stats();
+    return engine.Evaluate(q);
+  }
 
   QueryResult RunTwigStackD(const Gtpq& q) {
-    stats_.Reset();
-    return EvaluateTwigStackD(g_, *sspi_, q, &stats_);
+    last_stats_ = &twigstackd_->stats();
+    return twigstackd_->Evaluate(q);
   }
 
   QueryResult RunHgJoinPlus(const Gtpq& q) {
-    stats_.Reset();
-    HgJoinOptions o;
-    return EvaluateHgJoin(g_, *interval_, q, o, &stats_, &report_);
+    last_stats_ = &hgjoin_plus_->stats();
+    return hgjoin_plus_->Evaluate(q);
   }
 
   QueryResult RunHgJoinStar(const Gtpq& q) {
-    stats_.Reset();
-    HgJoinOptions o;
-    o.graph_intermediates = true;
-    return EvaluateHgJoin(g_, *interval_, q, o, &stats_, nullptr);
+    last_stats_ = &hgjoin_star_->stats();
+    return hgjoin_star_->Evaluate(q);
   }
 
   QueryResult RunTwigStack(const Gtpq& q,
                            const std::vector<QNodeId>& cross) {
-    stats_.Reset();
-    return EvaluateTwigOnGraph(
-        g_, q, cross,
-        [this](const Gtpq& frag) {
-          return EvaluateTwigStack(g_, enc_, frag, &stats_);
-        },
-        &stats_);
+    last_stats_ = &twigstack_->stats();
+    return twigstack_->EvaluateWithCross(q, cross);
   }
 
   QueryResult RunTwig2Stack(const Gtpq& q,
                             const std::vector<QNodeId>& cross) {
-    stats_.Reset();
-    return EvaluateTwigOnGraph(
-        g_, q, cross,
-        [this](const Gtpq& frag) {
-          return EvaluateTwig2Stack(g_, enc_, frag, &stats_);
-        },
-        &stats_);
+    last_stats_ = &twig2stack_->stats();
+    return twig2stack_->EvaluateWithCross(q, cross);
   }
 
   /// GTPQ evaluation via decompose-and-merge over a conjunctive engine.
   Result<QueryResult> RunDecomposed(const Gtpq& q,
                                     const std::string& engine) {
-    stats_.Reset();
-    ConjunctiveEvaluator eval;
-    if (engine == "twigstack") {
-      eval = [this](const Gtpq& conj) {
-        return RunTwigStackInner(conj);
-      };
-    } else {
-      eval = [this](const Gtpq& conj) {
-        EngineStats s;
-        return EvaluateTwigStackD(g_, *sspi_, conj, &s);
-      };
+    auto& decomposed =
+        engine == "twigstack" ? decomp_twigstack_ : decomp_twigstackd_;
+    if (decomposed == nullptr) {
+      decomposed = std::make_shared<DecomposeEngine>(
+          engine == "twigstack"
+              ? std::static_pointer_cast<Evaluator>(twigstack_)
+              : std::static_pointer_cast<Evaluator>(twigstackd_));
     }
-    return EvaluateByDecomposition(q, eval, &stats_);
+    last_stats_ = &decomposed->stats();
+    QueryResult r = decomposed->Evaluate(q);
+    if (!decomposed->last_status().ok()) return decomposed->last_status();
+    return r;
   }
 
-  const EngineStats& stats() const { return stats_; }
-  const HgJoinReport& hgjoin_report() const { return report_; }
+  const EngineStats& stats() const { return *last_stats_; }
+  const HgJoinReport& hgjoin_report() const {
+    return hgjoin_plus_->report();
+  }
 
   /// Resolves cross-node names (IDREF targets) to query node ids.
   static std::vector<QNodeId> CrossIds(
@@ -136,26 +144,14 @@ class EngineBench {
   }
 
  private:
-  QueryResult RunTwigStackInner(const Gtpq& conj) {
-    // Decomposed conjunctive fragments keep node names; split at the
-    // IDREF targets that survived.
-    auto cross = CrossIds(conj, {"person", "item", "person2"});
-    EngineStats s;
-    return EvaluateTwigOnGraph(
-        g_, conj, cross,
-        [this, &s](const Gtpq& frag) {
-          return EvaluateTwigStack(g_, enc_, frag, &s);
-        },
-        &s);
-  }
-
   const DataGraph& g_;
-  GteaEngine gtea_;
-  RegionEncoding enc_;
-  std::optional<Sspi> sspi_;
-  std::optional<IntervalIndex> interval_;
-  EngineStats stats_;
-  HgJoinReport report_;
+  std::optional<GteaEngine> gtea_;
+  std::shared_ptr<TwigStackEngine> twigstack_, twig2stack_;
+  std::shared_ptr<TwigStackDEngine> twigstackd_;
+  std::shared_ptr<HgJoinEngine> hgjoin_plus_, hgjoin_star_;
+  std::shared_ptr<DecomposeEngine> decomp_twigstack_, decomp_twigstackd_;
+  EngineStats no_run_yet_;
+  const EngineStats* last_stats_ = &no_run_yet_;
 };
 
 }  // namespace bench

@@ -66,5 +66,17 @@ int main() {
               static_cast<unsigned long long>(
                   engine.stats().index_lookups),
               engine.stats().total_ms);
+
+  // The evaluation pipeline is parameterized by its reachability
+  // oracle: any registered backend drives the identical algorithm, and
+  // #index exposes each oracle's probe cost for the same answer.
+  std::printf("\nBackend sweep (same answer, per-oracle #index):\n");
+  for (ReachabilityBackend backend : AllReachabilityBackends()) {
+    GteaEngine e(g, backend);
+    QueryResult r = e.Evaluate(q);
+    std::printf("  %-26s tuples=%zu  #index=%llu\n",
+                std::string(e.name()).c_str(), r.tuples.size(),
+                static_cast<unsigned long long>(e.stats().index_lookups));
+  }
   return 0;
 }

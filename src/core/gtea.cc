@@ -8,14 +8,20 @@
 
 namespace gtpq {
 
-GteaEngine::GteaEngine(const DataGraph& g)
-    : g_(g),
-      idx_(std::make_shared<const ThreeHopIndex>(
-          ThreeHopIndex::Build(g.graph()))) {}
+namespace {
+std::string EngineName(const ReachabilityOracle& idx) {
+  return "gtea[" + std::string(idx.name()) + "]";
+}
+}  // namespace
+
+GteaEngine::GteaEngine(const DataGraph& g, ReachabilityBackend backend)
+    : g_(g), idx_(MakeReachabilityIndex(backend, g.graph())) {
+  name_ = EngineName(*idx_);
+}
 
 GteaEngine::GteaEngine(const DataGraph& g,
-                       std::shared_ptr<const ThreeHopIndex> idx)
-    : g_(g), idx_(std::move(idx)) {}
+                       std::shared_ptr<const ReachabilityOracle> idx)
+    : g_(g), idx_(std::move(idx)), name_(EngineName(*idx_)) {}
 
 QueryResult GteaEngine::Evaluate(const Gtpq& q, const GteaOptions& options) {
   stats_.Reset();

@@ -2,11 +2,13 @@
 #define GTPQ_CORE_GTEA_H_
 
 #include <memory>
+#include <string>
 
 #include "core/eval_types.h"
+#include "core/evaluator.h"
 #include "graph/data_graph.h"
 #include "query/gtpq.h"
-#include "reachability/three_hop.h"
+#include "reachability/factory.h"
 
 namespace gtpq {
 
@@ -19,27 +21,36 @@ namespace gtpq {
 ///   5. maximal matching graph + fixpoint reduction (Section 4.3)
 ///   6. shrinking + CollectResults enumeration (Proc. 5)
 ///
-/// The engine owns (or shares) a 3-hop index over the data graph and
-/// can evaluate any number of queries against it.
-class GteaEngine {
+/// Every stage runs against the abstract ReachabilityOracle, so any
+/// registered backend can drive the engine; the default is the
+/// contour-accelerated 3-hop index the paper evaluates. The engine
+/// owns (or shares) its oracle and can evaluate any number of queries
+/// against it.
+class GteaEngine : public Evaluator {
  public:
-  /// Builds a fresh 3-hop index for `g`. The graph must outlive the
-  /// engine.
-  explicit GteaEngine(const DataGraph& g);
-  /// Shares a prebuilt index (e.g. across engines in a benchmark).
-  GteaEngine(const DataGraph& g, std::shared_ptr<const ThreeHopIndex> idx);
+  /// Builds a fresh index of the requested backend for `g`. The graph
+  /// must outlive the engine.
+  explicit GteaEngine(const DataGraph& g,
+                      ReachabilityBackend backend = ReachabilityBackend::kContour);
+  /// Shares a prebuilt oracle (e.g. across engines in a benchmark).
+  GteaEngine(const DataGraph& g,
+             std::shared_ptr<const ReachabilityOracle> idx);
+
+  std::string_view name() const override { return name_; }
 
   /// Evaluates the query; returns the normalized answer Q(G).
-  QueryResult Evaluate(const Gtpq& q, const GteaOptions& options = {});
+  QueryResult Evaluate(const Gtpq& q,
+                       const GteaOptions& options = {}) override;
 
   /// Stats of the most recent Evaluate call.
-  const EngineStats& stats() const { return stats_; }
-  const ThreeHopIndex& index() const { return *idx_; }
+  const EngineStats& stats() const override { return stats_; }
+  const ReachabilityOracle& index() const { return *idx_; }
   const DataGraph& graph() const { return g_; }
 
  private:
   const DataGraph& g_;
-  std::shared_ptr<const ThreeHopIndex> idx_;
+  std::shared_ptr<const ReachabilityOracle> idx_;
+  std::string name_;
   EngineStats stats_;
 };
 

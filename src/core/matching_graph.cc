@@ -27,7 +27,8 @@ size_t MatchingGraph::TotalEdges() const {
 }
 
 MatchingGraph BuildMatchingGraph(const DataGraph& g,
-                                 const ThreeHopIndex& idx, const Gtpq& q,
+                                 const ReachabilityOracle& idx,
+                                 const Gtpq& q,
                                  const std::vector<char>& in_prime,
                                  const std::vector<std::vector<NodeId>>& mat,
                                  const GteaOptions& options,
@@ -61,15 +62,14 @@ MatchingGraph BuildMatchingGraph(const DataGraph& g,
     for (size_t slot = 0; slot < kids.size(); ++slot) {
       const QNodeId c = kids[slot];
       const auto& child_cand = mg.cand_[c];
-      // Candidate index lookup for the child.
-      std::unordered_map<NodeId, uint32_t> index_of;
-      index_of.reserve(child_cand.size());
-      for (uint32_t i = 0; i < child_cand.size(); ++i) {
-        index_of.emplace(child_cand[i], i);
-      }
 
       if (q.node(c).incoming == EdgeType::kChild) {
-        // PC edge: adjacency intersection.
+        // PC edge: adjacency intersection over a candidate index map.
+        std::unordered_map<NodeId, uint32_t> index_of;
+        index_of.reserve(child_cand.size());
+        for (uint32_t i = 0; i < child_cand.size(); ++i) {
+          index_of.emplace(child_cand[i], i);
+        }
         for (size_t pi = 0; pi < parents.size(); ++pi) {
           for (NodeId w : g.OutNeighbors(parents[pi])) {
             ++stats->input_nodes;
@@ -94,48 +94,14 @@ MatchingGraph BuildMatchingGraph(const DataGraph& g,
         continue;
       }
 
-      // Contour-based scan: group child candidates per chain, ascending
-      // sid; for each parent candidate, build its singleton successor
-      // contour once and probe each chain until the first hit — all
-      // larger chain nodes are then reachable (same early break as
-      // PruneUpward).
-      std::unordered_map<uint32_t, std::vector<uint32_t>> chains;
-      for (uint32_t wi = 0; wi < child_cand.size(); ++wi) {
-        chains[idx.PosOf(child_cand[wi]).cid].push_back(wi);
-      }
-      for (auto& [cid, members] : chains) {
-        std::sort(members.begin(), members.end(),
-                  [&](uint32_t a, uint32_t b) {
-                    const uint32_t sa = idx.PosOf(child_cand[a]).sid;
-                    const uint32_t sb = idx.PosOf(child_cand[b]).sid;
-                    return sa != sb ? sa < sb : child_cand[a] < child_cand[b];
-                  });
-      }
+      // Batched scan: prepare the child candidates once, then find each
+      // parent candidate's successors among them in one oracle call
+      // (per-candidate successor contours with the ascending-chain
+      // early break on contour-capable backends).
+      auto prepared = idx.PrepareSuccessorTargets(child_cand);
       for (size_t pi = 0; pi < parents.size(); ++pi) {
-        const NodeId v = parents[pi];
-        const NodeId vv[1] = {v};
-        Contour cs = MergeSuccLists(idx, std::span<const NodeId>(vv, 1));
-        auto& out = mg.branches_[u][pi][slot];
-        for (const auto& [cid, members] : chains) {
-          bool reached = false;
-          for (uint32_t wi : members) {
-            if (!reached) {
-              NodeId w = child_cand[wi];
-              const auto cond = idx.CondOf(w);
-              const ChainPos p = idx.PosOfCond(cond);
-              if (ProbeSuccessorContour(cs, p, idx.CondCyclic(cond), w)) {
-                reached = true;
-              } else {
-                reached = idx.ForEachPredecessorEntry(
-                    cond, [&](const ChainPos& y) {
-                      return ProbeSuccessorContour(cs, y, true, w);
-                    });
-              }
-            }
-            if (reached) out.push_back(wi);
-          }
-        }
-        std::sort(out.begin(), out.end());
+        idx.SuccessorsAmong(parents[pi], *prepared,
+                            &mg.branches_[u][pi][slot]);
       }
     }
   }

@@ -6,7 +6,7 @@
 #include "core/eval_types.h"
 #include "graph/data_graph.h"
 #include "query/gtpq.h"
-#include "reachability/contour.h"
+#include "reachability/reachability_index.h"
 
 namespace gtpq {
 
@@ -45,7 +45,7 @@ class MatchingGraph {
 
  private:
   friend MatchingGraph BuildMatchingGraph(
-      const DataGraph& g, const ThreeHopIndex& idx, const Gtpq& q,
+      const DataGraph& g, const ReachabilityOracle& idx, const Gtpq& q,
       const std::vector<char>& in_prime,
       const std::vector<std::vector<NodeId>>& mat,
       const GteaOptions& options, EngineStats* stats);
@@ -61,12 +61,15 @@ class MatchingGraph {
 };
 
 /// Computes edge matches for every prime query edge (Section 4.3). With
-/// options.contour_matching_graph the per-candidate successor-contour
-/// scan is used (all edges out of one candidate in one pass, with the
-/// ascending-chain early break); otherwise straightforward pairwise
-/// reachability via the 3-hop index. PC edges use adjacency.
+/// options.contour_matching_graph the child candidates are prepared
+/// once and each parent candidate's successors are found in one oracle
+/// scan (the per-candidate successor-contour pass on contour-capable
+/// backends, with the ascending-chain early break); otherwise
+/// straightforward pairwise reachability probes. PC edges use
+/// adjacency.
 MatchingGraph BuildMatchingGraph(const DataGraph& g,
-                                 const ThreeHopIndex& idx, const Gtpq& q,
+                                 const ReachabilityOracle& idx,
+                                 const Gtpq& q,
                                  const std::vector<char>& in_prime,
                                  const std::vector<std::vector<NodeId>>& mat,
                                  const GteaOptions& options,

@@ -1,7 +1,7 @@
 #include "core/prune.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <memory>
 
 #include "common/logging.h"
 
@@ -35,18 +35,15 @@ std::vector<NodeId> CollectParents(const DataGraph& g,
 
 }  // namespace
 
-void PruneDownward(const DataGraph& g, const ThreeHopIndex& idx,
+void PruneDownward(const DataGraph& g, const ReachabilityOracle& idx,
                    const Gtpq& q, std::vector<std::vector<NodeId>>* mat,
                    EngineStats* stats) {
-  std::vector<Contour> contour(q.NumNodes());
+  using SetSummary = ReachabilityOracle::SetSummary;
   std::vector<char> val(q.NumNodes(), 0);
 
   for (QNodeId u : q.BottomUpOrder()) {
     auto& candidates = (*mat)[u];
-    if (q.IsLeaf(u)) {
-      contour[u] = MergePredLists(idx, candidates);
-      continue;
-    }
+    if (q.IsLeaf(u)) continue;
 
     const auto& children = q.node(u).children;
     std::vector<QNodeId> ad_children, pc_exact_children;
@@ -58,74 +55,40 @@ void PruneDownward(const DataGraph& g, const ThreeHopIndex& idx,
       parent_sets[i] = CollectParents(g, (*mat)[pc_exact_children[i]], stats);
     }
 
-    // Group candidates by chain, descending sid within each chain so
-    // that positive AD valuations are inherited down-chain.
-    std::unordered_map<uint32_t, std::vector<NodeId>> chains;
-    for (NodeId v : candidates) {
-      chains[idx.PosOf(v).cid].push_back(v);
+    // Summarize each AD child's (already pruned) candidate set once,
+    // then decide reachability for all candidates and all children in
+    // one batched call.
+    std::vector<std::unique_ptr<SetSummary>> summaries;
+    std::vector<const SetSummary*> summary_ptrs;
+    summaries.reserve(ad_children.size());
+    for (QNodeId c : ad_children) {
+      summaries.push_back(idx.SummarizeTargets((*mat)[c]));
+      summary_ptrs.push_back(summaries.back().get());
     }
-    const logic::FormulaRef fext = q.ExtendedPredicate(u);
+    std::vector<std::vector<char>> reach;
+    idx.ReachesSetsBatch(candidates, summary_ptrs, &reach);
 
+    const logic::FormulaRef fext = q.ExtendedPredicate(u);
     std::vector<NodeId> kept;
     kept.reserve(candidates.size());
-    for (auto& [cid, nodes] : chains) {
-      std::sort(nodes.begin(), nodes.end(), [&idx](NodeId a, NodeId b) {
-        const uint32_t sa = idx.PosOf(a).sid, sb = idx.PosOf(b).sid;
-        return sa != sb ? sa > sb : a < b;
-      });
-      for (QNodeId c : children) val[c] = 0;
-      uint32_t visited = UINT32_MAX;  // lowest walked start sid
-
-      for (NodeId v : nodes) {
-        ++stats->input_nodes;
-        const auto cond = idx.CondOf(v);
-        const ChainPos p = idx.PosOfCond(cond);
-        const bool cyclic = idx.CondCyclic(cond);
-
-        bool any_pending = false;
-        for (QNodeId c : ad_children) {
-          if (!val[c]) {
-            // Self probe: v's own position against the child's contour.
-            if (ProbePredecessorContour(contour[c], p, cyclic, v)) {
-              val[c] = 1;
-            } else {
-              any_pending = true;
-            }
-          }
-        }
-        if (any_pending && p.sid < visited) {
-          // Walk the not-yet-visited Lout segment [p.sid, visited).
-          auto cur = idx.Lout(cond).empty() ? idx.NextWithLout(cond) : cond;
-          while (cur != ThreeHopIndex::kNoCond &&
-                 idx.PosOfCond(cur).sid < visited) {
-            for (const ChainPos& e : idx.Lout(cur)) {
-              ++idx.stats().elements_looked_up;
-              for (QNodeId c : ad_children) {
-                if (!val[c] &&
-                    ProbePredecessorContour(contour[c], e, true, v)) {
-                  val[c] = 1;
-                }
-              }
-            }
-            cur = idx.NextWithLout(cur);
-          }
-          visited = p.sid;
-        }
-        for (size_t i = 0; i < pc_exact_children.size(); ++i) {
-          val[pc_exact_children[i]] =
-              std::binary_search(parent_sets[i].begin(),
-                                 parent_sets[i].end(), v)
-                  ? 1
-                  : 0;
-        }
-        const bool ok = logic::Evaluate(
-            fext, [&](int var) { return val[static_cast<QNodeId>(var)]; });
-        if (ok) kept.push_back(v);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const NodeId v = candidates[i];
+      ++stats->input_nodes;
+      for (size_t k = 0; k < ad_children.size(); ++k) {
+        val[ad_children[k]] = reach[k][i];
       }
+      for (size_t k = 0; k < pc_exact_children.size(); ++k) {
+        val[pc_exact_children[k]] =
+            std::binary_search(parent_sets[k].begin(),
+                               parent_sets[k].end(), v)
+                ? 1
+                : 0;
+      }
+      const bool ok = logic::Evaluate(
+          fext, [&](int var) { return val[static_cast<QNodeId>(var)]; });
+      if (ok) kept.push_back(v);
     }
-    std::sort(kept.begin(), kept.end());
     candidates = std::move(kept);
-    contour[u] = MergePredLists(idx, candidates);
   }
 }
 
@@ -148,18 +111,17 @@ std::vector<char> ComputePrimeSubtree(const Gtpq& q) {
   return in_prime;
 }
 
-bool PruneUpward(const DataGraph& g, const ThreeHopIndex& idx,
+bool PruneUpward(const DataGraph& g, const ReachabilityOracle& idx,
                  const Gtpq& q, const std::vector<char>& in_prime,
                  std::vector<std::vector<NodeId>>* mat,
                  const GteaOptions& options, EngineStats* stats) {
-  std::vector<Contour> succ(q.NumNodes());
-  std::vector<char> have_contour(q.NumNodes(), 0);
-  succ[q.root()] = MergeSuccLists(idx, (*mat)[q.root()]);
-  have_contour[q.root()] = 1;
+  using SetSummary = ReachabilityOracle::SetSummary;
+  std::vector<std::unique_ptr<SetSummary>> succ(q.NumNodes());
+  succ[q.root()] = idx.SummarizeSources((*mat)[q.root()]);
 
   for (QNodeId u : q.TopDownOrder()) {
     if (!in_prime[u]) continue;
-    if (u != q.root() && !have_contour[u]) continue;  // parent was skipped
+    if (u != q.root() && succ[u] == nullptr) continue;  // parent skipped
 
     for (QNodeId c : q.node(u).children) {
       if (!in_prime[c]) continue;
@@ -185,67 +147,24 @@ bool PruneUpward(const DataGraph& g, const ThreeHopIndex& idx,
           kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
           cand = std::move(kept);
         } else {
-          // AD refinement via the parent's successor contour: per chain
-          // in ascending sid order; after the first reachable candidate
-          // all larger ones are reachable too (early break), and Lin
-          // segments are walked at most once per chain.
-          std::unordered_map<uint32_t, std::vector<NodeId>> chains;
-          for (NodeId v : cand) chains[idx.PosOf(v).cid].push_back(v);
+          // AD refinement: one batched probe of all candidates against
+          // the parent's summarized (pruned) candidate set.
+          std::vector<char> reached;
+          idx.SetReachesBatch(*succ[u], cand, &reached);
+          stats->input_nodes += cand.size();
           std::vector<NodeId> kept;
           kept.reserve(cand.size());
-          for (auto& [cid, nodes] : chains) {
-            std::sort(nodes.begin(), nodes.end(),
-                      [&idx](NodeId a, NodeId b) {
-                        const uint32_t sa = idx.PosOf(a).sid;
-                        const uint32_t sb = idx.PosOf(b).sid;
-                        return sa != sb ? sa < sb : a < b;
-                      });
-            bool reached = false;
-            uint32_t visited_floor = 0;
-            bool have_floor = false;
-            for (size_t i = 0; i < nodes.size(); ++i) {
-              NodeId v = nodes[i];
-              ++stats->input_nodes;
-              if (!reached) {
-                const auto cond = idx.CondOf(v);
-                const ChainPos p = idx.PosOfCond(cond);
-                if (ProbeSuccessorContour(succ[u], p,
-                                          idx.CondCyclic(cond), v)) {
-                  reached = true;
-                } else if (!have_floor || p.sid > visited_floor) {
-                  // Walk the new Lin segment (p.sid down to floor).
-                  auto cur =
-                      idx.Lin(cond).empty() ? idx.PrevWithLin(cond) : cond;
-                  while (cur != ThreeHopIndex::kNoCond) {
-                    const ChainPos pc = idx.PosOfCond(cur);
-                    if (have_floor && pc.sid <= visited_floor) break;
-                    for (const ChainPos& e : idx.Lin(cur)) {
-                      ++idx.stats().elements_looked_up;
-                      if (ProbeSuccessorContour(succ[u], e, true, v)) {
-                        reached = true;
-                        break;
-                      }
-                    }
-                    if (reached) break;
-                    cur = idx.PrevWithLin(cur);
-                  }
-                  visited_floor = p.sid;
-                  have_floor = true;
-                }
-              }
-              if (reached) kept.push_back(v);
-            }
+          for (size_t i = 0; i < cand.size(); ++i) {
+            if (reached[i]) kept.push_back(cand[i]);
           }
-          std::sort(kept.begin(), kept.end());
           cand = std::move(kept);
         }
         if (cand.empty()) return false;
       }
-      // The child needs a successor contour iff it has prime children.
+      // The child needs a source summary iff it has prime children.
       for (QNodeId gc : q.node(c).children) {
         if (in_prime[gc]) {
-          succ[c] = MergeSuccLists(idx, cand);
-          have_contour[c] = 1;
+          succ[c] = idx.SummarizeSources(cand);
           break;
         }
       }

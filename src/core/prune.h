@@ -6,24 +6,27 @@
 #include "core/eval_types.h"
 #include "graph/data_graph.h"
 #include "query/gtpq.h"
-#include "reachability/contour.h"
+#include "reachability/reachability_index.h"
 
 namespace gtpq {
 
 /// First pruning round (Procedure 6, PruneDownward): removes candidates
 /// violating downward structural constraints. Bottom-up over the query;
-/// per chain, child valuations are inherited from larger chain nodes and
-/// Lout segments are walked at most once (the `visited` bookkeeping).
+/// per node, the pruned candidate sets of all AD children are
+/// summarized once (a predecessor contour on contour-capable backends)
+/// and every candidate is probed against all of them in one batched
+/// oracle call, which lets chain-structured backends share index walks
+/// across children.
 ///
 /// Edge handling (Section 4.4, implemented strategy + correctness
 /// refinement documented in DESIGN.md):
-///  * AD children: contour reachability (exact);
+///  * AD children: oracle set-reachability (exact);
 ///  * PC children into predicate nodes: exact parent-set membership —
 ///    these never reach the matching graph, so approximation would
 ///    corrupt negation/disjunction semantics;
 ///  * PC children into backbone nodes: treated as AD here and repaired
 ///    on the maximal matching graph.
-void PruneDownward(const DataGraph& g, const ThreeHopIndex& idx,
+void PruneDownward(const DataGraph& g, const ReachabilityOracle& idx,
                    const Gtpq& q, std::vector<std::vector<NodeId>>* mat,
                    EngineStats* stats);
 
@@ -36,12 +39,12 @@ std::vector<char> ComputePrimeSubtree(const Gtpq& q);
 
 /// Second pruning round (Procedure 7, PruneUpward): top-down over the
 /// prime subtree, removes candidates not reachable from the (pruned)
-/// candidates of their prime parent. Chains are scanned in ascending sid
-/// order with the early break: once one candidate on a chain is
-/// reachable, all larger ones are. PC edges use exact child sets.
-/// Returns false when some prime node lost all candidates (empty
-/// answer).
-bool PruneUpward(const DataGraph& g, const ThreeHopIndex& idx,
+/// candidates of their prime parent. The parent set is summarized once
+/// (a successor contour on contour-capable backends) and the child
+/// candidates are refined in one batched oracle call. PC edges use
+/// exact child sets. Returns false when some prime node lost all
+/// candidates (empty answer).
+bool PruneUpward(const DataGraph& g, const ReachabilityOracle& idx,
                  const Gtpq& q, const std::vector<char>& in_prime,
                  std::vector<std::vector<NodeId>>* mat,
                  const GteaOptions& options, EngineStats* stats);

@@ -1,0 +1,54 @@
+#include "reachability/chain_cover_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+ChainCoverIndex ChainCoverIndex::Build(const Digraph& g) {
+  ChainCoverIndex idx;
+  idx.scc_ = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, idx.scc_);
+  idx.cover_ = BuildGreedyChainCover(cond);
+
+  const size_t n = cond.NumNodes();
+  const size_t k = idx.cover_.NumChains();
+  idx.first_.assign(n, std::vector<uint32_t>(k, kUnreachable));
+
+  // Reverse topological sweep: a node reaches whatever its successors
+  // reach, plus the successors themselves (non-empty paths only, so a
+  // node never contributes its own position).
+  auto order = TopologicalSort(cond);
+  GTPQ_CHECK(order.size() == n);
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId c = *it;
+    auto& row = idx.first_[c];
+    for (NodeId d : cond.OutNeighbors(c)) {
+      const uint32_t dcid = idx.cover_.cid_of[d];
+      const uint32_t dsid = idx.cover_.sid_of[d];
+      row[dcid] = std::min(row[dcid], dsid);
+      const auto& drow = idx.first_[d];
+      for (size_t i = 0; i < k; ++i) {
+        row[i] = std::min(row[i], drow[i]);
+      }
+    }
+  }
+  for (const auto& row : idx.first_) {
+    for (uint32_t cell : row) {
+      if (cell != kUnreachable) ++idx.total_entries_;
+    }
+  }
+  return idx;
+}
+
+bool ChainCoverIndex::Reaches(NodeId from, NodeId to) const {
+  ++stats_.queries;
+  const NodeId cu = scc_.component_of[from];
+  const NodeId cv = scc_.component_of[to];
+  if (cu == cv) return scc_.cyclic[cu];
+  ++stats_.elements_looked_up;  // one table cell
+  return first_[cu][cover_.cid_of[cv]] <= cover_.sid_of[cv];
+}
+
+}  // namespace gtpq

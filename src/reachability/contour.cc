@@ -1,5 +1,8 @@
 #include "reachability/contour.h"
 
+#include <algorithm>
+#include <memory>
+
 namespace gtpq {
 
 void Contour::UpdateMax(uint32_t cid, const ContourEntry& e) {
@@ -162,6 +165,240 @@ bool ContourReachesNode(const ThreeHopIndex& idx, const Contour& cs,
   return idx.ForEachPredecessorEntry(cond, [&](const ChainPos& y) {
     return ProbeSuccessorContour(cs, y, /*y_genuine=*/true, v);
   });
+}
+
+// ------------------------------------------------------------------------
+// ContourIndex: set-reachability overrides.
+
+namespace {
+
+// A merged contour (predecessor or successor, per the factory used).
+class ContourSummary : public ReachabilityOracle::SetSummary {
+ public:
+  explicit ContourSummary(Contour c) : contour(std::move(c)) {}
+  Contour contour;
+};
+
+const Contour& AsContour(const ReachabilityOracle::SetSummary& s) {
+  return static_cast<const ContourSummary&>(s).contour;
+}
+
+// Successor-scan targets: the sorted list plus its per-chain grouping
+// (member indices in ascending sid order), computed once and reused for
+// every source scan.
+class ChainGroupedTargets : public ReachabilityOracle::SetSummary {
+ public:
+  ChainGroupedTargets(const ThreeHopIndex& idx,
+                      std::span<const NodeId> targets)
+      : targets_(targets.begin(), targets.end()) {
+    std::unordered_map<uint32_t, std::vector<uint32_t>> by_chain;
+    for (uint32_t wi = 0; wi < targets_.size(); ++wi) {
+      by_chain[idx.PosOf(targets_[wi]).cid].push_back(wi);
+    }
+    chains_.reserve(by_chain.size());
+    for (auto& [cid, members] : by_chain) {
+      std::sort(members.begin(), members.end(),
+                [&](uint32_t a, uint32_t b) {
+                  const uint32_t sa = idx.PosOf(targets_[a]).sid;
+                  const uint32_t sb = idx.PosOf(targets_[b]).sid;
+                  return sa != sb ? sa < sb : targets_[a] < targets_[b];
+                });
+      chains_.emplace_back(cid, std::move(members));
+    }
+  }
+
+  const std::vector<NodeId>& targets() const { return targets_; }
+  const std::vector<std::pair<uint32_t, std::vector<uint32_t>>>& chains()
+      const {
+    return chains_;
+  }
+
+ private:
+  std::vector<NodeId> targets_;
+  std::vector<std::pair<uint32_t, std::vector<uint32_t>>> chains_;
+};
+
+}  // namespace
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+ContourIndex::SummarizeTargets(std::span<const NodeId> members) const {
+  return std::make_unique<ContourSummary>(MergePredLists(*this, members));
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+ContourIndex::SummarizeSources(std::span<const NodeId> members) const {
+  return std::make_unique<ContourSummary>(MergeSuccLists(*this, members));
+}
+
+bool ContourIndex::ReachesSet(NodeId from, const SetSummary& targets) const {
+  ++stats().queries;
+  return NodeReachesContour(*this, from, AsContour(targets));
+}
+
+bool ContourIndex::SetReaches(const SetSummary& sources, NodeId to) const {
+  ++stats().queries;
+  return ContourReachesNode(*this, AsContour(sources), to);
+}
+
+void ContourIndex::ReachesSetsBatch(
+    std::span<const NodeId> sources,
+    std::span<const SetSummary* const> target_sets,
+    std::vector<std::vector<char>>* out) const {
+  const size_t num_sets = target_sets.size();
+  out->assign(num_sets, std::vector<char>(sources.size(), 0));
+  std::vector<const Contour*> contours(num_sets);
+  for (size_t k = 0; k < num_sets; ++k) {
+    contours[k] = &AsContour(*target_sets[k]);
+  }
+
+  // Procedure 6 inner loop: sources grouped per chain, descending sid,
+  // so positive valuations are inherited down-chain; each Lout segment
+  // is walked at most once per chain, shared across all target sets.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> chains;
+  for (uint32_t i = 0; i < sources.size(); ++i) {
+    chains[PosOf(sources[i]).cid].push_back(i);
+  }
+  std::vector<char> val(num_sets, 0);
+  for (auto& [cid, idxs] : chains) {
+    std::sort(idxs.begin(), idxs.end(), [&](uint32_t a, uint32_t b) {
+      const uint32_t sa = PosOf(sources[a]).sid;
+      const uint32_t sb = PosOf(sources[b]).sid;
+      return sa != sb ? sa > sb : sources[a] < sources[b];
+    });
+    std::fill(val.begin(), val.end(), 0);
+    uint32_t visited = UINT32_MAX;  // lowest walked start sid
+
+    for (uint32_t i : idxs) {
+      const NodeId v = sources[i];
+      const auto cond = CondOf(v);
+      const ChainPos p = PosOfCond(cond);
+      const bool cyclic = CondCyclic(cond);
+
+      bool any_pending = false;
+      for (size_t k = 0; k < num_sets; ++k) {
+        if (!val[k]) {
+          // Self probe: v's own position against the target contour.
+          if (ProbePredecessorContour(*contours[k], p, cyclic, v)) {
+            val[k] = 1;
+          } else {
+            any_pending = true;
+          }
+        }
+      }
+      if (any_pending && p.sid < visited) {
+        // Walk the not-yet-visited Lout segment [p.sid, visited).
+        auto cur = Lout(cond).empty() ? NextWithLout(cond) : cond;
+        while (cur != kNoCond && PosOfCond(cur).sid < visited) {
+          for (const ChainPos& e : Lout(cur)) {
+            ++stats().elements_looked_up;
+            for (size_t k = 0; k < num_sets; ++k) {
+              if (!val[k] &&
+                  ProbePredecessorContour(*contours[k], e, true, v)) {
+                val[k] = 1;
+              }
+            }
+          }
+          cur = NextWithLout(cur);
+        }
+        visited = p.sid;
+      }
+      for (size_t k = 0; k < num_sets; ++k) (*out)[k][i] = val[k];
+    }
+  }
+}
+
+void ContourIndex::SetReachesBatch(const SetSummary& sources,
+                                   std::span<const NodeId> targets,
+                                   std::vector<char>* out) const {
+  const Contour& cs = AsContour(sources);
+  out->assign(targets.size(), 0);
+
+  // Procedure 7 inner loop: targets grouped per chain, ascending sid,
+  // with the early break — once one chain node is reachable from the
+  // source set, all larger ones are — and each Lin segment walked at
+  // most once per chain.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> chains;
+  for (uint32_t i = 0; i < targets.size(); ++i) {
+    chains[PosOf(targets[i]).cid].push_back(i);
+  }
+  for (auto& [cid, idxs] : chains) {
+    std::sort(idxs.begin(), idxs.end(), [&](uint32_t a, uint32_t b) {
+      const uint32_t sa = PosOf(targets[a]).sid;
+      const uint32_t sb = PosOf(targets[b]).sid;
+      return sa != sb ? sa < sb : targets[a] < targets[b];
+    });
+    bool reached = false;
+    uint32_t visited_floor = 0;
+    bool have_floor = false;
+    for (uint32_t i : idxs) {
+      const NodeId v = targets[i];
+      if (!reached) {
+        const auto cond = CondOf(v);
+        const ChainPos p = PosOfCond(cond);
+        if (ProbeSuccessorContour(cs, p, CondCyclic(cond), v)) {
+          reached = true;
+        } else if (!have_floor || p.sid > visited_floor) {
+          // Walk the new Lin segment (p.sid down to the floor).
+          auto cur = Lin(cond).empty() ? PrevWithLin(cond) : cond;
+          while (cur != kNoCond) {
+            const ChainPos pc = PosOfCond(cur);
+            if (have_floor && pc.sid <= visited_floor) break;
+            for (const ChainPos& e : Lin(cur)) {
+              ++stats().elements_looked_up;
+              if (ProbeSuccessorContour(cs, e, true, v)) {
+                reached = true;
+                break;
+              }
+            }
+            if (reached) break;
+            cur = PrevWithLin(cur);
+          }
+          visited_floor = p.sid;
+          have_floor = true;
+        }
+      }
+      if (reached) (*out)[i] = 1;
+    }
+  }
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+ContourIndex::PrepareSuccessorTargets(std::span<const NodeId> targets) const {
+  return std::make_unique<ChainGroupedTargets>(*this, targets);
+}
+
+void ContourIndex::SuccessorsAmong(NodeId from, const SetSummary& targets,
+                                   std::vector<uint32_t>* out) const {
+  const auto& grouped = static_cast<const ChainGroupedTargets&>(targets);
+  const auto& nodes = grouped.targets();
+
+  // Section 4.3 matching-graph scan: one singleton successor contour
+  // per source, probed per chain until the first hit (same early break
+  // as the upward batch).
+  const NodeId vv[1] = {from};
+  Contour cs = MergeSuccLists(*this, std::span<const NodeId>(vv, 1));
+  const size_t appended_from = out->size();
+  for (const auto& [cid, members] : grouped.chains()) {
+    bool reached = false;
+    for (uint32_t wi : members) {
+      if (!reached) {
+        const NodeId w = nodes[wi];
+        const auto cond = CondOf(w);
+        const ChainPos p = PosOfCond(cond);
+        if (ProbeSuccessorContour(cs, p, CondCyclic(cond), w)) {
+          reached = true;
+        } else {
+          reached = ForEachPredecessorEntry(cond, [&](const ChainPos& y) {
+            return ProbeSuccessorContour(cs, y, true, w);
+          });
+        }
+      }
+      if (reached) out->push_back(wi);
+    }
+  }
+  // Chains are visited in hash order; restore the ascending-index
+  // contract on the appended suffix only.
+  std::sort(out->begin() + appended_from, out->end());
 }
 
 }  // namespace gtpq

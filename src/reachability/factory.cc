@@ -1,0 +1,65 @@
+#include "reachability/factory.h"
+
+#include "reachability/chain_cover_index.h"
+#include "reachability/contour.h"
+#include "reachability/interval_index.h"
+#include "reachability/sspi.h"
+#include "reachability/three_hop.h"
+#include "reachability/transitive_closure.h"
+
+namespace gtpq {
+
+std::vector<ReachabilityBackend> AllReachabilityBackends() {
+  return {ReachabilityBackend::kContour,    ReachabilityBackend::kThreeHop,
+          ReachabilityBackend::kInterval,   ReachabilityBackend::kSspi,
+          ReachabilityBackend::kChainCover,
+          ReachabilityBackend::kTransitiveClosure};
+}
+
+std::string_view ReachabilityBackendName(ReachabilityBackend kind) {
+  switch (kind) {
+    case ReachabilityBackend::kContour:
+      return "contour";
+    case ReachabilityBackend::kThreeHop:
+      return "three_hop";
+    case ReachabilityBackend::kInterval:
+      return "interval";
+    case ReachabilityBackend::kSspi:
+      return "sspi";
+    case ReachabilityBackend::kChainCover:
+      return "chain_cover";
+    case ReachabilityBackend::kTransitiveClosure:
+      return "transitive_closure";
+  }
+  return "unknown";
+}
+
+std::optional<ReachabilityBackend> ParseReachabilityBackend(
+    std::string_view name) {
+  for (ReachabilityBackend kind : AllReachabilityBackends()) {
+    if (name == ReachabilityBackendName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
+    ReachabilityBackend kind, const Digraph& g) {
+  switch (kind) {
+    case ReachabilityBackend::kContour:
+      return std::make_unique<ContourIndex>(ContourIndex::Build(g));
+    case ReachabilityBackend::kThreeHop:
+      return std::make_unique<ThreeHopIndex>(ThreeHopIndex::Build(g));
+    case ReachabilityBackend::kInterval:
+      return std::make_unique<IntervalIndex>(IntervalIndex::Build(g));
+    case ReachabilityBackend::kSspi:
+      return std::make_unique<Sspi>(Sspi::Build(g));
+    case ReachabilityBackend::kChainCover:
+      return std::make_unique<ChainCoverIndex>(ChainCoverIndex::Build(g));
+    case ReachabilityBackend::kTransitiveClosure:
+      return std::make_unique<TransitiveClosure>(
+          TransitiveClosure::Build(g));
+  }
+  return nullptr;
+}
+
+}  // namespace gtpq

@@ -1,0 +1,49 @@
+#ifndef GTPQ_REACHABILITY_FACTORY_H_
+#define GTPQ_REACHABILITY_FACTORY_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "reachability/reachability_index.h"
+
+namespace gtpq {
+
+/// The registered reachability backends. Every backend answers the full
+/// ReachabilityOracle API (point + set queries) over arbitrary finalized
+/// digraphs; they differ in build cost, space, and per-probe #index.
+enum class ReachabilityBackend {
+  /// 3-hop chain labeling with merged-contour set operations — the
+  /// paper's GTEA configuration and the engine default.
+  kContour,
+  /// Plain 3-hop chain labeling; set operations fall back to pairwise
+  /// point probes (isolates the contour machinery's savings).
+  kThreeHop,
+  /// OPT-tree-cover interval labeling (Agrawal et al., SIGMOD'89).
+  kInterval,
+  /// Surrogate & surplus predecessor index of TwigStackD (VLDB'05).
+  kSspi,
+  /// Chain-cover table labeling (Jagadish, TODS'90).
+  kChainCover,
+  /// Materialized SCC-condensed closure — the golden oracle.
+  kTransitiveClosure,
+};
+
+/// All registered backends, in the order above.
+std::vector<ReachabilityBackend> AllReachabilityBackends();
+
+/// Canonical lowercase name ("contour", "three_hop", ...).
+std::string_view ReachabilityBackendName(ReachabilityBackend kind);
+
+/// Parses a canonical backend name; nullopt for unknown names.
+std::optional<ReachabilityBackend> ParseReachabilityBackend(
+    std::string_view name);
+
+/// Builds a backend over a finalized digraph (cycles allowed).
+std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
+    ReachabilityBackend kind, const Digraph& g);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_REACHABILITY_FACTORY_H_

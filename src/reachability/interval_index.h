@@ -23,6 +23,8 @@ class IntervalIndex : public ReachabilityOracle {
 
   static IntervalIndex Build(const Digraph& g);
 
+  std::string_view name() const override { return "interval"; }
+
   bool Reaches(NodeId from, NodeId to) const override;
 
   /// Post-order number of a node (used by HGJoin's sort-merge joins as

@@ -1,0 +1,89 @@
+#include "reachability/reachability_index.h"
+
+namespace gtpq {
+
+namespace {
+
+// Default summary: the member list itself, probed pairwise.
+class VectorSummary : public ReachabilityOracle::SetSummary {
+ public:
+  explicit VectorSummary(std::span<const NodeId> members)
+      : members_(members.begin(), members.end()) {}
+
+  const std::vector<NodeId>& members() const { return members_; }
+
+ private:
+  std::vector<NodeId> members_;
+};
+
+const VectorSummary& AsVector(const ReachabilityOracle::SetSummary& s) {
+  return static_cast<const VectorSummary&>(s);
+}
+
+}  // namespace
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+ReachabilityOracle::SummarizeTargets(std::span<const NodeId> members) const {
+  return std::make_unique<VectorSummary>(members);
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+ReachabilityOracle::SummarizeSources(std::span<const NodeId> members) const {
+  return std::make_unique<VectorSummary>(members);
+}
+
+bool ReachabilityOracle::ReachesSet(NodeId from,
+                                    const SetSummary& targets) const {
+  for (NodeId m : AsVector(targets).members()) {
+    if (Reaches(from, m)) return true;
+  }
+  return false;
+}
+
+bool ReachabilityOracle::SetReaches(const SetSummary& sources,
+                                    NodeId to) const {
+  for (NodeId m : AsVector(sources).members()) {
+    if (Reaches(m, to)) return true;
+  }
+  return false;
+}
+
+void ReachabilityOracle::ReachesSetsBatch(
+    std::span<const NodeId> sources,
+    std::span<const SetSummary* const> target_sets,
+    std::vector<std::vector<char>>* out) const {
+  out->assign(target_sets.size(),
+              std::vector<char>(sources.size(), 0));
+  for (size_t k = 0; k < target_sets.size(); ++k) {
+    auto& mask = (*out)[k];
+    for (size_t i = 0; i < sources.size(); ++i) {
+      mask[i] = ReachesSet(sources[i], *target_sets[k]) ? 1 : 0;
+    }
+  }
+}
+
+void ReachabilityOracle::SetReachesBatch(const SetSummary& sources,
+                                         std::span<const NodeId> targets,
+                                         std::vector<char>* out) const {
+  out->assign(targets.size(), 0);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    (*out)[i] = SetReaches(sources, targets[i]) ? 1 : 0;
+  }
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+ReachabilityOracle::PrepareSuccessorTargets(
+    std::span<const NodeId> targets) const {
+  return std::make_unique<VectorSummary>(targets);
+}
+
+void ReachabilityOracle::SuccessorsAmong(NodeId from,
+                                         const SetSummary& targets,
+                                         std::vector<uint32_t>* out) const {
+  const auto& members = AsVector(targets).members();
+  for (uint32_t i = 0; i < members.size(); ++i) {
+    if (Reaches(from, members[i])) out->push_back(i);
+  }
+}
+
+}  // namespace gtpq

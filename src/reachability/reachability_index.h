@@ -2,6 +2,10 @@
 #define GTPQ_REACHABILITY_REACHABILITY_INDEX_H_
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
 
 #include "graph/digraph.h"
 
@@ -21,12 +25,74 @@ struct IndexStats {
 /// Abstract ancestor-descendant oracle. Semantics follow Section 2
 /// exactly: Reaches(u, v) is true iff there is a path of length >= 1
 /// from u to v; hence Reaches(v, v) holds only when v lies on a cycle.
+///
+/// Beyond the point query, the oracle exposes the set-reachability
+/// operations GTEA's pipeline is built on (candidate pruning and
+/// maximal-matching-graph construction): summarize a node set once,
+/// then probe many nodes against it. Every operation has a pairwise
+/// default in terms of Reaches(), so any index that answers point
+/// queries qualifies as a GTEA backend; indexes with a native batched
+/// representation (e.g. the merged contours of Section 4.2.1 over the
+/// 3-hop index) override them.
 class ReachabilityOracle {
  public:
+  /// Opaque per-oracle summary of a node set, produced by one of the
+  /// Summarize*/Prepare* factories below. A summary must only be passed
+  /// back to the oracle that created it, and only to the probe matching
+  /// the factory it came from (targets -> ReachesSet/ReachesSetsBatch,
+  /// sources -> SetReaches/SetReachesBatch, successor targets ->
+  /// SuccessorsAmong).
+  class SetSummary {
+   public:
+    virtual ~SetSummary() = default;
+  };
+
   virtual ~ReachabilityOracle() = default;
+
+  /// Short machine-readable backend name ("three_hop", "contour", ...).
+  virtual std::string_view name() const = 0;
 
   /// True iff a non-empty path leads from `from` to `to`.
   virtual bool Reaches(NodeId from, NodeId to) const = 0;
+
+  // --- Set-reachability API ---------------------------------------------
+
+  /// Summarizes `members` for repeated "does v reach the set?" probes.
+  virtual std::unique_ptr<SetSummary> SummarizeTargets(
+      std::span<const NodeId> members) const;
+  /// Summarizes `members` for repeated "does the set reach v?" probes.
+  virtual std::unique_ptr<SetSummary> SummarizeSources(
+      std::span<const NodeId> members) const;
+
+  /// Does `from` reach (non-empty path) at least one member of the
+  /// summarized target set?
+  virtual bool ReachesSet(NodeId from, const SetSummary& targets) const;
+  /// Does at least one member of the summarized source set reach `to`?
+  virtual bool SetReaches(const SetSummary& sources, NodeId to) const;
+
+  /// Batched downward probe: for every source i and target set k, does
+  /// sources[i] reach a member of *target_sets[k]? Fills
+  /// (*out)[k][i]. Evaluating all sets jointly lets chain-structured
+  /// backends share one index walk across sets (Procedure 6).
+  virtual void ReachesSetsBatch(
+      std::span<const NodeId> sources,
+      std::span<const SetSummary* const> target_sets,
+      std::vector<std::vector<char>>* out) const;
+
+  /// Batched upward probe: (*out)[i] = does some summarized source
+  /// reach targets[i]? (Procedure 7's refinement step.)
+  virtual void SetReachesBatch(const SetSummary& sources,
+                               std::span<const NodeId> targets,
+                               std::vector<char>* out) const;
+
+  /// Prepares a *sorted* target list for repeated SuccessorsAmong
+  /// scans (one scan per source when building the matching graph).
+  virtual std::unique_ptr<SetSummary> PrepareSuccessorTargets(
+      std::span<const NodeId> targets) const;
+  /// Appends to `out`, in ascending order, the indices i (into the
+  /// prepared target list) with Reaches(from, targets[i]).
+  virtual void SuccessorsAmong(NodeId from, const SetSummary& targets,
+                               std::vector<uint32_t>* out) const;
 
   IndexStats& stats() const { return stats_; }
 

@@ -21,6 +21,8 @@ class Sspi : public ReachabilityOracle {
  public:
   static Sspi Build(const Digraph& g);
 
+  std::string_view name() const override { return "sspi"; }
+
   bool Reaches(NodeId from, NodeId to) const override;
 
   /// Total surplus predecessor entries (index size metric).

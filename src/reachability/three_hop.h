@@ -40,6 +40,8 @@ class ThreeHopIndex : public ReachabilityOracle {
   /// condensing SCCs first.
   static ThreeHopIndex Build(const Digraph& g);
 
+  std::string_view name() const override { return "three_hop"; }
+
   /// Non-empty-path reachability between data nodes.
   bool Reaches(NodeId from, NodeId to) const override;
 

@@ -32,6 +32,7 @@ bool TransitiveClosure::Reaches(NodeId from, NodeId to) const {
   NodeId cu = scc_.component_of[from];
   NodeId cv = scc_.component_of[to];
   if (cu == cv) return scc_.cyclic[cu];
+  ++stats_.elements_looked_up;  // one bitset-row probe
   return CondReaches(cu, cv);
 }
 

@@ -17,6 +17,8 @@ class TransitiveClosure : public ReachabilityOracle {
   /// Builds from a finalized graph (cycles allowed).
   static TransitiveClosure Build(const Digraph& g);
 
+  std::string_view name() const override { return "transitive_closure"; }
+
   bool Reaches(NodeId from, NodeId to) const override;
 
   size_t NumNodes() const { return scc_.component_of.size(); }

@@ -136,8 +136,8 @@ TEST(GteaEdgeTest, ResultLimitCapsEnumeration) {
 
 TEST(GteaEdgeTest, SharedIndexAcrossEngines) {
   DataGraph g = SmallDag();
-  auto idx = std::make_shared<const ThreeHopIndex>(
-      ThreeHopIndex::Build(g.graph()));
+  std::shared_ptr<const ReachabilityOracle> idx =
+      MakeReachabilityIndex(ReachabilityBackend::kContour, g.graph());
   GteaEngine e1(g, idx), e2(g, idx);
   QueryBuilder b(g.attr_names_ptr());
   QNodeId r = b.AddRoot("r", b.Label(1));
