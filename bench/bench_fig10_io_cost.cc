@@ -2,10 +2,12 @@
 // #intermediate result size, #index elements looked up) for Q3 on the
 // XMark dataset with scale factor 1.5.
 //
-// GTEA runs once per selected reachability backend, so the #index
+// GTEA runs once per selected reachability spec, so the #index
 // column doubles as a per-backend lookup-cost comparison:
 //   --index=contour,three_hop     (default: contour, the paper's setup)
+//   --index=cached:contour        decorator specs work too
 //   --index=all                   sweep every registered backend
+//   --index=all-specs             sweep backends plus every decorator
 #include <cstring>
 #include <string>
 
@@ -30,29 +32,37 @@ void Row(const std::string& engine, const EngineStats& s) {
                   .c_str());
 }
 
-std::vector<ReachabilityBackend> ParseIndexFlag(int argc, char** argv) {
+std::vector<std::string> ParseIndexFlag(int argc, char** argv) {
   std::string spec = "contour";
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--index=", 8) == 0) spec = argv[i] + 8;
   }
-  if (spec == "all") return AllReachabilityBackends();
-  std::vector<ReachabilityBackend> out;
+  if (spec == "all") {
+    std::vector<std::string> out;
+    for (auto k : AllReachabilityBackends()) {
+      out.emplace_back(ReachabilityBackendName(k));
+    }
+    return out;
+  }
+  if (spec == "all-specs") return AllReachabilitySpecs();
+  std::vector<std::string> out;
   size_t pos = 0;
   while (pos <= spec.size()) {
     size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
     std::string name = spec.substr(pos, comma - pos);
     if (!name.empty()) {
-      auto kind = ParseReachabilityBackend(name);
-      if (kind.has_value()) {
-        out.push_back(*kind);
+      if (IsValidReachabilitySpec(name)) {
+        out.push_back(name);
       } else {
-        std::fprintf(stderr, "unknown backend '%s' (known:", name.c_str());
+        std::fprintf(stderr,
+                     "unknown reachability spec '%s' (known base backends:",
+                     name.c_str());
         for (auto k : AllReachabilityBackends()) {
           std::fprintf(stderr, " %s",
                        std::string(ReachabilityBackendName(k)).c_str());
         }
-        std::fprintf(stderr, ")\n");
+        std::fprintf(stderr, "; decorators: cached:<spec> sharded:<spec>)\n");
         std::exit(2);
       }
     }
@@ -61,7 +71,7 @@ std::vector<ReachabilityBackend> ParseIndexFlag(int argc, char** argv) {
   if (out.empty()) {
     std::fprintf(stderr,
                  "--index= selected no backends; pass a comma-separated "
-                 "list or 'all'\n");
+                 "list, 'all', or 'all-specs'\n");
     std::exit(2);
   }
   return out;
@@ -84,8 +94,10 @@ int main(int argc, char** argv) {
   std::printf("%-24s %16s %16s %16s\n", "Engine", "#input",
               "#intermediate", "#index");
 
-  for (ReachabilityBackend backend : backends) {
-    GteaEngine gtea(g, backend);
+  for (const std::string& backend : backends) {
+    auto idx = MakeReachabilityIndex(std::string_view(backend), g.graph());
+    GteaEngine gtea(
+        g, std::shared_ptr<const ReachabilityOracle>(std::move(idx)));
     gtea.Evaluate(wq.query);
     Row(std::string(gtea.name()), gtea.stats());
   }

@@ -194,9 +194,10 @@ std::unique_ptr<Evaluator> MakeEngine(std::string_view spec,
                                       std::vector<std::string> cross_names) {
   if (spec == "gtea") return std::make_unique<GteaEngine>(g);
   if (spec.rfind("gtea:", 0) == 0) {
-    auto backend = ParseReachabilityBackend(spec.substr(5));
-    if (!backend.has_value()) return nullptr;
-    return std::make_unique<GteaEngine>(g, *backend);
+    auto idx = MakeReachabilityIndex(spec.substr(5), g.graph());
+    if (idx == nullptr) return nullptr;
+    return std::make_unique<GteaEngine>(
+        g, std::shared_ptr<const ReachabilityOracle>(std::move(idx)));
   }
   if (spec == "naive") return std::make_unique<BruteForceEngine>(g);
   if (spec == "twigstack") {

@@ -132,7 +132,9 @@ class DecomposeEngine : public Evaluator {
 
 /// Engine registry. Specs:
 ///   gtea            GTEA on the default (contour) backend
-///   gtea:<backend>  GTEA on any registered reachability backend
+///   gtea:<spec>     GTEA on any reachability spec: a registered
+///                   backend name or a cached:/sharded: decorator chain
+///                   (e.g. gtea:cached:contour, gtea:sharded:interval)
 ///   naive           brute force over the transitive closure
 ///   twigstack, twig2stack, twigstackd, hgjoin+, hgjoin*
 ///   decompose:twigstack, decompose:twigstackd

@@ -1,0 +1,68 @@
+#ifndef GTPQ_COMMON_PER_THREAD_H_
+#define GTPQ_COMMON_PER_THREAD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+
+namespace gtpq {
+
+/// A per-(instance, thread) value slot: each PerThread<T> member gives
+/// every thread that touches it a private, lazily default-constructed T.
+/// This is how shared immutable objects (reachability oracles served to
+/// a whole thread pool) expose mutable per-query scratch — counters,
+/// visit marks — without any cross-thread sharing: a thread only ever
+/// sees the slot it created, so access is data-race-free by
+/// construction and needs no locks on the hot path.
+///
+/// Identity is a process-unique id, never the object address, so a slot
+/// can never alias a dead instance's leftovers. Copying or moving a
+/// PerThread produces a fresh identity with empty slots: slot contents
+/// are transient scratch tied to one instance's lifetime, not state
+/// worth transferring.
+///
+/// Slots for instances a thread no longer uses are reclaimed only at
+/// thread exit — destroying the PerThread does NOT free slots other
+/// threads (or even this thread) created for it. Keep T small and
+/// avoid churning many short-lived instances through one long-lived
+/// serving thread: each dead instance strands one T per thread that
+/// probed it. The intended payloads (stat counters, per-graph
+/// visit-mark vectors) make this a few bytes to O(n) per dead index,
+/// which the serving runtime's build-once/share pattern keeps rare.
+template <typename T>
+class PerThread {
+ public:
+  PerThread() : id_(NextId()) {}
+  PerThread(const PerThread&) : id_(NextId()) {}
+  PerThread(PerThread&&) noexcept : id_(NextId()) {}
+  PerThread& operator=(const PerThread&) { return *this; }
+  PerThread& operator=(PerThread&&) noexcept { return *this; }
+
+  /// The calling thread's slot for this instance. The reference stays
+  /// valid for the thread's lifetime (node-based map storage).
+  T& Local() const {
+    struct Cache {
+      uint64_t id = 0;
+      T* value = nullptr;
+    };
+    thread_local Cache cache;
+    if (cache.id != id_ || cache.value == nullptr) {
+      thread_local std::unordered_map<uint64_t, T> slots;
+      cache.value = &slots[id_];
+      cache.id = id_;
+    }
+    return *cache.value;
+  }
+
+ private:
+  static uint64_t NextId() {
+    static std::atomic<uint64_t> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t id_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_COMMON_PER_THREAD_H_

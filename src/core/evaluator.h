@@ -24,7 +24,14 @@ namespace gtpq {
 ///    index_lookups plumbed from the engine's reachability oracle;
 ///  * engines that cannot evaluate a query (unsupported fragment)
 ///    return an empty result and say so via their own side channel
-///    (e.g. DecomposeEngine::last_status()).
+///    (e.g. DecomposeEngine::last_status());
+///  * threading: one Evaluator instance is thread-confined (Evaluate
+///    and stats() must be called from one thread at a time), but any
+///    number of instances may share the immutable index artifacts —
+///    oracle counters and scratch are per-thread, so concurrent
+///    Evaluate calls on SIBLING engines are data-race-free. The
+///    serving runtime (runtime/query_server.h) pins one engine per
+///    pool worker on exactly this contract.
 class Evaluator {
  public:
   virtual ~Evaluator() = default;

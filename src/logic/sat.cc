@@ -9,7 +9,9 @@ namespace logic {
 
 namespace {
 
-SatSolver::Stats g_last_stats;
+// Thread-local so concurrent query-serving workers that run solver
+// calls (query analysis, predicate checks) never race on the counters.
+thread_local SatSolver::Stats g_last_stats;
 
 // Dense-variable DPLL working state. Variables are remapped to a compact
 // range before solving.

@@ -1,0 +1,250 @@
+#include "reachability/cached_oracle.h"
+
+#include <atomic>
+#include <limits>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace gtpq {
+
+namespace {
+
+// splitmix64 finalizer: spreads packed (from, to) keys across shards.
+inline uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t PointKey(NodeId from, NodeId to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+// Set-probe keys pack a 32-bit summary id with the probed node. Ids
+// are handed out process-wide; a summary past the 32-bit range simply
+// probes uncached (unreachable in practice).
+inline bool SetKey(uint64_t summary_id, NodeId node, uint64_t* key) {
+  if (summary_id > std::numeric_limits<uint32_t>::max()) return false;
+  *key = (summary_id << 32) | node;
+  return true;
+}
+
+uint64_t NextSummaryId() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+// ------------------------------------------------------ ShardedLruCache
+
+struct ShardedLruCache::Shard {
+  using Entry = std::pair<uint64_t, bool>;
+
+  std::mutex mu;
+  size_t capacity = 1;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map;
+};
+
+ShardedLruCache::ShardedLruCache(size_t capacity, size_t num_shards) {
+  num_shards_ = 1;
+  while (num_shards_ < num_shards) num_shards_ <<= 1;
+  capacity_ = capacity < num_shards_ ? num_shards_ : capacity;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  const size_t per_shard = capacity_ / num_shards_;
+  for (size_t s = 0; s < num_shards_; ++s) shards_[s].capacity = per_shard;
+}
+
+ShardedLruCache::~ShardedLruCache() = default;
+
+size_t ShardedLruCache::ShardOf(uint64_t key) const {
+  return MixKey(key) & (num_shards_ - 1);
+}
+
+std::optional<bool> ShardedLruCache::Lookup(uint64_t key) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) return std::nullopt;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void ShardedLruCache::Insert(uint64_t key, bool value) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.map.emplace(key, shard.lru.begin());
+  if (shard.map.size() > shard.capacity) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+}
+
+void ShardedLruCache::Clear() {
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+    shard.lru.clear();
+  }
+}
+
+size_t ShardedLruCache::Size() const {
+  size_t total = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+// --------------------------------------------------------- CachedOracle
+
+/// Wraps the inner oracle's summary with a process-unique id that keys
+/// the set-probe cache. Valid only with the CachedOracle that made it,
+/// mirroring the base-class contract.
+class CachedOracle::Summary : public ReachabilityOracle::SetSummary {
+ public:
+  explicit Summary(std::unique_ptr<SetSummary> inner)
+      : inner_(std::move(inner)), id_(NextSummaryId()) {}
+
+  const SetSummary& inner() const { return *inner_; }
+  uint64_t id() const { return id_; }
+
+ private:
+  std::unique_ptr<SetSummary> inner_;
+  uint64_t id_;
+};
+
+CachedOracle::CachedOracle(std::shared_ptr<const ReachabilityOracle> inner,
+                           CachedOracleOptions options)
+    : inner_(std::move(inner)),
+      name_("cached:" + std::string(inner_->name())),
+      point_cache_(options.capacity, options.num_shards),
+      set_cache_(options.capacity, options.num_shards) {}
+
+bool CachedOracle::Reaches(NodeId from, NodeId to) const {
+  IndexStats& st = stats();
+  ++st.queries;
+  const uint64_t key = PointKey(from, to);
+  if (auto hit = point_cache_.Lookup(key)) {
+    ++st.cache_hits;
+    return *hit;
+  }
+  ++st.cache_misses;
+  const uint64_t before = inner_->stats().elements_looked_up;
+  const bool reaches = inner_->Reaches(from, to);
+  st.elements_looked_up += inner_->stats().elements_looked_up - before;
+  point_cache_.Insert(key, reaches);
+  return reaches;
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary> CachedOracle::SummarizeTargets(
+    std::span<const NodeId> members) const {
+  return std::make_unique<Summary>(inner_->SummarizeTargets(members));
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary> CachedOracle::SummarizeSources(
+    std::span<const NodeId> members) const {
+  return std::make_unique<Summary>(inner_->SummarizeSources(members));
+}
+
+bool CachedOracle::ReachesSet(NodeId from, const SetSummary& targets) const {
+  const Summary& summary = static_cast<const Summary&>(targets);
+  IndexStats& st = stats();
+  ++st.queries;
+  uint64_t key = 0;
+  const bool cacheable = SetKey(summary.id(), from, &key);
+  if (cacheable) {
+    if (auto hit = set_cache_.Lookup(key)) {
+      ++st.cache_hits;
+      return *hit;
+    }
+  }
+  ++st.cache_misses;
+  const uint64_t before = inner_->stats().elements_looked_up;
+  const bool reaches = inner_->ReachesSet(from, summary.inner());
+  st.elements_looked_up += inner_->stats().elements_looked_up - before;
+  if (cacheable) set_cache_.Insert(key, reaches);
+  return reaches;
+}
+
+bool CachedOracle::SetReaches(const SetSummary& sources, NodeId to) const {
+  const Summary& summary = static_cast<const Summary&>(sources);
+  IndexStats& st = stats();
+  ++st.queries;
+  uint64_t key = 0;
+  const bool cacheable = SetKey(summary.id(), to, &key);
+  if (cacheable) {
+    if (auto hit = set_cache_.Lookup(key)) {
+      ++st.cache_hits;
+      return *hit;
+    }
+  }
+  ++st.cache_misses;
+  const uint64_t before = inner_->stats().elements_looked_up;
+  const bool reaches = inner_->SetReaches(summary.inner(), to);
+  st.elements_looked_up += inner_->stats().elements_looked_up - before;
+  if (cacheable) set_cache_.Insert(key, reaches);
+  return reaches;
+}
+
+void CachedOracle::ReachesSetsBatch(
+    std::span<const NodeId> sources,
+    std::span<const SetSummary* const> target_sets,
+    std::vector<std::vector<char>>* out) const {
+  out->assign(target_sets.size(), std::vector<char>(sources.size(), 0));
+  for (size_t k = 0; k < target_sets.size(); ++k) {
+    auto& mask = (*out)[k];
+    for (size_t i = 0; i < sources.size(); ++i) {
+      mask[i] = ReachesSet(sources[i], *target_sets[k]) ? 1 : 0;
+    }
+  }
+}
+
+void CachedOracle::SetReachesBatch(const SetSummary& sources,
+                                   std::span<const NodeId> targets,
+                                   std::vector<char>* out) const {
+  out->assign(targets.size(), 0);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    (*out)[i] = SetReaches(sources, targets[i]) ? 1 : 0;
+  }
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+CachedOracle::PrepareSuccessorTargets(std::span<const NodeId> targets) const {
+  return std::make_unique<Summary>(inner_->PrepareSuccessorTargets(targets));
+}
+
+void CachedOracle::SuccessorsAmong(NodeId from, const SetSummary& targets,
+                                   std::vector<uint32_t>* out) const {
+  // Scans return index vectors, which the bool cache cannot hold;
+  // delegate and account the inner walk.
+  IndexStats& st = stats();
+  const uint64_t before = inner_->stats().elements_looked_up;
+  inner_->SuccessorsAmong(from, static_cast<const Summary&>(targets).inner(), out);
+  st.elements_looked_up += inner_->stats().elements_looked_up - before;
+}
+
+void CachedOracle::Clear() {
+  point_cache_.Clear();
+  set_cache_.Clear();
+}
+
+size_t CachedOracle::CachedProbes() const {
+  return point_cache_.Size() + set_cache_.Size();
+}
+
+}  // namespace gtpq

@@ -1,0 +1,113 @@
+#ifndef GTPQ_REACHABILITY_CACHED_ORACLE_H_
+#define GTPQ_REACHABILITY_CACHED_ORACLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "reachability/reachability_index.h"
+
+namespace gtpq {
+
+/// Tuning knobs for CachedOracle. One cache of `capacity` entries is
+/// kept per probe family (point probes, set probes); each is split into
+/// `num_shards` independently locked LRU shards so concurrent workers
+/// rarely contend on the same mutex.
+struct CachedOracleOptions {
+  size_t capacity = 1 << 16;
+  size_t num_shards = 8;  // rounded up to a power of two
+};
+
+/// A concurrent bool-valued LRU map keyed by uint64, sharded by key
+/// hash. Every operation locks exactly one shard; eviction is LRU per
+/// shard. Used by CachedOracle but freely reusable.
+class ShardedLruCache {
+ public:
+  ShardedLruCache(size_t capacity, size_t num_shards);
+  ~ShardedLruCache();
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value and bumps its recency; nullopt on miss.
+  std::optional<bool> Lookup(uint64_t key);
+  /// Inserts or refreshes key -> value, evicting the shard's LRU entry
+  /// when the shard is full.
+  void Insert(uint64_t key, bool value);
+  void Clear();
+  /// Current entries across all shards (takes every shard lock).
+  size_t Size() const;
+  size_t num_shards() const { return num_shards_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard;
+  size_t ShardOf(uint64_t key) const;
+
+  std::unique_ptr<Shard[]> shards_;
+  size_t num_shards_ = 0;
+  size_t capacity_ = 0;
+};
+
+/// Caching decorator over any ReachabilityOracle: memoizes point
+/// probes (from, to) and set probes (node, summary) in sharded LRU
+/// caches shared by all serving threads. The inner oracle is immutable
+/// and shared; the caches are the only mutable state and are fully
+/// synchronized, so a single CachedOracle can back a whole QueryServer
+/// pool. Repeated GTPQ batches hitting the same label sets make the
+/// point-probe working set highly reusable — hits skip the inner index
+/// walk entirely and cost one shard lock.
+///
+/// Accounting: stats() counts a cache hit or miss per probe
+/// (IndexStats::cache_hits / cache_misses); misses additionally
+/// accumulate the inner oracle's element lookups, so #index reflects
+/// only the work the cache failed to absorb.
+///
+/// Batched set operations are answered element-wise through the cache
+/// (a hit skips the inner probe); summaries wrap the inner oracle's
+/// own summaries, so misses still use the backend's native set
+/// machinery (e.g. merged contours).
+class CachedOracle : public ReachabilityOracle {
+ public:
+  explicit CachedOracle(std::shared_ptr<const ReachabilityOracle> inner,
+                        CachedOracleOptions options = {});
+
+  std::string_view name() const override { return name_; }
+  bool Reaches(NodeId from, NodeId to) const override;
+
+  std::unique_ptr<SetSummary> SummarizeTargets(
+      std::span<const NodeId> members) const override;
+  std::unique_ptr<SetSummary> SummarizeSources(
+      std::span<const NodeId> members) const override;
+  bool ReachesSet(NodeId from, const SetSummary& targets) const override;
+  bool SetReaches(const SetSummary& sources, NodeId to) const override;
+  void ReachesSetsBatch(
+      std::span<const NodeId> sources,
+      std::span<const SetSummary* const> target_sets,
+      std::vector<std::vector<char>>* out) const override;
+  void SetReachesBatch(const SetSummary& sources,
+                       std::span<const NodeId> targets,
+                       std::vector<char>* out) const override;
+  std::unique_ptr<SetSummary> PrepareSuccessorTargets(
+      std::span<const NodeId> targets) const override;
+  void SuccessorsAmong(NodeId from, const SetSummary& targets,
+                       std::vector<uint32_t>* out) const override;
+
+  const ReachabilityOracle& inner() const { return *inner_; }
+  /// Drops every cached probe; inner index is untouched.
+  void Clear();
+  /// Current cached entries (point + set caches).
+  size_t CachedProbes() const;
+
+ private:
+  class Summary;
+
+  std::shared_ptr<const ReachabilityOracle> inner_;
+  std::string name_;
+  mutable ShardedLruCache point_cache_;
+  mutable ShardedLruCache set_cache_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_REACHABILITY_CACHED_ORACLE_H_

@@ -43,11 +43,12 @@ ChainCoverIndex ChainCoverIndex::Build(const Digraph& g) {
 }
 
 bool ChainCoverIndex::Reaches(NodeId from, NodeId to) const {
-  ++stats_.queries;
+  IndexStats& st = stats();
+  ++st.queries;
   const NodeId cu = scc_.component_of[from];
   const NodeId cv = scc_.component_of[to];
   if (cu == cv) return scc_.cyclic[cu];
-  ++stats_.elements_looked_up;  // one table cell
+  ++st.elements_looked_up;  // one table cell
   return first_[cu][cover_.cid_of[cv]] <= cover_.sid_of[cv];
 }
 

@@ -42,6 +42,7 @@ void Contour::UpdateMin(uint32_t cid, const ContourEntry& e) {
 Contour MergePredLists(const ThreeHopIndex& idx,
                        std::span<const NodeId> members) {
   Contour cp;
+  IndexStats& st = idx.stats();
   // Walks proceed downward from each member, so a walk starting at sid s
   // covers every Lin list at sids <= s. visited[cid] records the highest
   // start walked so far — Procedure 2's `visited` bookkeeping, letting
@@ -62,7 +63,7 @@ Contour MergePredLists(const ThreeHopIndex& idx,
       const ChainPos pc = idx.PosOfCond(cur);
       if (chain_seen && pc.sid <= it->second) break;  // already walked
       for (const ChainPos& e : idx.Lin(cur)) {
-        ++idx.stats().elements_looked_up;
+        ++st.elements_looked_up;
         cp.UpdateMax(e.cid, ContourEntry{e.sid, true, kInvalidNode});
       }
       cur = idx.PrevWithLin(cur);
@@ -79,6 +80,7 @@ Contour MergePredLists(const ThreeHopIndex& idx,
 Contour MergeSuccLists(const ThreeHopIndex& idx,
                        std::span<const NodeId> members) {
   Contour cs;
+  IndexStats& st = idx.stats();
   // Dual bookkeeping: walks proceed upward, so a walk starting at sid s
   // covers sids >= s; visited[cid] records the lowest start so far.
   std::unordered_map<uint32_t, uint32_t> visited;
@@ -96,7 +98,7 @@ Contour MergeSuccLists(const ThreeHopIndex& idx,
       const ChainPos pc = idx.PosOfCond(cur);
       if (chain_seen && pc.sid >= it->second) break;
       for (const ChainPos& e : idx.Lout(cur)) {
-        ++idx.stats().elements_looked_up;
+        ++st.elements_looked_up;
         cs.UpdateMin(e.cid, ContourEntry{e.sid, true, kInvalidNode});
       }
       cur = idx.NextWithLout(cur);
@@ -244,6 +246,7 @@ void ContourIndex::ReachesSetsBatch(
     std::span<const NodeId> sources,
     std::span<const SetSummary* const> target_sets,
     std::vector<std::vector<char>>* out) const {
+  IndexStats& st = stats();
   const size_t num_sets = target_sets.size();
   out->assign(num_sets, std::vector<char>(sources.size(), 0));
   std::vector<const Contour*> contours(num_sets);
@@ -290,7 +293,7 @@ void ContourIndex::ReachesSetsBatch(
         auto cur = Lout(cond).empty() ? NextWithLout(cond) : cond;
         while (cur != kNoCond && PosOfCond(cur).sid < visited) {
           for (const ChainPos& e : Lout(cur)) {
-            ++stats().elements_looked_up;
+            ++st.elements_looked_up;
             for (size_t k = 0; k < num_sets; ++k) {
               if (!val[k] &&
                   ProbePredecessorContour(*contours[k], e, true, v)) {
@@ -310,6 +313,7 @@ void ContourIndex::ReachesSetsBatch(
 void ContourIndex::SetReachesBatch(const SetSummary& sources,
                                    std::span<const NodeId> targets,
                                    std::vector<char>* out) const {
+  IndexStats& st = stats();
   const Contour& cs = AsContour(sources);
   out->assign(targets.size(), 0);
 
@@ -344,7 +348,7 @@ void ContourIndex::SetReachesBatch(const SetSummary& sources,
             const ChainPos pc = PosOfCond(cur);
             if (have_floor && pc.sid <= visited_floor) break;
             for (const ChainPos& e : Lin(cur)) {
-              ++stats().elements_looked_up;
+              ++st.elements_looked_up;
               if (ProbeSuccessorContour(cs, e, true, v)) {
                 reached = true;
                 break;

@@ -1,13 +1,20 @@
 #include "reachability/factory.h"
 
+#include "reachability/cached_oracle.h"
 #include "reachability/chain_cover_index.h"
 #include "reachability/contour.h"
 #include "reachability/interval_index.h"
+#include "reachability/sharded_oracle.h"
 #include "reachability/sspi.h"
 #include "reachability/three_hop.h"
 #include "reachability/transitive_closure.h"
 
 namespace gtpq {
+
+namespace {
+constexpr std::string_view kCachedPrefix = "cached:";
+constexpr std::string_view kShardedPrefix = "sharded:";
+}  // namespace
 
 std::vector<ReachabilityBackend> AllReachabilityBackends() {
   return {ReachabilityBackend::kContour,    ReachabilityBackend::kThreeHop,
@@ -60,6 +67,52 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
           TransitiveClosure::Build(g));
   }
   return nullptr;
+}
+
+std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
+    std::string_view spec, const Digraph& g) {
+  if (spec.rfind(kCachedPrefix, 0) == 0) {
+    auto inner = MakeReachabilityIndex(spec.substr(kCachedPrefix.size()), g);
+    if (inner == nullptr) return nullptr;
+    return std::make_unique<CachedOracle>(
+        std::shared_ptr<const ReachabilityOracle>(std::move(inner)));
+  }
+  if (spec.rfind(kShardedPrefix, 0) == 0) {
+    std::string_view inner_spec = spec.substr(kShardedPrefix.size());
+    if (!IsValidReachabilitySpec(inner_spec)) return nullptr;
+    ShardedOracleOptions options;
+    options.inner_spec = std::string(inner_spec);
+    return std::make_unique<ShardedOracle>(g, std::move(options));
+  }
+  auto kind = ParseReachabilityBackend(spec);
+  if (!kind.has_value()) return nullptr;
+  return MakeReachabilityIndex(*kind, g);
+}
+
+bool IsValidReachabilitySpec(std::string_view spec) {
+  while (spec.rfind(kCachedPrefix, 0) == 0 ||
+         spec.rfind(kShardedPrefix, 0) == 0) {
+    spec = spec.substr(spec.find(':') + 1);
+  }
+  return ParseReachabilityBackend(spec).has_value();
+}
+
+std::vector<std::string> AllReachabilitySpecs() {
+  std::vector<std::string> specs;
+  for (ReachabilityBackend kind : AllReachabilityBackends()) {
+    specs.emplace_back(ReachabilityBackendName(kind));
+  }
+  for (std::string_view prefix : {kCachedPrefix, kShardedPrefix}) {
+    for (ReachabilityBackend kind : AllReachabilityBackends()) {
+      specs.push_back(std::string(prefix) +
+                      std::string(ReachabilityBackendName(kind)));
+    }
+  }
+  // Nested-composition witnesses: a cache over a partitioned oracle and
+  // a partitioned oracle whose shards cache.
+  specs.push_back("cached:sharded:interval");
+  specs.push_back("sharded:cached:contour");
+  return specs;
 }
 
 }  // namespace gtpq

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -43,6 +44,28 @@ std::optional<ReachabilityBackend> ParseReachabilityBackend(
 /// Builds a backend over a finalized digraph (cycles allowed).
 std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
     ReachabilityBackend kind, const Digraph& g);
+
+/// Spec-string factory — the superset of the enum factory that also
+/// understands decorators:
+///   <backend>         a registered base backend name ("contour", ...)
+///   cached:<spec>     sharded-LRU probe cache over <spec> (CachedOracle)
+///   sharded:<spec>    vertex-partitioned oracle whose per-shard
+///                     sub-indexes are built from <spec> (ShardedOracle)
+/// Decorators nest: "cached:sharded:interval" caches a partitioned
+/// oracle. The built oracle's name() equals the spec. Returns nullptr
+/// for malformed specs.
+std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
+    std::string_view spec, const Digraph& g);
+
+/// True iff MakeReachabilityIndex(spec, g) would succeed.
+bool IsValidReachabilitySpec(std::string_view spec);
+
+/// Every spec enrolled in the backend conformance suite: the base
+/// backends, each decorator over each base backend, and nested
+/// composition witnesses. Any oracle constructible through the factory
+/// appears here, so new backends and decorators cannot silently skip
+/// conformance.
+std::vector<std::string> AllReachabilitySpecs();
 
 }  // namespace gtpq
 

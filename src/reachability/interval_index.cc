@@ -91,7 +91,8 @@ IntervalIndex IntervalIndex::Build(const Digraph& g) {
 }
 
 bool IntervalIndex::Reaches(NodeId from, NodeId to) const {
-  ++stats_.queries;
+  IndexStats& st = stats();
+  ++st.queries;
   NodeId cu = scc_.component_of[from];
   NodeId cv = scc_.component_of[to];
   if (cu == cv) return scc_.cyclic[cu];
@@ -101,7 +102,7 @@ bool IntervalIndex::Reaches(NodeId from, NodeId to) const {
   size_t lo = 0, hi = ivals.size();
   while (lo < hi) {
     size_t mid = (lo + hi) / 2;
-    ++stats_.elements_looked_up;
+    ++st.elements_looked_up;
     if (ivals[mid].post < target) {
       lo = mid + 1;
     } else if (ivals[mid].low > target) {

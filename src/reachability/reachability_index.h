@@ -7,17 +7,25 @@
 #include <string_view>
 #include <vector>
 
+#include "common/per_thread.h"
 #include "graph/digraph.h"
 
 namespace gtpq {
 
-/// Counters shared by all reachability indexes, feeding the #index
-/// metric of the paper's I/O-cost experiment (Fig 10).
+/// Counters kept by all reachability indexes, feeding the #index
+/// metric of the paper's I/O-cost experiment (Fig 10). Each thread
+/// accumulates into its own private copy (see ReachabilityOracle::
+/// stats()), so the counters stay per-query even when one oracle
+/// serves a whole thread pool.
 struct IndexStats {
   /// Index elements (list entries, intervals, surplus links) visited.
   uint64_t elements_looked_up = 0;
   /// Point reachability queries answered.
   uint64_t queries = 0;
+  /// Probes answered from / missed by a caching decorator wrapping this
+  /// oracle (CachedOracle); zero for plain backends.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   void Reset() { *this = IndexStats(); }
 };
@@ -94,10 +102,15 @@ class ReachabilityOracle {
   virtual void SuccessorsAmong(NodeId from, const SetSummary& targets,
                                std::vector<uint32_t>* out) const;
 
-  IndexStats& stats() const { return stats_; }
+  /// The calling thread's private counter slot for this oracle. Oracles
+  /// are immutable once built and shared read-only across query-serving
+  /// threads; confining the counters to the probing thread keeps every
+  /// Evaluate's reset-probe-read cycle data-race-free without locking
+  /// the hot path. Readers must aggregate on the thread that probed.
+  IndexStats& stats() const { return stats_slot_.Local(); }
 
- protected:
-  mutable IndexStats stats_;
+ private:
+  PerThread<IndexStats> stats_slot_;
 };
 
 }  // namespace gtpq

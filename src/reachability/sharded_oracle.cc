@@ -1,0 +1,167 @@
+#include "reachability/sharded_oracle.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "reachability/factory.h"
+
+namespace gtpq {
+
+ShardedOracle::ShardedOracle(const Digraph& g, ShardedOracleOptions options)
+    : inner_spec_(std::move(options.inner_spec)),
+      name_("sharded:" + inner_spec_) {
+  GTPQ_CHECK(g.finalized());
+  const size_t n = g.NumNodes();
+  num_shards_ = std::max<size_t>(
+      1, std::min(options.num_shards, std::max<size_t>(n, 1)));
+
+  shard_start_.resize(num_shards_ + 1);
+  for (size_t s = 0; s <= num_shards_; ++s) {
+    shard_start_[s] = s * n / num_shards_;
+  }
+
+  // Boundary vertices: endpoints of shard-crossing edges, in id order.
+  boundary_id_.assign(n, kNotBoundary);
+  std::vector<char> is_boundary(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (ShardOf(v) != ShardOf(w)) {
+        cross_edges_.emplace_back(v, w);
+        is_boundary[v] = 1;
+        is_boundary[w] = 1;
+      }
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_boundary[v]) {
+      boundary_id_[v] = static_cast<uint32_t>(boundary_.size());
+      boundary_.push_back(v);
+    }
+  }
+
+  sub_.resize(num_shards_);
+  shard_boundaries_.resize(num_shards_);
+  shard_overlay_.resize(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) BuildShard(g, s);
+  BuildOverlay();
+}
+
+size_t ShardedOracle::ShardOf(NodeId v) const {
+  // shard_start_ is sorted with shard_start_[0] == 0; find the range
+  // containing v. num_shards_ is small, but binary search anyway.
+  size_t s = static_cast<size_t>(
+      std::upper_bound(shard_start_.begin(), shard_start_.end(),
+                       static_cast<size_t>(v)) -
+      shard_start_.begin());
+  return s - 1;
+}
+
+void ShardedOracle::BuildShard(const Digraph& g, size_t shard) {
+  const size_t start = shard_start_[shard];
+  const size_t end = shard_start_[shard + 1];
+
+  Digraph local(end - start);
+  for (NodeId v = start; v < end; ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (w >= start && w < end) {
+        local.AddEdge(LocalId(v, shard), LocalId(w, shard));
+      }
+    }
+  }
+  local.Finalize();
+  sub_[shard] = MakeReachabilityIndex(inner_spec_, local);
+  GTPQ_CHECK(sub_[shard] != nullptr);
+
+  auto& bs = shard_boundaries_[shard];
+  bs.clear();
+  for (NodeId v = start; v < end; ++v) {
+    if (boundary_id_[v] != kNotBoundary) bs.push_back(boundary_id_[v]);
+  }
+
+  // Overlay contribution: intra-shard reachability between this shard's
+  // boundary vertices. The diagonal (b -> b on an intra-shard cycle)
+  // matters: it turns into an overlay self-loop so the closure keeps
+  // the cyclic-self-reachability semantics.
+  auto& overlay = shard_overlay_[shard];
+  overlay.clear();
+  for (uint32_t b1 : bs) {
+    const NodeId l1 = LocalId(boundary_[b1], shard);
+    for (uint32_t b2 : bs) {
+      if (sub_[shard]->Reaches(l1, LocalId(boundary_[b2], shard))) {
+        overlay.emplace_back(b1, b2);
+      }
+    }
+  }
+}
+
+void ShardedOracle::BuildOverlay() {
+  Digraph overlay(boundary_.size());
+  for (const auto& [x, y] : cross_edges_) {
+    overlay.AddEdge(boundary_id_[x], boundary_id_[y]);
+  }
+  for (const auto& shard_edges : shard_overlay_) {
+    for (const auto& [b1, b2] : shard_edges) overlay.AddEdge(b1, b2);
+  }
+  overlay.Finalize();
+  overlay_closure_ =
+      std::make_unique<TransitiveClosure>(TransitiveClosure::Build(overlay));
+}
+
+void ShardedOracle::RebuildShard(const Digraph& g, size_t shard) {
+  GTPQ_CHECK(shard < num_shards_);
+  GTPQ_CHECK(g.NumNodes() == boundary_id_.size());
+  BuildShard(g, shard);
+  BuildOverlay();
+}
+
+bool ShardedOracle::Reaches(NodeId from, NodeId to) const {
+  IndexStats& st = stats();
+  ++st.queries;
+
+  // Delta-samples a sub-oracle probe so #index aggregates the work of
+  // whichever labelings the routed query actually touched.
+  auto probe = [&st](const ReachabilityOracle& oracle, NodeId a,
+                     NodeId b) {
+    const uint64_t before = oracle.stats().elements_looked_up;
+    const bool r = oracle.Reaches(a, b);
+    st.elements_looked_up += oracle.stats().elements_looked_up - before;
+    return r;
+  };
+
+  const size_t su = ShardOf(from);
+  const size_t sv = ShardOf(to);
+  const NodeId lu = LocalId(from, su);
+  const NodeId lv = LocalId(to, sv);
+  if (su == sv && probe(*sub_[su], lu, lv)) return true;
+  if (boundary_.empty()) return false;
+
+  // Boundary exits of `from`: boundaries of its shard it reaches
+  // intra-shard, plus itself (zero-length exit) when it is one.
+  ProbeScratch& scratch = scratch_.Local();
+  std::vector<uint32_t>& exits = scratch.exits;
+  exits.clear();
+  for (uint32_t b : shard_boundaries_[su]) {
+    if (boundary_[b] == from || probe(*sub_[su], lu, LocalId(boundary_[b], su))) {
+      exits.push_back(b);
+    }
+  }
+  if (exits.empty()) return false;
+
+  std::vector<uint32_t>& entries = scratch.entries;
+  entries.clear();
+  for (uint32_t b : shard_boundaries_[sv]) {
+    if (boundary_[b] == to || probe(*sub_[sv], LocalId(boundary_[b], sv), lv)) {
+      entries.push_back(b);
+    }
+  }
+  if (entries.empty()) return false;
+
+  for (uint32_t b1 : exits) {
+    for (uint32_t b2 : entries) {
+      if (probe(*overlay_closure_, b1, b2)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gtpq

@@ -1,5 +1,7 @@
 #include "reachability/sspi.h"
 
+#include <limits>
+
 #include "common/logging.h"
 
 namespace gtpq {
@@ -53,22 +55,31 @@ Sspi Sspi::Build(const Digraph& g) {
       }
     }
   }
-  idx.visit_mark_.assign(m, 0);
   return idx;
 }
 
 bool Sspi::Reaches(NodeId from, NodeId to) const {
-  ++stats_.queries;
+  IndexStats& st = stats();
+  ++st.queries;
   NodeId cu = scc_.component_of[from];
   NodeId cv = scc_.component_of[to];
   if (cu == cv) return scc_.cyclic[cu];
 
   // Expand targets backwards: ascend the spanning-tree path of every
   // frontier node, testing tree ancestry against cu and enqueueing
-  // surplus predecessors. visit_mark_ memoizes across the probe.
-  ++visit_epoch_;
+  // surplus predecessors. The visit marks memoize across the probe;
+  // they live in a per-thread scratch so concurrent probes through a
+  // shared index never touch each other's state.
+  VisitScratch& scratch = scratch_.Local();
+  if (scratch.mark.size() < scc_.cyclic.size() ||
+      scratch.epoch == std::numeric_limits<uint32_t>::max()) {
+    scratch.mark.assign(scc_.cyclic.size(), 0);
+    scratch.epoch = 0;
+  }
+  std::vector<uint32_t>& visit_mark = scratch.mark;
+  const uint32_t visit_epoch = ++scratch.epoch;
   std::vector<NodeId> frontier{cv};
-  visit_mark_[cv] = visit_epoch_;
+  visit_mark[cv] = visit_epoch;
   while (!frontier.empty()) {
     NodeId x = frontier.back();
     frontier.pop_back();
@@ -78,19 +89,19 @@ bool Sspi::Reaches(NodeId from, NodeId to) const {
     // x through the tree). Stop early at already-visited tree nodes.
     NodeId y = x;
     while (y != kInvalidNode) {
-      ++stats_.elements_looked_up;
+      ++st.elements_looked_up;
       for (NodeId p : surplus_[y]) {
-        ++stats_.elements_looked_up;
+        ++st.elements_looked_up;
         if (p == cu) return true;
-        if (visit_mark_[p] != visit_epoch_) {
-          visit_mark_[p] = visit_epoch_;
+        if (visit_mark[p] != visit_epoch) {
+          visit_mark[p] = visit_epoch;
           frontier.push_back(p);
         }
       }
       NodeId parent = tree_parent_[y];
       if (parent == kInvalidNode) break;
-      if (visit_mark_[parent] == visit_epoch_) break;
-      visit_mark_[parent] = visit_epoch_;
+      if (visit_mark[parent] == visit_epoch) break;
+      visit_mark[parent] = visit_epoch;
       y = parent;
     }
   }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/per_thread.h"
 #include "graph/algorithms.h"
 #include "reachability/reachability_index.h"
 
@@ -40,8 +41,13 @@ class Sspi : public ReachabilityOracle {
   std::vector<NodeId> tree_parent_;
   std::vector<std::vector<NodeId>> surplus_;  // per condensation node
   size_t total_surplus_ = 0;
-  mutable std::vector<uint32_t> visit_mark_;
-  mutable uint32_t visit_epoch_ = 0;
+  // Probe-expansion memoization. Thread-confined so one shared index
+  // can serve concurrent probes from a whole query-serving pool.
+  struct VisitScratch {
+    std::vector<uint32_t> mark;
+    uint32_t epoch = 0;
+  };
+  PerThread<VisitScratch> scratch_;
 };
 
 }  // namespace gtpq

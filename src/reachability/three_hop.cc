@@ -161,7 +161,7 @@ ThreeHopIndex ThreeHopIndex::Build(const Digraph& g) {
 }
 
 bool ThreeHopIndex::Reaches(NodeId from, NodeId to) const {
-  ++stats_.queries;
+  ++stats().queries;
   CondId cu = CondOf(from);
   CondId cv = CondOf(to);
   if (cu == cv) return CondCyclic(cu);

@@ -86,10 +86,11 @@ class ThreeHopIndex : public ReachabilityOracle {
   /// fn returns true; returns whether a callback returned true.
   template <typename Fn>
   bool ForEachSuccessorEntry(CondId c, Fn&& fn) const {
+    IndexStats& st = stats();
     CondId cur = lout_[c].empty() ? next_with_lout_[c] : c;
     while (cur != kNoCond) {
       for (const ChainPos& e : lout_[cur]) {
-        ++stats_.elements_looked_up;
+        ++st.elements_looked_up;
         if (fn(e)) return true;
       }
       cur = next_with_lout_[cur];
@@ -101,10 +102,11 @@ class ThreeHopIndex : public ReachabilityOracle {
   /// walking smaller same-chain nodes via backward tracing pointers.
   template <typename Fn>
   bool ForEachPredecessorEntry(CondId c, Fn&& fn) const {
+    IndexStats& st = stats();
     CondId cur = lin_[c].empty() ? prev_with_lin_[c] : c;
     while (cur != kNoCond) {
       for (const ChainPos& e : lin_[cur]) {
-        ++stats_.elements_looked_up;
+        ++st.elements_looked_up;
         if (fn(e)) return true;
       }
       cur = prev_with_lin_[cur];

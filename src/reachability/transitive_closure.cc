@@ -28,11 +28,12 @@ TransitiveClosure TransitiveClosure::Build(const Digraph& g) {
 }
 
 bool TransitiveClosure::Reaches(NodeId from, NodeId to) const {
-  ++stats_.queries;
+  IndexStats& st = stats();
+  ++st.queries;
   NodeId cu = scc_.component_of[from];
   NodeId cv = scc_.component_of[to];
   if (cu == cv) return scc_.cyclic[cu];
-  ++stats_.elements_looked_up;  // one bitset-row probe
+  ++st.elements_looked_up;  // one bitset-row probe
   return CondReaches(cu, cv);
 }
 

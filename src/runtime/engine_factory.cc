@@ -1,0 +1,75 @@
+#include "runtime/engine_factory.h"
+
+#include <utility>
+
+#include "baselines/engines.h"
+#include "baselines/tree_encoding.h"
+#include "core/gtea.h"
+#include "reachability/factory.h"
+
+namespace gtpq {
+
+std::unique_ptr<SharedEngineFactory> SharedEngineFactory::Make(
+    std::string_view spec, const DataGraph& g,
+    std::vector<std::string> cross_names) {
+  using Creator = std::function<std::unique_ptr<Evaluator>()>;
+
+  auto wrap = [&spec](Creator create) {
+    return std::unique_ptr<SharedEngineFactory>(
+        new SharedEngineFactory(std::string(spec), std::move(create)));
+  };
+
+  if (spec == "gtea" || spec.rfind("gtea:", 0) == 0) {
+    const std::string_view oracle_spec =
+        spec == "gtea" ? std::string_view("contour") : spec.substr(5);
+    auto idx = MakeReachabilityIndex(oracle_spec, g.graph());
+    if (idx == nullptr) return nullptr;
+    std::shared_ptr<const ReachabilityOracle> shared(std::move(idx));
+    return wrap([&g, shared] {
+      return std::make_unique<GteaEngine>(g, shared);
+    });
+  }
+  if (spec == "naive") {
+    auto tc = std::make_shared<const TransitiveClosure>(
+        TransitiveClosure::Build(g.graph()));
+    return wrap([&g, tc] {
+      return std::make_unique<BruteForceEngine>(g, tc);
+    });
+  }
+  if (spec == "twigstack" || spec == "twig2stack") {
+    const bool twig2 = spec == "twig2stack";
+    auto enc =
+        std::make_shared<const RegionEncoding>(BuildRegionEncoding(g));
+    return wrap([&g, twig2, enc, names = std::move(cross_names)] {
+      return std::make_unique<TwigStackEngine>(g, twig2, names, enc);
+    });
+  }
+  if (spec == "twigstackd") {
+    auto sspi = std::make_shared<const Sspi>(Sspi::Build(g.graph()));
+    return wrap([&g, sspi] {
+      return std::make_unique<TwigStackDEngine>(g, sspi);
+    });
+  }
+  if (spec == "hgjoin+" || spec == "hgjoin*") {
+    const bool graph_intermediates = spec == "hgjoin*";
+    auto idx = std::make_shared<const IntervalIndex>(
+        IntervalIndex::Build(g.graph()));
+    return wrap([&g, graph_intermediates, idx] {
+      return std::make_unique<HgJoinEngine>(g, graph_intermediates, idx);
+    });
+  }
+  if (spec.rfind("decompose:", 0) == 0) {
+    auto inner =
+        Make(spec.substr(10), g, std::move(cross_names));
+    if (inner == nullptr) return nullptr;
+    // shared_ptr keeps the inner factory alive inside the creator.
+    std::shared_ptr<SharedEngineFactory> inner_shared(std::move(inner));
+    return wrap([inner_shared] {
+      return std::make_unique<DecomposeEngine>(
+          std::shared_ptr<Evaluator>(inner_shared->Create()));
+    });
+  }
+  return nullptr;
+}
+
+}  // namespace gtpq

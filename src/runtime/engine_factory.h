@@ -1,0 +1,53 @@
+#ifndef GTPQ_RUNTIME_ENGINE_FACTORY_H_
+#define GTPQ_RUNTIME_ENGINE_FACTORY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "graph/data_graph.h"
+
+namespace gtpq {
+
+/// Per-worker engine stamping for the serving runtime. MakeEngine()
+/// builds an index per call, which is exactly wrong for a thread pool:
+/// N workers would pay N index builds for one immutable artifact. This
+/// factory parses an engine spec once, builds the spec's shared
+/// immutable pieces once (reachability oracle, transitive closure,
+/// SSPI, interval index, region encoding — all read-only after
+/// construction, with thread-confined counters), and then stamps out
+/// cheap per-worker Evaluators that share them.
+///
+/// Accepts every MakeEngine spec, including "gtea:<oracle-spec>" with
+/// cached:/sharded: decorator chains. Create() is safe to call from
+/// any thread; each returned Evaluator must stay thread-confined (the
+/// Evaluator contract says nothing about concurrent Evaluate calls on
+/// ONE instance — sharing happens at the oracle layer).
+class SharedEngineFactory {
+ public:
+  /// Parses the spec and prebuilds its shared artifacts. Returns
+  /// nullptr for unknown specs.
+  static std::unique_ptr<SharedEngineFactory> Make(
+      std::string_view spec, const DataGraph& g,
+      std::vector<std::string> cross_names = {});
+
+  /// Stamps a fresh Evaluator sharing the prebuilt artifacts.
+  std::unique_ptr<Evaluator> Create() const { return create_(); }
+
+  std::string_view spec() const { return spec_; }
+
+ private:
+  SharedEngineFactory(std::string spec,
+                      std::function<std::unique_ptr<Evaluator>()> create)
+      : spec_(std::move(spec)), create_(std::move(create)) {}
+
+  std::string spec_;
+  std::function<std::unique_ptr<Evaluator>()> create_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_RUNTIME_ENGINE_FACTORY_H_

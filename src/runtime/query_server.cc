@@ -1,0 +1,114 @@
+#include "runtime/query_server.h"
+
+#include <condition_variable>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace gtpq {
+
+QueryServer::QueryServer(const DataGraph& g, QueryServerOptions options)
+    : g_(g), options_(std::move(options)) {
+  GTPQ_CHECK(options_.num_threads > 0);
+  factory_ = SharedEngineFactory::Make(options_.engine_spec, g_,
+                                       options_.cross_names);
+  GTPQ_CHECK(factory_ != nullptr);
+  workers_.reserve(options_.num_threads);
+  for (size_t i = 0; i < options_.num_threads; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->engine = factory_->Create();
+    workers_.push_back(std::move(worker));
+  }
+  // The pool starts after the workers so a task can never observe a
+  // half-initialized slot.
+  pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+}
+
+QueryServer::~QueryServer() {
+  // Drain in-flight work before the workers' engines are destroyed.
+  pool_.reset();
+}
+
+std::string_view QueryServer::engine_name() const {
+  return workers_.front()->engine->name();
+}
+
+QueryResult QueryServer::EvaluateOnWorker(const Gtpq& query) {
+  const int index = ThreadPool::CurrentWorkerIndex();
+  GTPQ_CHECK(index >= 0 &&
+             static_cast<size_t>(index) < workers_.size());
+  Worker& worker = *workers_[index];
+  Timer timer;
+  QueryResult result =
+      worker.engine->Evaluate(query, options_.eval_options);
+  const double elapsed_ms = timer.ElapsedMillis();
+  const EngineStats& stats = worker.engine->stats();
+  {
+    std::lock_guard<std::mutex> lock(worker.mu);
+    ++worker.served.queries;
+    worker.served.input_nodes += stats.input_nodes;
+    worker.served.index_lookups += stats.index_lookups;
+    worker.served.intermediate_size += stats.intermediate_size;
+    worker.served.join_ops += stats.join_ops;
+    worker.served.busy_ms += elapsed_ms;
+  }
+  return result;
+}
+
+std::vector<QueryResult> QueryServer::EvaluateBatch(
+    std::span<const Gtpq> queries) {
+  std::vector<QueryResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  // Per-batch completion latch; batches from concurrent callers simply
+  // interleave in the pool's queue.
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  BatchState state;
+  state.remaining = queries.size();
+
+  for (size_t i = 0; i < queries.size(); ++i) {
+    pool_->Submit([this, &queries, &results, &state, i] {
+      results[i] = EvaluateOnWorker(queries[i]);
+      // Notify while holding the lock: the waiter owns `state` and
+      // destroys it as soon as it observes remaining == 0, so the cv
+      // must not be touched after the mutex is released.
+      std::lock_guard<std::mutex> lock(state.mu);
+      --state.remaining;
+      state.cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&state] { return state.remaining == 0; });
+  return results;
+}
+
+std::future<QueryResult> QueryServer::Submit(Gtpq query) {
+  auto promise = std::make_shared<std::promise<QueryResult>>();
+  std::future<QueryResult> future = promise->get_future();
+  auto shared_query = std::make_shared<Gtpq>(std::move(query));
+  pool_->Submit([this, promise, shared_query] {
+    promise->set_value(EvaluateOnWorker(*shared_query));
+  });
+  return future;
+}
+
+QueryServer::Snapshot QueryServer::stats() const {
+  Snapshot total;
+  for (const auto& worker : workers_) {
+    std::lock_guard<std::mutex> lock(worker->mu);
+    total.queries += worker->served.queries;
+    total.input_nodes += worker->served.input_nodes;
+    total.index_lookups += worker->served.index_lookups;
+    total.intermediate_size += worker->served.intermediate_size;
+    total.join_ops += worker->served.join_ops;
+    total.busy_ms += worker->served.busy_ms;
+  }
+  return total;
+}
+
+}  // namespace gtpq

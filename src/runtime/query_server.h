@@ -1,0 +1,96 @@
+#ifndef GTPQ_RUNTIME_QUERY_SERVER_H_
+#define GTPQ_RUNTIME_QUERY_SERVER_H_
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/evaluator.h"
+#include "graph/data_graph.h"
+#include "query/gtpq.h"
+#include "runtime/engine_factory.h"
+#include "runtime/thread_pool.h"
+
+namespace gtpq {
+
+struct QueryServerOptions {
+  /// Worker threads; each carries one Evaluator.
+  size_t num_threads = 4;
+  /// Engine spec (everything SharedEngineFactory accepts), e.g.
+  /// "gtea", "gtea:cached:contour", "naive", "twigstackd".
+  std::string engine_spec = "gtea";
+  /// Decomposition-point names seeded into twig engines.
+  std::vector<std::string> cross_names = {};
+  /// Evaluation options applied to every query.
+  GteaOptions eval_options = {};
+};
+
+/// Concurrent batch query serving: a fixed ThreadPool whose workers
+/// each own one Evaluator, all sharing the spec's immutable index
+/// artifacts (built once by SharedEngineFactory). Correctness rests on
+/// the two invariants this PR's refactor established: oracles are
+/// read-only after construction with thread-confined counters and
+/// scratch, and every Evaluator keeps per-instance stats — so N
+/// workers never share mutable state, only the index.
+///
+/// EvaluateBatch blocks until the whole batch is answered and returns
+/// results aligned with the input order; Submit enqueues one query and
+/// returns a future. Both are safe to call from any thread, including
+/// concurrently.
+class QueryServer {
+ public:
+  /// `g` must outlive the server. Aborts (GTPQ_CHECK) on unknown
+  /// engine specs; validate with SharedEngineFactory::Make first when
+  /// the spec is untrusted.
+  QueryServer(const DataGraph& g, QueryServerOptions options = {});
+  ~QueryServer();
+
+  size_t num_threads() const { return workers_.size(); }
+  std::string_view engine_spec() const { return options_.engine_spec; }
+  /// Name reported by the per-worker engines ("gtea[cached:contour]").
+  std::string_view engine_name() const;
+
+  /// Evaluates the whole batch across the pool; (*results)[i] answers
+  /// queries[i]. Queries must stay alive until the call returns.
+  std::vector<QueryResult> EvaluateBatch(std::span<const Gtpq> queries);
+
+  /// Enqueues one query; the future resolves when a worker answers it.
+  std::future<QueryResult> Submit(Gtpq query);
+
+  /// Cumulative serving counters, aggregated across workers.
+  struct Snapshot {
+    uint64_t queries = 0;
+    uint64_t input_nodes = 0;
+    uint64_t index_lookups = 0;
+    uint64_t intermediate_size = 0;
+    uint64_t join_ops = 0;
+    /// Sum of per-query evaluation times (not wall clock).
+    double busy_ms = 0;
+  };
+  Snapshot stats() const;
+
+ private:
+  // Per-worker slot: engine plus its share of the serving counters,
+  // guarded by a (virtually uncontended) per-worker mutex and padded
+  // onto its own cache line.
+  struct alignas(64) Worker {
+    std::unique_ptr<Evaluator> engine;
+    mutable std::mutex mu;
+    Snapshot served;
+  };
+
+  QueryResult EvaluateOnWorker(const Gtpq& query);
+
+  const DataGraph& g_;
+  QueryServerOptions options_;
+  std::unique_ptr<SharedEngineFactory> factory_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_RUNTIME_QUERY_SERVER_H_

@@ -1,0 +1,57 @@
+#include "runtime/thread_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gtpq {
+
+namespace {
+thread_local int tls_worker_index = -1;
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  GTPQ_CHECK(num_threads > 0);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<int>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::CurrentWorkerIndex() { return tls_worker_index; }
+
+void ThreadPool::WorkerLoop(int index) {
+  tls_worker_index = index;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-before-exit: tasks enqueued prior to shutdown still run.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace gtpq

@@ -1,0 +1,49 @@
+#ifndef GTPQ_RUNTIME_THREAD_POOL_H_
+#define GTPQ_RUNTIME_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gtpq {
+
+/// A fixed pool of worker threads draining a FIFO task queue. Built for
+/// the query-serving runtime: workers are created once, carry a stable
+/// index (so QueryServer can pin one Evaluator per worker), and drain
+/// every task submitted before destruction begins.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  /// Drains the queue, then joins every worker.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; runs on some pool worker. Safe from any thread,
+  /// including pool workers themselves.
+  void Submit(std::function<void()> task);
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// The stable index of the calling pool worker in [0, num_threads),
+  /// or -1 when called off-pool. A task always observes the index of
+  /// the worker running it; indexes are meaningful relative to the pool
+  /// the task was submitted to.
+  static int CurrentWorkerIndex();
+
+ private:
+  void WorkerLoop(int index);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_RUNTIME_THREAD_POOL_H_

@@ -1,0 +1,185 @@
+// CachedOracle unit tests: probe identity under eviction pressure,
+// hit/miss accounting, LRU mechanics of the sharded cache, and cache
+// coherence for summaries.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "graph/generators.h"
+#include "reachability/cached_oracle.h"
+#include "reachability/factory.h"
+#include "reachability/transitive_closure.h"
+
+namespace gtpq {
+namespace {
+
+std::shared_ptr<const ReachabilityOracle> BuildInner(const Digraph& g) {
+  return std::shared_ptr<const ReachabilityOracle>(
+      MakeReachabilityIndex(ReachabilityBackend::kContour, g));
+}
+
+TEST(ShardedLruCacheTest, InsertLookupEvict) {
+  ShardedLruCache cache(/*capacity=*/8, /*num_shards=*/1);
+  EXPECT_EQ(cache.num_shards(), 1u);
+  for (uint64_t k = 0; k < 8; ++k) cache.Insert(k, k % 2 == 0);
+  EXPECT_EQ(cache.Size(), 8u);
+  for (uint64_t k = 0; k < 8; ++k) {
+    auto v = cache.Lookup(k);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, k % 2 == 0);
+  }
+  // Touch key 0 so it is hot, then overflow: key 1 (now the LRU entry)
+  // must be the victim.
+  EXPECT_TRUE(cache.Lookup(0).has_value());
+  cache.Insert(100, true);
+  EXPECT_EQ(cache.Size(), 8u);
+  EXPECT_TRUE(cache.Lookup(0).has_value());
+  EXPECT_FALSE(cache.Lookup(1).has_value());
+  // Refreshing an existing key must not grow the cache.
+  cache.Insert(100, false);
+  EXPECT_EQ(cache.Size(), 8u);
+  EXPECT_EQ(*cache.Lookup(100), false);
+  cache.Clear();
+  EXPECT_EQ(cache.Size(), 0u);
+  EXPECT_FALSE(cache.Lookup(0).has_value());
+}
+
+// The decorator must answer every probe identically before and after
+// eviction pressure: a tiny cache forced through all-pairs probing
+// evicts constantly, and a second all-pairs pass (re-answering evicted
+// probes from the inner index) must reproduce ground truth exactly.
+TEST(CachedOracleTest, ProbesSurviveEvictionPressure) {
+  for (bool cyclic : {false, true}) {
+    DataGraph g = cyclic ? RandomDigraph({.num_nodes = 60,
+                                          .avg_degree = 2.0,
+                                          .num_labels = 4,
+                                          .seed = 23})
+                         : RandomDag({.num_nodes = 60,
+                                      .avg_degree = 2.5,
+                                      .num_labels = 4,
+                                      .locality = 1.0,
+                                      .seed = 23});
+    auto tc = TransitiveClosure::Build(g.graph());
+    CachedOracleOptions tiny;
+    tiny.capacity = 64;  // ~2% of the 3600 distinct probes
+    tiny.num_shards = 4;
+    CachedOracle cached(BuildInner(g.graph()), tiny);
+    cached.stats().Reset();
+
+    for (int pass = 0; pass < 2; ++pass) {
+      for (NodeId a = 0; a < g.NumNodes(); ++a) {
+        for (NodeId b = 0; b < g.NumNodes(); ++b) {
+          ASSERT_EQ(cached.Reaches(a, b), tc.Reaches(a, b))
+              << "pass " << pass << " (" << a << ", " << b << ")";
+        }
+      }
+    }
+    const IndexStats& st = cached.stats();
+    const uint64_t all_pairs = 2ull * g.NumNodes() * g.NumNodes();
+    EXPECT_EQ(st.queries, all_pairs);
+    EXPECT_EQ(st.cache_hits + st.cache_misses, all_pairs);
+    // The cache is far too small for the working set: the second pass
+    // cannot be all hits, and eviction keeps the size at capacity.
+    EXPECT_GT(st.cache_misses, static_cast<uint64_t>(g.NumNodes()));
+    EXPECT_LE(cached.CachedProbes(), tiny.capacity * 2);
+  }
+}
+
+TEST(CachedOracleTest, HitsSkipInnerLookupsAndClearRestores) {
+  DataGraph g = RandomDag({.num_nodes = 80,
+                           .avg_degree = 2.5,
+                           .num_labels = 5,
+                           .locality = 1.0,
+                           .seed = 3});
+  CachedOracle cached(BuildInner(g.graph()));
+  cached.stats().Reset();
+
+  cached.Reaches(0, 40);
+  const IndexStats first = cached.stats();
+  EXPECT_EQ(first.cache_misses, 1u);
+  EXPECT_EQ(first.cache_hits, 0u);
+
+  cached.Reaches(0, 40);
+  const IndexStats second = cached.stats();
+  EXPECT_EQ(second.cache_hits, 1u);
+  // The hit added no inner index work.
+  EXPECT_EQ(second.elements_looked_up, first.elements_looked_up);
+
+  cached.Clear();
+  EXPECT_EQ(cached.CachedProbes(), 0u);
+  cached.Reaches(0, 40);
+  EXPECT_EQ(cached.stats().cache_misses, 2u);
+}
+
+TEST(CachedOracleTest, SetProbesCacheBySummary) {
+  DataGraph g = RandomDag({.num_nodes = 50,
+                           .avg_degree = 2.0,
+                           .num_labels = 4,
+                           .locality = 1.0,
+                           .seed = 31});
+  auto tc = TransitiveClosure::Build(g.graph());
+  CachedOracle cached(BuildInner(g.graph()));
+  cached.stats().Reset();
+
+  std::vector<NodeId> members{5, 11, 29, 40};
+  auto targets = cached.SummarizeTargets(members);
+  auto sources = cached.SummarizeSources(members);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      bool down = false, up = false;
+      for (NodeId m : members) {
+        down = down || tc.Reaches(v, m);
+        up = up || tc.Reaches(m, v);
+      }
+      ASSERT_EQ(cached.ReachesSet(v, *targets), down) << v;
+      ASSERT_EQ(cached.SetReaches(*sources, v), up) << v;
+    }
+  }
+  // Second pass is pure hits: one cache entry per (summary, node).
+  const IndexStats& st = cached.stats();
+  EXPECT_EQ(st.cache_hits, 2ull * g.NumNodes());
+  EXPECT_EQ(st.cache_misses, 2ull * g.NumNodes());
+
+  // A fresh summary over the same members gets fresh ids — no stale
+  // cross-summary hits, still correct.
+  auto targets2 = cached.SummarizeTargets(members);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    bool down = false;
+    for (NodeId m : members) down = down || tc.Reaches(v, m);
+    ASSERT_EQ(cached.ReachesSet(v, *targets2), down) << v;
+  }
+}
+
+// Concurrent mixed probing through one shared cache must stay
+// coherent: every thread sees ground-truth answers throughout.
+TEST(CachedOracleTest, ConcurrentProbesStayCorrect) {
+  DataGraph g = RandomDigraph({.num_nodes = 70,
+                               .avg_degree = 2.0,
+                               .num_labels = 4,
+                               .seed = 47});
+  auto tc = TransitiveClosure::Build(g.graph());
+  CachedOracleOptions small;
+  small.capacity = 256;
+  small.num_shards = 4;
+  CachedOracle cached(BuildInner(g.graph()), small);
+
+  auto worker = [&](NodeId stride) {
+    for (int round = 0; round < 3; ++round) {
+      for (NodeId a = 0; a < g.NumNodes(); ++a) {
+        for (NodeId b = a % (stride + 1); b < g.NumNodes(); b += stride) {
+          ASSERT_EQ(cached.Reaches(a, b), tc.Reaches(a, b));
+        }
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (NodeId stride : {1u, 2u, 3u, 5u}) {
+    threads.emplace_back(worker, stride);
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+}  // namespace gtpq

@@ -1,10 +1,15 @@
-// Conformance suite: every backend registered in the factory must
-// agree with the materialized TransitiveClosure ground truth — on point
+// Conformance suite: every spec constructible through the factory —
+// base backends AND cached:/sharded: decorator chains — must agree
+// with the materialized TransitiveClosure ground truth: on point
 // queries over random DAGs and cyclic digraphs, on the Section-2
 // self-reachability semantics (Reaches(v, v) only on a cycle), and on
-// the whole set-reachability API GTEA's pipeline consumes.
+// the whole set-reachability API GTEA's pipeline consumes. The
+// parameter space is AllReachabilitySpecs(), so a decorator (or a new
+// backend) added to the factory is enrolled automatically and can
+// never silently skip conformance.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,12 +26,13 @@ namespace {
 using testing::MakeGraph;
 
 class BackendConformanceTest
-    : public ::testing::TestWithParam<ReachabilityBackend> {
+    : public ::testing::TestWithParam<std::string> {
  protected:
   std::unique_ptr<ReachabilityOracle> BuildBackend(const DataGraph& g) {
-    auto idx = MakeReachabilityIndex(GetParam(), g.graph());
+    auto idx = MakeReachabilityIndex(std::string_view(GetParam()),
+                                     g.graph());
     EXPECT_NE(idx, nullptr);
-    EXPECT_EQ(idx->name(), ReachabilityBackendName(GetParam()));
+    EXPECT_EQ(idx->name(), GetParam());
     return idx;
   }
 
@@ -152,11 +158,36 @@ TEST_P(BackendConformanceTest, SetApiMatchesPairwiseGroundTruth) {
   }
 }
 
+// Guard against the enum and spec universes drifting apart: every base
+// backend name must appear among the specs.
+TEST(ReachabilitySpecsTest, SpecsCoverEveryBaseBackend) {
+  const std::vector<std::string> specs = AllReachabilitySpecs();
+  for (ReachabilityBackend kind : AllReachabilityBackends()) {
+    EXPECT_NE(std::find(specs.begin(), specs.end(),
+                        std::string(ReachabilityBackendName(kind))),
+              specs.end());
+  }
+  // And both decorators must be represented.
+  auto has_prefix = [&specs](std::string_view prefix) {
+    return std::any_of(specs.begin(), specs.end(),
+                       [prefix](const std::string& s) {
+                         return s.rfind(prefix, 0) == 0;
+                       });
+  };
+  EXPECT_TRUE(has_prefix("cached:"));
+  EXPECT_TRUE(has_prefix("sharded:"));
+  for (const std::string& spec : specs) {
+    EXPECT_TRUE(IsValidReachabilitySpec(spec)) << spec;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    AllBackends, BackendConformanceTest,
-    ::testing::ValuesIn(AllReachabilityBackends()),
-    [](const ::testing::TestParamInfo<ReachabilityBackend>& info) {
-      return std::string(ReachabilityBackendName(info.param));
+    AllSpecs, BackendConformanceTest,
+    ::testing::ValuesIn(AllReachabilitySpecs()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      std::replace(name.begin(), name.end(), ':', '_');
+      return name;
     });
 
 }  // namespace
