@@ -14,6 +14,7 @@
 //                              engine specs to sweep per pool size
 //   --queries=256              batch size
 //   --limit=512                per-query result cap (0 = unlimited)
+//   --json=<path>              also emit machine-readable rows (CI)
 //   GTPQ_BENCH_SCALE           scales the graph (default 20k nodes at 0.02)
 #include <cstdio>
 #include <cstdlib>
@@ -74,6 +75,7 @@ size_t SizeFlag(int argc, char** argv, const char* prefix,
 
 int main(int argc, char** argv) {
   const double scale = BenchScale();
+  const auto json_path = JsonFlag(argc, argv);
   const auto thread_flags = SplitFlag(argc, argv, "--threads=", "1,2,4,8,16");
   const auto engine_specs =
       SplitFlag(argc, argv, "--engine=", "gtea,gtea:cached:contour");
@@ -115,6 +117,11 @@ int main(int argc, char** argv) {
               "batch ms", "queries/s", "speedup");
 
   const int reps = BenchReps();
+  JsonReport report("concurrent_throughput");
+  report.AddMeta("scale", scale);
+  report.AddMeta("nodes", static_cast<uint64_t>(g.NumNodes()));
+  report.AddMeta("queries", static_cast<uint64_t>(queries.size()));
+  report.AddMeta("result_limit", static_cast<uint64_t>(result_limit));
   for (const std::string& spec : engine_specs) {
     double baseline_qps = 0;
     for (const std::string& t : thread_flags) {
@@ -134,12 +141,20 @@ int main(int argc, char** argv) {
           [&] { server.EvaluateBatch(queries); }, reps);
       const double qps = ms > 0 ? 1000.0 * queries.size() / ms : 0;
       if (baseline_qps == 0) baseline_qps = qps;
+      const double speedup = baseline_qps > 0 ? qps / baseline_qps : 0.0;
       std::printf("%-28s %8zu %12.1f %12.0f %9.2fx\n",
                   std::string(server.engine_name()).c_str(), threads, ms,
-                  qps, baseline_qps > 0 ? qps / baseline_qps : 0.0);
+                  qps, speedup);
+      report.AddRow()
+          .Add("engine", std::string(server.engine_name()))
+          .Add("threads", static_cast<uint64_t>(threads))
+          .Add("batch_ms", ms)
+          .Add("queries_per_sec", qps)
+          .Add("speedup", speedup);
     }
   }
   std::printf("\nSpeedup is relative to the first pool size of each "
               "engine row; single-core hosts report ~1x throughout.\n");
+  if (json_path.has_value() && !report.WriteTo(*json_path)) return 1;
   return 0;
 }

@@ -8,6 +8,7 @@
 //   --index=cached:contour        decorator specs work too
 //   --index=all                   sweep every registered backend
 //   --index=all-specs             sweep backends plus every decorator
+//   --json=<path>                 also emit machine-readable rows (CI)
 #include <cstring>
 #include <string>
 
@@ -21,7 +22,8 @@ using namespace gtpq::bench;
 
 namespace {
 
-void Row(const std::string& engine, const EngineStats& s) {
+void Row(const std::string& engine, const EngineStats& s,
+         JsonReport* report) {
   std::printf("%-24s %16s %16s %16s\n", engine.c_str(),
               FormatWithCommas(static_cast<long long>(s.input_nodes))
                   .c_str(),
@@ -30,6 +32,13 @@ void Row(const std::string& engine, const EngineStats& s) {
                   .c_str(),
               FormatWithCommas(static_cast<long long>(s.index_lookups))
                   .c_str());
+  report->AddRow()
+      .Add("engine", engine)
+      .Add("input_nodes", static_cast<uint64_t>(s.input_nodes))
+      .Add("intermediate_size",
+           static_cast<uint64_t>(s.intermediate_size))
+      .Add("index_lookups", static_cast<uint64_t>(s.index_lookups))
+      .Add("total_ms", s.total_ms);
 }
 
 std::vector<std::string> ParseIndexFlag(int argc, char** argv) {
@@ -81,6 +90,7 @@ std::vector<std::string> ParseIndexFlag(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const auto backends = ParseIndexFlag(argc, argv);
+  const auto json_path = JsonFlag(argc, argv);
   const double s = BenchScale();
   workload::XmarkOptions o;
   o.scale = 1.5 * s;
@@ -94,26 +104,36 @@ int main(int argc, char** argv) {
   std::printf("%-24s %16s %16s %16s\n", "Engine", "#input",
               "#intermediate", "#index");
 
+  JsonReport report("fig10_io_cost");
+  report.AddMeta("scale", s);
+  report.AddMeta("nodes", static_cast<uint64_t>(g.NumNodes()));
+  report.AddMeta("edges", static_cast<uint64_t>(g.NumEdges()));
   for (const std::string& backend : backends) {
     auto idx = MakeReachabilityIndex(std::string_view(backend), g.graph());
+    if (idx == nullptr) {
+      std::fprintf(stderr, "cannot build reachability spec '%s'\n",
+                   backend.c_str());
+      return 1;
+    }
     GteaEngine gtea(
         g, std::shared_ptr<const ReachabilityOracle>(std::move(idx)));
     gtea.Evaluate(wq.query);
-    Row(std::string(gtea.name()), gtea.stats());
+    Row(std::string(gtea.name()), gtea.stats(), &report);
   }
   engines.RunHgJoinPlus(wq.query);
-  Row("HGJoin+", engines.stats());
+  Row("HGJoin+", engines.stats(), &report);
   engines.RunTwigStackD(wq.query);
-  Row("TwigStackD", engines.stats());
+  Row("TwigStackD", engines.stats(), &report);
   engines.RunTwigStack(wq.query, cross);
-  Row("TwigStack", engines.stats());
+  Row("TwigStack", engines.stats(), &report);
   engines.RunTwig2Stack(wq.query, cross);
-  Row("Twig2Stack", engines.stats());
+  Row("Twig2Stack", engines.stats(), &report);
 
   std::printf("\nPaper shape: GTEA has by far the smallest intermediate "
               "results; TwigStackD reads the most input (two graph "
               "traversals); TwigStack/Twig2Stack materialize large path "
               "solutions. Across GTEA backends, #index isolates each "
               "oracle's per-probe cost.\n");
+  if (json_path.has_value() && !report.WriteTo(*json_path)) return 1;
   return 0;
 }

@@ -1,8 +1,10 @@
 #ifndef GTPQ_BENCH_HARNESS_H_
 #define GTPQ_BENCH_HARNESS_H_
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
@@ -30,6 +32,110 @@ inline int BenchReps() {
   const char* env = std::getenv("GTPQ_BENCH_REPS");
   return env != nullptr ? std::atoi(env) : 3;
 }
+
+/// Value of a --json=<path> style flag, or nullopt when absent.
+inline std::optional<std::string> JsonFlag(int argc, char** argv) {
+  std::optional<std::string> path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) path = argv[i] + 7;
+  }
+  return path;
+}
+
+/// Accumulates one bench run as {"bench": ..., <meta fields>,
+/// "rows": [{...}, ...]} and writes it out as JSON — the
+/// machine-readable artifact the CI bench-smoke job uploads
+/// (BENCH_*.json) so perf can be tracked across commits.
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& bench) {
+    meta_.push_back(Field("bench", bench));
+  }
+
+  void AddMeta(const std::string& key, double value) {
+    meta_.push_back(Field(key, value));
+  }
+  void AddMeta(const std::string& key, uint64_t value) {
+    meta_.push_back(Field(key, value));
+  }
+
+  /// One flat result row; call Add() for each column.
+  class Row {
+   public:
+    Row& Add(const std::string& key, const std::string& value) {
+      fields_.push_back(Field(key, value));
+      return *this;
+    }
+    Row& Add(const std::string& key, double value) {
+      fields_.push_back(Field(key, value));
+      return *this;
+    }
+    Row& Add(const std::string& key, uint64_t value) {
+      fields_.push_back(Field(key, value));
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    std::vector<std::string> fields_;
+  };
+
+  Row& AddRow() { return rows_.emplace_back(); }
+
+  /// Writes the report; on failure complains to stderr and returns
+  /// false so bench mains can exit nonzero.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write JSON report to %s\n",
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(out, "{");
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(out, "%s%s", i > 0 ? ", " : "", meta_[i].c_str());
+    }
+    std::fprintf(out, ", \"rows\": [");
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(out, "%s{", i > 0 ? ", " : "");
+      for (size_t j = 0; j < rows_[i].fields_.size(); ++j) {
+        std::fprintf(out, "%s%s", j > 0 ? ", " : "",
+                     rows_[i].fields_[j].c_str());
+      }
+      std::fprintf(out, "}");
+    }
+    std::fprintf(out, "]}\n");
+    const bool ok = std::fclose(out) == 0;
+    if (!ok) std::fprintf(stderr, "write failed: %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  }
+  static std::string Field(const std::string& key,
+                           const std::string& value) {
+    return Quote(key) + ": " + Quote(value);
+  }
+  static std::string Field(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    return Quote(key) + ": " + buf;
+  }
+  static std::string Field(const std::string& key, uint64_t value) {
+    return Quote(key) + ": " + std::to_string(value);
+  }
+
+  std::vector<std::string> meta_;
+  std::vector<Row> rows_;
+};
 
 template <typename Fn>
 double MinTimeMs(Fn&& fn, int reps) {

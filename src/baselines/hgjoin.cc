@@ -77,7 +77,7 @@ void JoinEdge(const DataGraph& g, const IntervalIndex& idx,
 
 // Connected join orders over the query edges (each next edge shares a
 // query node with the already-joined set).
-void EnumeratePlans(const Gtpq& q, size_t num_edges, size_t cap,
+void EnumeratePlans(size_t num_edges, size_t cap,
                     std::vector<std::vector<size_t>>* plans,
                     const std::vector<EdgeRelation>& rels) {
   std::vector<size_t> current;
@@ -240,7 +240,7 @@ QueryResult EvaluateHgJoin(const DataGraph& g, const IntervalIndex& idx,
 
   // HGJoin+: try all (capped) connected plans, report the fastest.
   std::vector<std::vector<size_t>> plans;
-  EnumeratePlans(q, rels.size(), options.max_plans, &plans, rels);
+  EnumeratePlans(rels.size(), options.max_plans, &plans, rels);
   GTPQ_CHECK(!plans.empty());
   QueryResult result;
   double best_ms = -1;

@@ -3,11 +3,17 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "graph/algorithms.h"
 #include "reachability/chain_cover.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
+
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
 
 /// Chain-cover reachability labeling (Jagadish, TODS'90): the SCC-
 /// condensed DAG is decomposed into chains, and every node stores, per
@@ -28,6 +34,10 @@ class ChainCoverIndex : public ReachabilityOracle {
   size_t NumChains() const { return cover_.NumChains(); }
   /// Total non-infinite table cells (index size metric).
   size_t TotalEntries() const { return total_entries_; }
+
+  /// Persistence hooks (storage/index_io.h).
+  void SaveBody(storage::Writer* w) const;
+  static Result<ChainCoverIndex> LoadBody(storage::Reader* r);
 
  private:
   ChainCoverIndex() = default;

@@ -1,5 +1,6 @@
 #include "reachability/factory.h"
 
+#include "common/logging.h"
 #include "reachability/cached_oracle.h"
 #include "reachability/chain_cover_index.h"
 #include "reachability/contour.h"
@@ -8,12 +9,14 @@
 #include "reachability/sspi.h"
 #include "reachability/three_hop.h"
 #include "reachability/transitive_closure.h"
+#include "storage/index_io.h"
 
 namespace gtpq {
 
 namespace {
 constexpr std::string_view kCachedPrefix = "cached:";
 constexpr std::string_view kShardedPrefix = "sharded:";
+constexpr std::string_view kFilePrefix = "file:";
 }  // namespace
 
 std::vector<ReachabilityBackend> AllReachabilityBackends() {
@@ -71,6 +74,16 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
 
 std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
     std::string_view spec, const Digraph& g) {
+  if (spec.rfind(kFilePrefix, 0) == 0) {
+    const std::string path(spec.substr(kFilePrefix.size()));
+    auto loaded = storage::LoadReachabilityIndex(path, g);
+    if (!loaded.ok()) {
+      GTPQ_LOG(Warning) << "cannot serve reachability index from '" << path
+                        << "': " << loaded.status().ToString();
+      return nullptr;
+    }
+    return loaded.TakeValue();
+  }
   if (spec.rfind(kCachedPrefix, 0) == 0) {
     auto inner = MakeReachabilityIndex(spec.substr(kCachedPrefix.size()), g);
     if (inner == nullptr) return nullptr;
@@ -79,7 +92,11 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
   }
   if (spec.rfind(kShardedPrefix, 0) == 0) {
     std::string_view inner_spec = spec.substr(kShardedPrefix.size());
-    if (!IsValidReachabilitySpec(inner_spec)) return nullptr;
+    // Validate the full spec, not just the inner one: it knows that a
+    // file: anywhere under sharded: can never serve (a persisted index
+    // is fingerprinted against the whole graph, not a shard subgraph),
+    // where the stripped inner spec would look loadable.
+    if (!IsValidReachabilitySpec(spec)) return nullptr;
     ShardedOracleOptions options;
     options.inner_spec = std::string(inner_spec);
     return std::make_unique<ShardedOracle>(g, std::move(options));
@@ -90,9 +107,19 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
 }
 
 bool IsValidReachabilitySpec(std::string_view spec) {
+  bool under_sharded = false;
   while (spec.rfind(kCachedPrefix, 0) == 0 ||
          spec.rfind(kShardedPrefix, 0) == 0) {
+    under_sharded = under_sharded || spec.rfind(kShardedPrefix, 0) == 0;
     spec = spec.substr(spec.find(':') + 1);
+  }
+  if (spec.rfind(kFilePrefix, 0) == 0) {
+    // A persisted index was stamped with the whole graph's fingerprint,
+    // so it cannot serve as a per-shard sub-index.
+    if (under_sharded) return false;
+    return storage::InspectReachabilityIndex(
+               std::string(spec.substr(kFilePrefix.size())))
+        .ok();
   }
   return ParseReachabilityBackend(spec).has_value();
 }

@@ -46,14 +46,20 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
     ReachabilityBackend kind, const Digraph& g);
 
 /// Spec-string factory — the superset of the enum factory that also
-/// understands decorators:
+/// understands decorators and persisted indexes:
 ///   <backend>         a registered base backend name ("contour", ...)
 ///   cached:<spec>     sharded-LRU probe cache over <spec> (CachedOracle)
 ///   sharded:<spec>    vertex-partitioned oracle whose per-shard
 ///                     sub-indexes are built from <spec> (ShardedOracle)
+///   file:<path>       a pre-built index persisted by
+///                     storage::SaveReachabilityIndex; rejected (with a
+///                     logged warning) unless its stored fingerprint
+///                     matches `g`. The loaded oracle's name() is the
+///                     spec it was saved under, not "file:...".
 /// Decorators nest: "cached:sharded:interval" caches a partitioned
-/// oracle. The built oracle's name() equals the spec. Returns nullptr
-/// for malformed specs.
+/// oracle, "cached:file:idx.gtpqidx" caches a loaded index. The built
+/// oracle's name() equals the spec (file: aside). Returns nullptr for
+/// malformed specs and unreadable or mismatched index files.
 std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
     std::string_view spec, const Digraph& g);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "storage/index_io.h"
 
 namespace gtpq {
 
@@ -112,6 +113,27 @@ bool IntervalIndex::Reaches(NodeId from, NodeId to) const {
     }
   }
   return false;
+}
+
+void IntervalIndex::SaveBody(storage::Writer* w) const {
+  storage::SaveSccResult(scc_, w);
+  w->WritePodVec(post_);
+  w->WriteNestedVec(intervals_);
+  w->WriteU64(total_intervals_);
+}
+
+Result<IntervalIndex> IntervalIndex::LoadBody(storage::Reader* r) {
+  IntervalIndex idx;
+  GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.post_));
+  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&idx.intervals_));
+  uint64_t total = 0;
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&total));
+  idx.total_intervals_ = static_cast<size_t>(total);
+  if (idx.post_.size() != idx.intervals_.size()) {
+    return Status::ParseError("inconsistent interval section sizes");
+  }
+  return idx;
 }
 
 }  // namespace gtpq

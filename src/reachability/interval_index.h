@@ -3,10 +3,16 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "graph/algorithms.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
+
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
 
 /// Tree-cover interval labeling (Agrawal, Borgida, Jagadish, SIGMOD'89)
 /// — the OPT-tree-cover reachability index HGJoin builds on. A spanning
@@ -37,6 +43,10 @@ class IntervalIndex : public ReachabilityOracle {
   }
 
   size_t TotalIntervals() const { return total_intervals_; }
+
+  /// Persistence hooks (storage/index_io.h).
+  void SaveBody(storage::Writer* w) const;
+  static Result<IntervalIndex> LoadBody(storage::Reader* r);
 
  private:
   IntervalIndex() = default;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "reachability/factory.h"
+#include "storage/index_io.h"
 
 namespace gtpq {
 
@@ -162,6 +163,103 @@ bool ShardedOracle::Reaches(NodeId from, NodeId to) const {
     }
   }
   return false;
+}
+
+namespace {
+
+// std::pair is not trivially copyable under libstdc++, so pair vectors
+// are flattened to interleaved u32 runs for the pod-vector codec.
+std::vector<uint32_t> FlattenPairs(
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs) {
+  std::vector<uint32_t> flat;
+  flat.reserve(pairs.size() * 2);
+  for (const auto& [a, b] : pairs) {
+    flat.push_back(a);
+    flat.push_back(b);
+  }
+  return flat;
+}
+
+Status UnflattenPairs(std::vector<uint32_t> flat,
+                      std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  if (flat.size() % 2 != 0) {
+    return Status::ParseError("odd-length pair run in sharded section");
+  }
+  out->clear();
+  out->reserve(flat.size() / 2);
+  for (size_t i = 0; i < flat.size(); i += 2) {
+    out->emplace_back(flat[i], flat[i + 1]);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void ShardedOracle::SaveBody(storage::Writer* w) const {
+  w->WriteU64(num_shards_);
+  w->WriteString(inner_spec_);
+  std::vector<uint64_t> starts(shard_start_.begin(), shard_start_.end());
+  w->WritePodVec(starts);
+  w->WritePodVec(boundary_);
+  w->WritePodVec(boundary_id_);
+  w->WriteNestedVec(shard_boundaries_);
+  w->WritePodVec(FlattenPairs(cross_edges_));
+  w->WriteU64(shard_overlay_.size());
+  for (const auto& overlay : shard_overlay_) {
+    w->WritePodVec(FlattenPairs(overlay));
+  }
+  overlay_closure_->SaveBody(w);
+  for (const auto& sub : sub_) {
+    // Sub-indexes were built through the factory, so this dispatch
+    // cannot hit an unknown spec.
+    GTPQ_CHECK(storage::SaveOracleBody(*sub, w).ok());
+  }
+}
+
+Result<std::unique_ptr<ShardedOracle>> ShardedOracle::LoadBody(
+    storage::Reader* r) {
+  auto oracle = std::unique_ptr<ShardedOracle>(new ShardedOracle());
+  uint64_t num_shards = 0;
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&num_shards));
+  oracle->num_shards_ = static_cast<size_t>(num_shards);
+  GTPQ_RETURN_NOT_OK(r->ReadString(&oracle->inner_spec_));
+  oracle->name_ = "sharded:" + oracle->inner_spec_;
+  std::vector<uint64_t> starts;
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&starts));
+  oracle->shard_start_.assign(starts.begin(), starts.end());
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&oracle->boundary_));
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&oracle->boundary_id_));
+  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&oracle->shard_boundaries_));
+  std::vector<uint32_t> flat;
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&flat));
+  GTPQ_RETURN_NOT_OK(UnflattenPairs(std::move(flat), &oracle->cross_edges_));
+  uint64_t num_overlays = 0;
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&num_overlays));
+  if (num_overlays != num_shards) {
+    return Status::ParseError("sharded section overlay count mismatch");
+  }
+  oracle->shard_overlay_.resize(static_cast<size_t>(num_overlays));
+  for (auto& overlay : oracle->shard_overlay_) {
+    flat.clear();
+    GTPQ_RETURN_NOT_OK(r->ReadPodVec(&flat));
+    GTPQ_RETURN_NOT_OK(UnflattenPairs(std::move(flat), &overlay));
+  }
+  auto closure = TransitiveClosure::LoadBody(r);
+  GTPQ_RETURN_NOT_OK(closure.status());
+  oracle->overlay_closure_ =
+      std::make_unique<TransitiveClosure>(closure.TakeValue());
+  if (oracle->num_shards_ == 0 ||
+      oracle->shard_start_.size() != oracle->num_shards_ + 1 ||
+      oracle->shard_boundaries_.size() != oracle->num_shards_) {
+    return Status::ParseError("inconsistent sharded section layout");
+  }
+  oracle->sub_.resize(oracle->num_shards_);
+  for (auto& sub : oracle->sub_) {
+    auto loaded = storage::LoadOracleBody(oracle->inner_spec_, r);
+    GTPQ_RETURN_NOT_OK(loaded.status());
+    sub = loaded.TakeValue();
+  }
+  return oracle;
 }
 
 }  // namespace gtpq

@@ -7,10 +7,16 @@
 #include <vector>
 
 #include "common/per_thread.h"
+#include "common/status.h"
 #include "reachability/reachability_index.h"
 #include "reachability/transitive_closure.h"
 
 namespace gtpq {
+
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
 
 /// Tuning knobs for ShardedOracle.
 struct ShardedOracleOptions {
@@ -73,7 +79,17 @@ class ShardedOracle : public ReachabilityOracle {
   /// fresh oracle and swap the shared_ptr at the serving layer).
   void RebuildShard(const Digraph& g, size_t shard);
 
+  /// Persistence hooks (storage/index_io.h): the body carries the shard
+  /// layout, one nested sub-index section per shard, the boundary
+  /// machinery, and the overlay closure, so a load reconstructs the
+  /// oracle without touching the graph.
+  void SaveBody(storage::Writer* w) const;
+  static Result<std::unique_ptr<ShardedOracle>> LoadBody(
+      storage::Reader* r);
+
  private:
+  ShardedOracle() = default;
+
   void BuildShard(const Digraph& g, size_t shard);
   void BuildOverlay();
   NodeId LocalId(NodeId v, size_t shard) const {

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "storage/index_io.h"
 
 namespace gtpq {
 
@@ -106,6 +107,33 @@ bool Sspi::Reaches(NodeId from, NodeId to) const {
     }
   }
   return false;
+}
+
+void Sspi::SaveBody(storage::Writer* w) const {
+  storage::SaveSccResult(scc_, w);
+  w->WritePodVec(pre_);
+  w->WritePodVec(post_);
+  w->WritePodVec(tree_parent_);
+  w->WriteNestedVec(surplus_);
+  w->WriteU64(total_surplus_);
+}
+
+Result<Sspi> Sspi::LoadBody(storage::Reader* r) {
+  Sspi idx;
+  GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.pre_));
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.post_));
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.tree_parent_));
+  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&idx.surplus_));
+  uint64_t total = 0;
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&total));
+  idx.total_surplus_ = static_cast<size_t>(total);
+  const size_t m = idx.pre_.size();
+  if (idx.post_.size() != m || idx.tree_parent_.size() != m ||
+      idx.surplus_.size() != m) {
+    return Status::ParseError("inconsistent sspi section sizes");
+  }
+  return idx;
 }
 
 }  // namespace gtpq

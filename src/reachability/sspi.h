@@ -4,10 +4,16 @@
 #include <vector>
 
 #include "common/per_thread.h"
+#include "common/status.h"
 #include "graph/algorithms.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
+
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
 
 /// SSPI — the Surrogate & Surplus Predecessor Index of TwigStackD (Chen,
 /// Gupta, Kurul, VLDB'05). A spanning forest of the (condensed) DAG is
@@ -28,6 +34,11 @@ class Sspi : public ReachabilityOracle {
 
   /// Total surplus predecessor entries (index size metric).
   size_t TotalSurplus() const { return total_surplus_; }
+
+  /// Persistence hooks (storage/index_io.h); the probe-expansion
+  /// scratch is transient and not part of the on-disk body.
+  void SaveBody(storage::Writer* w) const;
+  static Result<Sspi> LoadBody(storage::Reader* r);
 
  private:
   Sspi() = default;

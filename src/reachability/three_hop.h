@@ -3,11 +3,17 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "graph/algorithms.h"
 #include "reachability/chain_cover.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
+
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
 
 /// A (chain id, sequence number) position in the chain cover. Two
 /// positions on the same chain compare by sid; distinct positions on the
@@ -116,6 +122,13 @@ class ThreeHopIndex : public ReachabilityOracle {
 
   const ChainCover& cover() const { return cover_; }
   const SccResult& scc() const { return scc_; }
+
+  /// Persistence hooks (storage/index_io.h): SaveBody appends the
+  /// labeling to a payload writer; LoadBody parses it back without
+  /// rebuilding. The contour backend shares this body — ContourIndex
+  /// carries no state of its own.
+  void SaveBody(storage::Writer* w) const;
+  static Result<ThreeHopIndex> LoadBody(storage::Reader* r);
 
  private:
   ThreeHopIndex() = default;

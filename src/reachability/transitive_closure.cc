@@ -1,6 +1,7 @@
 #include "reachability/transitive_closure.h"
 
 #include "common/logging.h"
+#include "storage/index_io.h"
 
 namespace gtpq {
 
@@ -35,6 +36,33 @@ bool TransitiveClosure::Reaches(NodeId from, NodeId to) const {
   if (cu == cv) return scc_.cyclic[cu];
   ++st.elements_looked_up;  // one bitset-row probe
   return CondReaches(cu, cv);
+}
+
+void TransitiveClosure::SaveBody(storage::Writer* w) const {
+  storage::SaveSccResult(scc_, w);
+  w->WriteU64(words_per_row_);
+  w->WriteNestedVec(rows_);
+}
+
+Result<TransitiveClosure> TransitiveClosure::LoadBody(storage::Reader* r) {
+  TransitiveClosure tc;
+  GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &tc.scc_));
+  uint64_t words = 0;
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&words));
+  tc.words_per_row_ = static_cast<size_t>(words);
+  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&tc.rows_));
+  // One row per condensation node, wide enough for every column bit —
+  // Reaches() indexes rows_[cu][cv >> 6] without further checks.
+  if (tc.rows_.size() != tc.scc_.num_components ||
+      tc.words_per_row_ != (tc.scc_.num_components + 63) / 64) {
+    return Status::ParseError("inconsistent transitive_closure shape");
+  }
+  for (const auto& row : tc.rows_) {
+    if (row.size() != tc.words_per_row_) {
+      return Status::ParseError("inconsistent transitive_closure row size");
+    }
+  }
+  return tc;
 }
 
 }  // namespace gtpq

@@ -3,10 +3,16 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "graph/algorithms.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
+
+namespace storage {
+class Writer;
+class Reader;
+}  // namespace storage
 
 /// Full materialized transitive closure over SCC-condensed bitset rows.
 /// Quadratic space — usable up to a few tens of thousands of nodes. It
@@ -22,6 +28,10 @@ class TransitiveClosure : public ReachabilityOracle {
   bool Reaches(NodeId from, NodeId to) const override;
 
   size_t NumNodes() const { return scc_.component_of.size(); }
+
+  /// Persistence hooks (storage/index_io.h).
+  void SaveBody(storage::Writer* w) const;
+  static Result<TransitiveClosure> LoadBody(storage::Reader* r);
 
  private:
   TransitiveClosure() = default;

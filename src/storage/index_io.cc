@@ -1,0 +1,336 @@
+#include "storage/index_io.h"
+
+#include <fstream>
+#include <utility>
+
+#include "reachability/cached_oracle.h"
+#include "reachability/chain_cover_index.h"
+#include "reachability/contour.h"
+#include "reachability/factory.h"
+#include "reachability/interval_index.h"
+#include "reachability/sharded_oracle.h"
+#include "reachability/sspi.h"
+#include "reachability/three_hop.h"
+#include "reachability/transitive_closure.h"
+
+namespace gtpq {
+namespace storage {
+
+namespace {
+
+constexpr std::string_view kCachedPrefix = "cached:";
+constexpr std::string_view kShardedPrefix = "sharded:";
+
+// Offsets within the fixed file prologue (see index_io.h): magic,
+// then u32 version at 8, u32 CRC at 12, checksummed bytes from 16.
+constexpr size_t kVersionOffset = 8;
+constexpr size_t kChecksummedOffset = 16;
+
+Status ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open index file: " + path);
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::Internal("read failed: " + path);
+  return Status::OK();
+}
+
+/// Validates the fixed prologue and the checksum, leaving `r` positioned
+/// at the spec string. Fills every IndexFileInfo field except payload
+/// parsing side effects.
+Status OpenHeader(const std::string& bytes, const std::string& path,
+                  IndexFileInfo* info, Reader* r) {
+  if (bytes.size() < kChecksummedOffset) {
+    return Status::ParseError("index file too short (" +
+                              std::to_string(bytes.size()) + " bytes): " +
+                              path);
+  }
+  if (std::string_view(bytes.data(), kIndexMagic.size()) != kIndexMagic) {
+    return Status::ParseError("bad magic: not a gtpq index file: " + path);
+  }
+  Reader prologue(std::string_view(bytes.data() + kVersionOffset,
+                                   kChecksummedOffset - kVersionOffset));
+  uint32_t version = 0, stored_crc = 0;
+  GTPQ_RETURN_NOT_OK(prologue.ReadU32(&version));
+  GTPQ_RETURN_NOT_OK(prologue.ReadU32(&stored_crc));
+  if (version != kIndexFormatVersion) {
+    return Status::FailedPrecondition(
+        "index format version mismatch: file has v" +
+        std::to_string(version) + ", this build reads v" +
+        std::to_string(kIndexFormatVersion) + ": " + path);
+  }
+  const uint32_t actual_crc = Crc32(bytes.data() + kChecksummedOffset,
+                                    bytes.size() - kChecksummedOffset);
+  if (actual_crc != stored_crc) {
+    return Status::ParseError(
+        "index checksum mismatch (truncated or corrupted file): " + path);
+  }
+
+  *r = Reader(std::string_view(bytes).substr(kChecksummedOffset));
+  info->format_version = version;
+  info->file_bytes = bytes.size();
+  GTPQ_RETURN_NOT_OK(r->ReadString(&info->spec));
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&info->graph_fingerprint));
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&info->num_nodes));
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&info->num_edges));
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&info->payload_bytes));
+  if (info->payload_bytes != r->remaining()) {
+    return Status::ParseError(
+        "index payload size mismatch: header says " +
+        std::to_string(info->payload_bytes) + " bytes, file carries " +
+        std::to_string(r->remaining()) + ": " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ReachabilityOracle>> LoadImpl(
+    const std::string& path, const Digraph* expected_graph) {
+  std::string bytes;
+  GTPQ_RETURN_NOT_OK(ReadFile(path, &bytes));
+  IndexFileInfo info;
+  Reader r{std::string_view()};
+  GTPQ_RETURN_NOT_OK(OpenHeader(bytes, path, &info, &r));
+  if (expected_graph != nullptr) {
+    const uint64_t expected = GraphFingerprint(*expected_graph);
+    if (expected != info.graph_fingerprint) {
+      return Status::FailedPrecondition(
+          "index was built for a different graph (file fingerprint " +
+          std::to_string(info.graph_fingerprint) + ", serving graph " +
+          std::to_string(expected) + "): " + path);
+    }
+  }
+  auto oracle = LoadOracleBody(info.spec, &r);
+  GTPQ_RETURN_NOT_OK(oracle.status());
+  GTPQ_RETURN_NOT_OK(r.ExpectEnd());
+  return oracle;
+}
+
+}  // namespace
+
+uint64_t GraphFingerprint(const Digraph& g) {
+  GTPQ_CHECK(g.finalized());
+  // FNV-1a over the CSR walk; order-sensitive, so any structural edit
+  // (node added, edge moved) changes the digest.
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(g.NumNodes());
+  mix(g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    mix(g.OutDegree(v));
+    for (NodeId w : g.OutNeighbors(v)) mix(w);
+  }
+  return h;
+}
+
+Status SaveReachabilityIndex(const ReachabilityOracle& oracle,
+                             const Digraph& g, const std::string& path) {
+  Writer body;
+  GTPQ_RETURN_NOT_OK(SaveOracleBody(oracle, &body));
+
+  Writer header;
+  header.WriteString(oracle.name());
+  header.WriteU64(GraphFingerprint(g));
+  header.WriteU64(g.NumNodes());
+  header.WriteU64(g.NumEdges());
+  header.WriteU64(body.buffer().size());
+
+  // Chain the CRC across header and body so neither needs to be
+  // concatenated into a third buffer — the payload (quadratic for
+  // transitive_closure) is the dominant allocation, keep it single.
+  const uint32_t crc =
+      Crc32(body.buffer().data(), body.buffer().size(),
+            Crc32(header.buffer().data(), header.buffer().size()));
+
+  Writer prologue;
+  prologue.WriteBytes(kIndexMagic.data(), kIndexMagic.size());
+  prologue.WriteU32(kIndexFormatVersion);
+  prologue.WriteU32(crc);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot create index file: " + path);
+  for (const Writer* part : {&prologue, &header, &body}) {
+    out.write(part->buffer().data(),
+              static_cast<std::streamsize>(part->buffer().size()));
+  }
+  out.close();
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndex(
+    const std::string& path) {
+  return LoadImpl(path, nullptr);
+}
+
+Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndex(
+    const std::string& path, const Digraph& expected_graph) {
+  return LoadImpl(path, &expected_graph);
+}
+
+Result<IndexFileInfo> InspectReachabilityIndex(const std::string& path) {
+  std::string bytes;
+  GTPQ_RETURN_NOT_OK(ReadFile(path, &bytes));
+  IndexFileInfo info;
+  Reader r{std::string_view()};
+  GTPQ_RETURN_NOT_OK(OpenHeader(bytes, path, &info, &r));
+  return info;
+}
+
+Status SaveOracleBody(const ReachabilityOracle& oracle, Writer* w) {
+  const std::string_view spec = oracle.name();
+  if (spec.rfind(kCachedPrefix, 0) == 0) {
+    const auto* cached = dynamic_cast<const CachedOracle*>(&oracle);
+    if (cached == nullptr) {
+      return Status::InvalidArgument(
+          "oracle named '" + std::string(spec) + "' is not a CachedOracle");
+    }
+    // Cache contents are transient; only the inner index persists.
+    return SaveOracleBody(cached->inner(), w);
+  }
+  if (spec.rfind(kShardedPrefix, 0) == 0) {
+    const auto* sharded = dynamic_cast<const ShardedOracle*>(&oracle);
+    if (sharded == nullptr) {
+      return Status::InvalidArgument(
+          "oracle named '" + std::string(spec) + "' is not a ShardedOracle");
+    }
+    sharded->SaveBody(w);
+    return Status::OK();
+  }
+
+  auto save_as = [&](const auto* typed) {
+    if (typed == nullptr) {
+      return Status::InvalidArgument("oracle named '" + std::string(spec) +
+                                     "' has an unexpected concrete type");
+    }
+    typed->SaveBody(w);
+    return Status::OK();
+  };
+  // `contour` shares the three-hop body: ContourIndex carries no state
+  // beyond its ThreeHopIndex base.
+  if (spec == "contour" || spec == "three_hop") {
+    return save_as(dynamic_cast<const ThreeHopIndex*>(&oracle));
+  }
+  if (spec == "interval") {
+    return save_as(dynamic_cast<const IntervalIndex*>(&oracle));
+  }
+  if (spec == "sspi") return save_as(dynamic_cast<const Sspi*>(&oracle));
+  if (spec == "chain_cover") {
+    return save_as(dynamic_cast<const ChainCoverIndex*>(&oracle));
+  }
+  if (spec == "transitive_closure") {
+    return save_as(dynamic_cast<const TransitiveClosure*>(&oracle));
+  }
+  return Status::Unimplemented("no serializer for reachability spec '" +
+                               std::string(spec) + "'");
+}
+
+Result<std::unique_ptr<ReachabilityOracle>> LoadOracleBody(
+    std::string_view spec, Reader* r) {
+  if (spec.rfind(kCachedPrefix, 0) == 0) {
+    auto inner = LoadOracleBody(spec.substr(kCachedPrefix.size()), r);
+    GTPQ_RETURN_NOT_OK(inner.status());
+    return std::unique_ptr<ReachabilityOracle>(std::make_unique<CachedOracle>(
+        std::shared_ptr<const ReachabilityOracle>(inner.TakeValue())));
+  }
+  if (spec.rfind(kShardedPrefix, 0) == 0) {
+    auto sharded = ShardedOracle::LoadBody(r);
+    GTPQ_RETURN_NOT_OK(sharded.status());
+    if ((*sharded)->name() != spec) {
+      return Status::ParseError("sharded section inner spec '" +
+                                std::string((*sharded)->name()) +
+                                "' does not match header spec '" +
+                                std::string(spec) + "'");
+    }
+    return std::unique_ptr<ReachabilityOracle>(sharded.TakeValue());
+  }
+  if (spec == "contour") {
+    auto base = ThreeHopIndex::LoadBody(r);
+    GTPQ_RETURN_NOT_OK(base.status());
+    return std::unique_ptr<ReachabilityOracle>(
+        std::make_unique<ContourIndex>(base.TakeValue()));
+  }
+  if (spec == "three_hop") {
+    auto idx = ThreeHopIndex::LoadBody(r);
+    GTPQ_RETURN_NOT_OK(idx.status());
+    return std::unique_ptr<ReachabilityOracle>(
+        std::make_unique<ThreeHopIndex>(idx.TakeValue()));
+  }
+  if (spec == "interval") {
+    auto idx = IntervalIndex::LoadBody(r);
+    GTPQ_RETURN_NOT_OK(idx.status());
+    return std::unique_ptr<ReachabilityOracle>(
+        std::make_unique<IntervalIndex>(idx.TakeValue()));
+  }
+  if (spec == "sspi") {
+    auto idx = Sspi::LoadBody(r);
+    GTPQ_RETURN_NOT_OK(idx.status());
+    return std::unique_ptr<ReachabilityOracle>(
+        std::make_unique<Sspi>(idx.TakeValue()));
+  }
+  if (spec == "chain_cover") {
+    auto idx = ChainCoverIndex::LoadBody(r);
+    GTPQ_RETURN_NOT_OK(idx.status());
+    return std::unique_ptr<ReachabilityOracle>(
+        std::make_unique<ChainCoverIndex>(idx.TakeValue()));
+  }
+  if (spec == "transitive_closure") {
+    auto idx = TransitiveClosure::LoadBody(r);
+    GTPQ_RETURN_NOT_OK(idx.status());
+    return std::unique_ptr<ReachabilityOracle>(
+        std::make_unique<TransitiveClosure>(idx.TakeValue()));
+  }
+  return Status::Unimplemented("no loader for reachability spec '" +
+                               std::string(spec) + "'");
+}
+
+void SaveSccResult(const SccResult& scc, Writer* w) {
+  w->WritePodVec(scc.component_of);
+  w->WriteU64(scc.num_components);
+  w->WritePodVec(scc.component_size);
+  w->WritePodVec(scc.cyclic);
+}
+
+Status LoadSccResult(Reader* r, SccResult* out) {
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->component_of));
+  uint64_t num_components = 0;
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&num_components));
+  out->num_components = static_cast<size_t>(num_components);
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->component_size));
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->cyclic));
+  if (out->component_size.size() != out->num_components ||
+      out->cyclic.size() != out->num_components) {
+    return Status::ParseError("inconsistent SCC section sizes");
+  }
+  // component_of values index the per-component arrays everywhere the
+  // backends probe, so bound them here once for all loaders.
+  for (NodeId c : out->component_of) {
+    if (c >= out->num_components) {
+      return Status::ParseError("SCC component id out of range");
+    }
+  }
+  return Status::OK();
+}
+
+void SaveChainCover(const ChainCover& cover, Writer* w) {
+  w->WritePodVec(cover.cid_of);
+  w->WritePodVec(cover.sid_of);
+  w->WriteNestedVec(cover.chains);
+}
+
+Status LoadChainCover(Reader* r, ChainCover* out) {
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->cid_of));
+  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->sid_of));
+  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&out->chains));
+  if (out->cid_of.size() != out->sid_of.size()) {
+    return Status::ParseError("inconsistent chain cover section sizes");
+  }
+  return Status::OK();
+}
+
+}  // namespace storage
+}  // namespace gtpq

@@ -1,0 +1,100 @@
+#ifndef GTPQ_STORAGE_INDEX_IO_H_
+#define GTPQ_STORAGE_INDEX_IO_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "graph/algorithms.h"
+#include "graph/digraph.h"
+#include "reachability/chain_cover.h"
+#include "reachability/reachability_index.h"
+#include "storage/serializer.h"
+
+namespace gtpq {
+namespace storage {
+
+/// On-disk layout of a ".gtpqidx" reachability index file (all scalars
+/// little-endian):
+///
+///   [0..8)    magic "GTPQIDX\n"
+///   [8..12)   u32 format version (kIndexFormatVersion)
+///   [12..16)  u32 CRC-32 over every byte from offset 16 to EOF
+///   [16..)    header continued, covered by the checksum:
+///               string  backend spec ("contour", "sharded:interval", ...)
+///               u64     graph fingerprint (GraphFingerprint of the
+///                       graph the index was built from)
+///               u64     num nodes, u64 num edges of that graph
+///               u64     payload size in bytes
+///             payload: backend-specific body (each backend's SaveBody;
+///             decorators nest their inner oracle's section)
+///
+/// Readers reject, with a clean Status and no crash: wrong magic,
+/// version mismatch, checksum mismatch (covers truncation and bit
+/// corruption), trailing bytes, and — when the caller supplies the
+/// graph being served — a fingerprint mismatch.
+inline constexpr std::string_view kIndexMagic = "GTPQIDX\n";
+inline constexpr uint32_t kIndexFormatVersion = 1;
+inline constexpr std::string_view kIndexFileExtension = ".gtpqidx";
+
+/// Order-sensitive 64-bit digest of a finalized graph's structure
+/// (node count + CSR adjacency). Two graphs with the same fingerprint
+/// are, for persistence purposes, the same graph.
+uint64_t GraphFingerprint(const Digraph& g);
+
+/// Parsed header of an index file, for `gteactl inspect` and tooling.
+struct IndexFileInfo {
+  uint32_t format_version = 0;
+  std::string spec;
+  uint64_t graph_fingerprint = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t file_bytes = 0;
+};
+
+/// Serializes a factory-built oracle (any base backend or decorator
+/// chain; the oracle's name() must be its factory spec) to `path`,
+/// stamping the fingerprint of `g`, the graph it was built from.
+Status SaveReachabilityIndex(const ReachabilityOracle& oracle,
+                             const Digraph& g, const std::string& path);
+
+/// Loads an index file back into a ready-to-probe oracle. The returned
+/// oracle's name() is the spec it was saved under. No fingerprint check
+/// — the caller vouches for the graph.
+Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndex(
+    const std::string& path);
+
+/// Same, but additionally rejects the file (FailedPrecondition) when
+/// its fingerprint does not match `expected_graph` — the safe entry
+/// point the factory's "file:<path>" spec uses.
+Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndex(
+    const std::string& path, const Digraph& expected_graph);
+
+/// Reads and validates (magic, version, checksum) the header only.
+Result<IndexFileInfo> InspectReachabilityIndex(const std::string& path);
+
+// --- Body-level hooks (used by decorators for nested sections) --------
+
+/// Appends the backend-specific body of `oracle` to `w`, dispatching on
+/// its spec. Cached decorators persist only their inner oracle (cache
+/// contents are transient); sharded decorators write per-shard sections.
+Status SaveOracleBody(const ReachabilityOracle& oracle, Writer* w);
+
+/// Parses the body written by SaveOracleBody for `spec`.
+Result<std::unique_ptr<ReachabilityOracle>> LoadOracleBody(
+    std::string_view spec, Reader* r);
+
+// --- Codecs for substructures shared across backends ------------------
+
+void SaveSccResult(const SccResult& scc, Writer* w);
+Status LoadSccResult(Reader* r, SccResult* out);
+void SaveChainCover(const ChainCover& cover, Writer* w);
+Status LoadChainCover(Reader* r, ChainCover* out);
+
+}  // namespace storage
+}  // namespace gtpq
+
+#endif  // GTPQ_STORAGE_INDEX_IO_H_

@@ -1,0 +1,35 @@
+#include "storage/serializer.h"
+
+#include <array>
+
+namespace gtpq {
+namespace storage {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace storage
+}  // namespace gtpq

@@ -1,0 +1,157 @@
+#ifndef GTPQ_STORAGE_SERIALIZER_H_
+#define GTPQ_STORAGE_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+
+namespace gtpq {
+namespace storage {
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib flavour) over `len` bytes.
+/// Chain blocks by threading the previous return value through `seed`.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+/// Append-only little-endian byte sink for index payloads. Scalars are
+/// written with explicit byte order; vectors of trivially copyable
+/// element types are written raw (count + bytes), which ties the format
+/// to little-endian hosts — the only kind the toolchain targets.
+class Writer {
+ public:
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) WriteU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void WriteU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) WriteU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  /// u32 length prefix + raw bytes.
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+  void WriteBytes(const void* data, size_t len) {
+    buf_.append(static_cast<const char*>(data), len);
+  }
+
+  /// u64 count + raw element bytes.
+  template <typename T>
+  void WritePodVec(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    WriteU64(v.size());
+    if (!v.empty()) WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// u64 outer count + one WritePodVec per inner vector.
+  template <typename T>
+  void WriteNestedVec(const std::vector<std::vector<T>>& v) {
+    WriteU64(v.size());
+    for (const auto& inner : v) WritePodVec(inner);
+  }
+
+  const std::string& buffer() const { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over a byte span. Every accessor returns a
+/// Status so truncated or short payloads surface as clean errors, never
+/// out-of-bounds reads.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+
+  Status ReadU8(uint8_t* out) {
+    if (remaining() < 1) return Truncated("u8");
+    *out = static_cast<uint8_t>(data_[pos_++]);
+    return Status::OK();
+  }
+  Status ReadU32(uint32_t* out) {
+    if (remaining() < 4) return Truncated("u32");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+  Status ReadU64(uint64_t* out) {
+    if (remaining() < 8) return Truncated("u64");
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return Status::OK();
+  }
+  Status ReadString(std::string* out) {
+    uint32_t len = 0;
+    GTPQ_RETURN_NOT_OK(ReadU32(&len));
+    if (remaining() < len) return Truncated("string body");
+    out->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadPodVec(std::vector<T>* out) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    uint64_t count = 0;
+    GTPQ_RETURN_NOT_OK(ReadU64(&count));
+    if (count > remaining() / sizeof(T)) return Truncated("vector body");
+    out->resize(static_cast<size_t>(count));
+    if (count > 0) {
+      std::memcpy(out->data(), data_.data() + pos_,
+                  static_cast<size_t>(count) * sizeof(T));
+      pos_ += static_cast<size_t>(count) * sizeof(T);
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Status ReadNestedVec(std::vector<std::vector<T>>* out) {
+    uint64_t count = 0;
+    GTPQ_RETURN_NOT_OK(ReadU64(&count));
+    // Each inner vector costs at least its 8-byte count prefix.
+    if (count > remaining() / 8) return Truncated("nested vector");
+    out->resize(static_cast<size_t>(count));
+    for (auto& inner : *out) GTPQ_RETURN_NOT_OK(ReadPodVec(&inner));
+    return Status::OK();
+  }
+
+  /// Fails when payload bytes remain unconsumed (corrupt or newer body).
+  Status ExpectEnd() const {
+    if (remaining() != 0) {
+      return Status::ParseError("index payload has " +
+                                std::to_string(remaining()) +
+                                " trailing bytes");
+    }
+    return Status::OK();
+  }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::ParseError(std::string("index payload truncated reading ") +
+                              what);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace storage
+}  // namespace gtpq
+
+#endif  // GTPQ_STORAGE_SERIALIZER_H_

@@ -22,14 +22,15 @@ inline DataGraph MakeGraph(size_t n, const std::vector<int64_t>& labels,
   return g;
 }
 
-/// A 10-node DAG used across unit tests:
+/// A 10-node DAG used across unit tests (edges point downward; the
+/// U+2572 diagonals keep -Wcomment quiet about trailing backslashes):
 ///
 ///        0(a)
-///       /    \
+///       /    ╲
 ///     1(b)   2(b)
-///     /  \      \
+///     /  ╲      ╲
 ///   3(c) 4(d)   5(c)
-///    |     \   /  \
+///    |     ╲   /  ╲
 ///   6(e)   7(e)   8(d)
 ///            |
 ///           9(f)
