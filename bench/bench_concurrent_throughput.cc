@@ -31,48 +31,6 @@
 using namespace gtpq;
 using namespace gtpq::bench;
 
-namespace {
-
-std::vector<std::string> SplitFlag(int argc, char** argv,
-                                   const char* prefix,
-                                   const std::string& fallback) {
-  std::string value = fallback;
-  const size_t len = std::strlen(prefix);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix, len) == 0) value = argv[i] + len;
-  }
-  std::vector<std::string> out;
-  size_t pos = 0;
-  while (pos <= value.size()) {
-    size_t comma = value.find(',', pos);
-    if (comma == std::string::npos) comma = value.size();
-    if (comma > pos) out.push_back(value.substr(pos, comma - pos));
-    pos = comma + 1;
-  }
-  return out;
-}
-
-size_t SizeFlag(int argc, char** argv, const char* prefix,
-                size_t fallback) {
-  const size_t len = std::strlen(prefix);
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], prefix, len) == 0) {
-      char* end = nullptr;
-      const unsigned long long value =
-          std::strtoull(argv[i] + len, &end, 10);
-      if (end == argv[i] + len || *end != '\0') {
-        std::fprintf(stderr, "invalid value for %s (want an integer)\n",
-                     prefix);
-        std::exit(2);
-      }
-      return static_cast<size_t>(value);
-    }
-  }
-  return fallback;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   const double scale = BenchScale();
   const auto json_path = JsonFlag(argc, argv);

@@ -1,8 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the reachability substrate:
 // index construction and point-query cost of every registered backend
 // (via the factory), plus contour merging.
+//
+// Besides google-benchmark's own flags, --json=<path> mirrors the
+// other benches: every run is also collected into a JsonReport row
+// ({name, label, iterations, real/cpu time}) so the CI bench-smoke job
+// can upload and perf-diff a uniform BENCH_*.json artifact.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "graph/generators.h"
 #include "reachability/contour.h"
@@ -95,14 +104,55 @@ void BM_ContourMerge(benchmark::State& state) {
 }
 BENCHMARK(BM_ContourMerge)->Arg(16)->Arg(256)->Arg(4096);
 
+// Console reporter that additionally collects every finished run into
+// JsonReport rows, in the flat {"bench", "rows": [...]} shape shared by
+// all bench binaries.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit CollectingReporter(bench::JsonReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      report_->AddRow()
+          .Add("name", run.benchmark_name())
+          .Add("label", run.report_label)
+          .Add("iterations", static_cast<uint64_t>(run.iterations))
+          .Add("real_time", run.GetAdjustedRealTime())
+          .Add("cpu_time", run.GetAdjustedCPUTime())
+          .Add("time_unit",
+               std::string(benchmark::GetTimeUnitString(run.time_unit)));
+    }
+  }
+
+ private:
+  bench::JsonReport* report_;
+};
+
 }  // namespace
 }  // namespace gtpq
 
 int main(int argc, char** argv) {
+  // Pull our --json= flag out before google-benchmark sees (and
+  // rejects) it.
+  const auto json_path = gtpq::bench::JsonFlag(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) != 0) args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
   gtpq::RegisterBackendSweeps();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  gtpq::bench::JsonReport report("micro_reachability");
+  gtpq::CollectingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (json_path.has_value() && !report.WriteTo(*json_path)) return 1;
   return 0;
 }

@@ -42,6 +42,68 @@ inline std::optional<std::string> JsonFlag(int argc, char** argv) {
   return path;
 }
 
+/// Comma-separated values of a "--prefix=a,b,c" flag (last occurrence
+/// wins), or of `fallback` when absent.
+inline std::vector<std::string> SplitFlag(int argc, char** argv,
+                                          const char* prefix,
+                                          const std::string& fallback) {
+  std::string value = fallback;
+  const size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) value = argv[i] + len;
+  }
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos <= value.size()) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    if (comma > pos) out.push_back(value.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Integer value of a "--prefix=<n>" flag; exits 2 on malformed input.
+inline size_t SizeFlag(int argc, char** argv, const char* prefix,
+                       size_t fallback) {
+  const size_t len = std::strlen(prefix);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      char* end = nullptr;
+      const unsigned long long value =
+          std::strtoull(argv[i] + len, &end, 10);
+      if (end == argv[i] + len || *end != '\0') {
+        std::fprintf(stderr, "invalid value for %s (want an integer)\n",
+                     prefix);
+        std::exit(2);
+      }
+      return static_cast<size_t>(value);
+    }
+  }
+  return fallback;
+}
+
+/// Floating-point value of a "--prefix=<x>" flag; exits 2 on
+/// malformed input (a silent 0.0 would skew rows the CI perf-diff
+/// adopts as its baseline).
+inline double DoubleFlag(int argc, char** argv, const char* prefix,
+                         double fallback) {
+  const size_t len = std::strlen(prefix);
+  double value = fallback;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix, len) == 0) {
+      char* end = nullptr;
+      value = std::strtod(argv[i] + len, &end);
+      if (end == argv[i] + len || *end != '\0') {
+        std::fprintf(stderr, "invalid value for %s (want a number)\n",
+                     prefix);
+        std::exit(2);
+      }
+    }
+  }
+  return value;
+}
+
 /// Accumulates one bench run as {"bench": ..., <meta fields>,
 /// "rows": [{...}, ...]} and writes it out as JSON — the
 /// machine-readable artifact the CI bench-smoke job uploads

@@ -1,0 +1,75 @@
+#include "dynamic/stream_gen.h"
+
+#include <utility>
+
+#include "common/rng.h"
+
+namespace gtpq {
+
+std::vector<UpdateBatch> GenerateUpdateStream(
+    const DataGraph& base, const UpdateStreamOptions& options) {
+  std::vector<UpdateBatch> stream;
+  GraphDelta mirror(base.NumNodes());
+  Rng rng(options.seed);
+  const int64_t num_labels =
+      static_cast<int64_t>(base.NumDistinctLabels()) + 1;
+  // Single-op batches reject before mutating, so the in-place apply is
+  // safe here and avoids copying the accumulated mirror per candidate.
+  auto try_op = [&](const UpdateBatch& op) {
+    return mirror.ApplyInPlace(base.graph(), op).ok();
+  };
+  for (size_t r = 0; r < options.rounds; ++r) {
+    UpdateBatch batch;
+    const size_t adds =
+        static_cast<size_t>(static_cast<double>(options.ops_per_round) *
+                            (1.0 - options.del_ratio));
+    for (size_t i = 0; i < adds; ++i) {
+      if (rng.NextDouble() < options.node_op_share) {
+        const int64_t label =
+            static_cast<int64_t>(rng.NextBounded(num_labels));
+        UpdateBatch op;
+        op.add_nodes.push_back(label);
+        if (try_op(op)) batch.add_nodes.push_back(label);
+        continue;
+      }
+      const size_t n = mirror.NumNodes();
+      const EdgeRef e{static_cast<NodeId>(rng.NextBounded(n)),
+                      static_cast<NodeId>(rng.NextBounded(n))};
+      UpdateBatch op;
+      op.add_edges.push_back(e);
+      if (try_op(op)) batch.add_edges.push_back(e);
+    }
+    for (size_t i = adds; i < options.ops_per_round; ++i) {
+      const size_t n = mirror.NumNodes();
+      if (rng.NextDouble() < options.node_op_share) {
+        const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+        UpdateBatch op;
+        op.remove_nodes.push_back(v);
+        if (try_op(op)) batch.remove_nodes.push_back(v);
+        continue;
+      }
+      // Sample an existing edge by picking a source with out-edges in
+      // the current view.
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const NodeId v = static_cast<NodeId>(rng.NextBounded(n));
+        std::vector<NodeId> targets;
+        if (v < base.NumNodes()) {
+          for (NodeId w : base.graph().OutNeighbors(v)) {
+            if (!mirror.EdgeRemoved(v, w)) targets.push_back(w);
+          }
+        }
+        for (NodeId w : mirror.AddedOut(v)) targets.push_back(w);
+        if (targets.empty()) continue;
+        const EdgeRef e{v, targets[rng.NextBounded(targets.size())]};
+        UpdateBatch op;
+        op.remove_edges.push_back(e);
+        if (try_op(op)) batch.remove_edges.push_back(e);
+        break;
+      }
+    }
+    stream.push_back(std::move(batch));
+  }
+  return stream;
+}
+
+}  // namespace gtpq

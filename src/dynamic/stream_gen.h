@@ -1,0 +1,35 @@
+#ifndef GTPQ_DYNAMIC_STREAM_GEN_H_
+#define GTPQ_DYNAMIC_STREAM_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dynamic/graph_delta.h"
+#include "graph/data_graph.h"
+
+namespace gtpq {
+
+/// Shape of a synthetic update stream.
+struct UpdateStreamOptions {
+  size_t rounds = 8;
+  size_t ops_per_round = 64;
+  /// Share of each round's ops that delete (edges/vertices) rather
+  /// than insert.
+  double del_ratio = 0.3;
+  /// Share of ops in each half that touch vertices rather than edges.
+  double node_op_share = 0.15;
+  uint64_t seed = 1;
+};
+
+/// Deterministic valid update stream over `base`, shared by the
+/// update-stream bench and tests: every candidate op is validated (in
+/// the grouped order UpdateBatch applies — node adds, edge adds, edge
+/// removals, vertex removals) against a mirror GraphDelta, so every
+/// produced batch replays cleanly against a snapshot chain or the
+/// serving runtime following the same stream.
+std::vector<UpdateBatch> GenerateUpdateStream(
+    const DataGraph& base, const UpdateStreamOptions& options);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_DYNAMIC_STREAM_GEN_H_

@@ -12,6 +12,15 @@ DataGraph::DataGraph(size_t num_nodes) : DataGraph() {
   tuples_.resize(num_nodes);
 }
 
+DataGraph::DataGraph(size_t num_nodes,
+                     std::shared_ptr<AttrNames> attr_names)
+    : attr_names_(std::move(attr_names)) {
+  GTPQ_CHECK(attr_names_ != nullptr);
+  graph_.AddNodes(num_nodes);
+  labels_.assign(num_nodes, 0);
+  tuples_.resize(num_nodes);
+}
+
 NodeId DataGraph::AddNode() { return AddNode(0); }
 
 NodeId DataGraph::AddNode(int64_t label) {

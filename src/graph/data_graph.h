@@ -19,6 +19,11 @@ class DataGraph {
  public:
   DataGraph();
   explicit DataGraph(size_t num_nodes);
+  /// Shares an existing attribute namespace instead of creating a fresh
+  /// one. Snapshot materialization (dynamic/graph_delta.h) uses this so
+  /// attribute ids stay stable across snapshots and queries interned
+  /// against the base graph keep working unchanged.
+  DataGraph(size_t num_nodes, std::shared_ptr<AttrNames> attr_names);
 
   /// Adds a node with label 0 and returns its id.
   NodeId AddNode();

@@ -56,18 +56,15 @@ bool ChainCoverIndex::Reaches(NodeId from, NodeId to) const {
 void ChainCoverIndex::SaveBody(storage::Writer* w) const {
   storage::SaveSccResult(scc_, w);
   storage::SaveChainCover(cover_, w);
-  w->WriteNestedVec(first_);
-  w->WriteU64(total_entries_);
+  storage::WriteFields(w, first_, total_entries_);
 }
 
 Result<ChainCoverIndex> ChainCoverIndex::LoadBody(storage::Reader* r) {
   ChainCoverIndex idx;
   GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
   GTPQ_RETURN_NOT_OK(storage::LoadChainCover(r, &idx.cover_));
-  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&idx.first_));
-  uint64_t total = 0;
-  GTPQ_RETURN_NOT_OK(r->ReadU64(&total));
-  idx.total_entries_ = static_cast<size_t>(total);
+  GTPQ_RETURN_NOT_OK(storage::ReadFields(r, &idx.first_,
+                                         &idx.total_entries_));
   if (idx.first_.size() != idx.cover_.cid_of.size()) {
     return Status::ParseError("inconsistent chain_cover section sizes");
   }

@@ -1,6 +1,7 @@
 #include "reachability/factory.h"
 
 #include "common/logging.h"
+#include "dynamic/delta_overlay.h"
 #include "reachability/cached_oracle.h"
 #include "reachability/chain_cover_index.h"
 #include "reachability/contour.h"
@@ -16,6 +17,7 @@ namespace gtpq {
 namespace {
 constexpr std::string_view kCachedPrefix = "cached:";
 constexpr std::string_view kShardedPrefix = "sharded:";
+constexpr std::string_view kDeltaPrefix = "delta:";
 constexpr std::string_view kFilePrefix = "file:";
 }  // namespace
 
@@ -90,6 +92,17 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
     return std::make_unique<CachedOracle>(
         std::shared_ptr<const ReachabilityOracle>(std::move(inner)));
   }
+  if (spec.rfind(kDeltaPrefix, 0) == 0) {
+    std::string_view inner_spec = spec.substr(kDeltaPrefix.size());
+    // Reject file: anywhere beneath delta: up front — compaction has to
+    // rebuild the inner index through its spec, which a persisted file
+    // cannot do for a mutated graph.
+    if (!IsValidReachabilitySpec(spec)) return nullptr;
+    auto inner = MakeReachabilityIndex(inner_spec, g);
+    if (inner == nullptr) return nullptr;
+    return std::make_unique<DeltaOverlayOracle>(
+        std::shared_ptr<const ReachabilityOracle>(std::move(inner)), &g);
+  }
   if (spec.rfind(kShardedPrefix, 0) == 0) {
     std::string_view inner_spec = spec.substr(kShardedPrefix.size());
     // Validate the full spec, not just the inner one: it knows that a
@@ -107,16 +120,28 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
 }
 
 bool IsValidReachabilitySpec(std::string_view spec) {
+  bool file_forbidden = false;
   bool under_sharded = false;
   while (spec.rfind(kCachedPrefix, 0) == 0 ||
-         spec.rfind(kShardedPrefix, 0) == 0) {
+         spec.rfind(kShardedPrefix, 0) == 0 ||
+         spec.rfind(kDeltaPrefix, 0) == 0) {
+    // delta: cannot serve beneath sharded:: each shard's sub-index is
+    // built over a transient induced-subgraph Digraph, which the
+    // overlay would have to alias past its lifetime. (Shard-local
+    // deltas need the sharded decorator itself to route updates.)
+    if (under_sharded && spec.rfind(kDeltaPrefix, 0) == 0) return false;
+    // file: cannot serve beneath sharded: (a persisted index is
+    // fingerprinted against the whole graph, not a shard subgraph) nor
+    // beneath delta: (compaction rebuilds the inner index through its
+    // spec, which a file cannot replay on a mutated graph).
+    file_forbidden = file_forbidden ||
+                     spec.rfind(kShardedPrefix, 0) == 0 ||
+                     spec.rfind(kDeltaPrefix, 0) == 0;
     under_sharded = under_sharded || spec.rfind(kShardedPrefix, 0) == 0;
     spec = spec.substr(spec.find(':') + 1);
   }
   if (spec.rfind(kFilePrefix, 0) == 0) {
-    // A persisted index was stamped with the whole graph's fingerprint,
-    // so it cannot serve as a per-shard sub-index.
-    if (under_sharded) return false;
+    if (file_forbidden) return false;
     return storage::InspectReachabilityIndex(
                std::string(spec.substr(kFilePrefix.size())))
         .ok();
@@ -129,16 +154,21 @@ std::vector<std::string> AllReachabilitySpecs() {
   for (ReachabilityBackend kind : AllReachabilityBackends()) {
     specs.emplace_back(ReachabilityBackendName(kind));
   }
-  for (std::string_view prefix : {kCachedPrefix, kShardedPrefix}) {
+  for (std::string_view prefix :
+       {kCachedPrefix, kShardedPrefix, kDeltaPrefix}) {
     for (ReachabilityBackend kind : AllReachabilityBackends()) {
       specs.push_back(std::string(prefix) +
                       std::string(ReachabilityBackendName(kind)));
     }
   }
-  // Nested-composition witnesses: a cache over a partitioned oracle and
-  // a partitioned oracle whose shards cache.
+  // Nested-composition witnesses: a cache over a partitioned oracle, a
+  // partitioned oracle whose shards cache, and the delta overlay
+  // composed both ways (an overlay over a decorated inner index, and a
+  // cache over an overlay snapshot).
   specs.push_back("cached:sharded:interval");
   specs.push_back("sharded:cached:contour");
+  specs.push_back("delta:cached:contour");
+  specs.push_back("cached:delta:interval");
   return specs;
 }
 

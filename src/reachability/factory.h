@@ -51,15 +51,25 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
 ///   cached:<spec>     sharded-LRU probe cache over <spec> (CachedOracle)
 ///   sharded:<spec>    vertex-partitioned oracle whose per-shard
 ///                     sub-indexes are built from <spec> (ShardedOracle)
+///   delta:<spec>      incremental-maintenance overlay over <spec>
+///                     (dynamic/delta_overlay.h): starts from an empty
+///                     delta; WithUpdates() snapshots absorb update
+///                     batches without rebuilding the inner index.
+///                     Uniquely among specs, the built oracle ALIASES
+///                     `g` (the search walks its adjacency), so `g`
+///                     must outlive it — other backends are
+///                     self-contained once built
 ///   file:<path>       a pre-built index persisted by
 ///                     storage::SaveReachabilityIndex; rejected (with a
 ///                     logged warning) unless its stored fingerprint
 ///                     matches `g`. The loaded oracle's name() is the
 ///                     spec it was saved under, not "file:...".
 /// Decorators nest: "cached:sharded:interval" caches a partitioned
-/// oracle, "cached:file:idx.gtpqidx" caches a loaded index. The built
-/// oracle's name() equals the spec (file: aside). Returns nullptr for
-/// malformed specs and unreadable or mismatched index files.
+/// oracle, "cached:file:idx.gtpqidx" caches a loaded index. file: is
+/// rejected beneath sharded: and delta: (see IsValidReachabilitySpec).
+/// The built oracle's name() equals the spec (file: aside). Returns
+/// nullptr for malformed specs and unreadable or mismatched index
+/// files.
 std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
     std::string_view spec, const Digraph& g);
 

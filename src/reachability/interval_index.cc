@@ -117,19 +117,14 @@ bool IntervalIndex::Reaches(NodeId from, NodeId to) const {
 
 void IntervalIndex::SaveBody(storage::Writer* w) const {
   storage::SaveSccResult(scc_, w);
-  w->WritePodVec(post_);
-  w->WriteNestedVec(intervals_);
-  w->WriteU64(total_intervals_);
+  storage::WriteFields(w, post_, intervals_, total_intervals_);
 }
 
 Result<IntervalIndex> IntervalIndex::LoadBody(storage::Reader* r) {
   IntervalIndex idx;
   GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.post_));
-  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&idx.intervals_));
-  uint64_t total = 0;
-  GTPQ_RETURN_NOT_OK(r->ReadU64(&total));
-  idx.total_intervals_ = static_cast<size_t>(total);
+  GTPQ_RETURN_NOT_OK(storage::ReadFields(r, &idx.post_, &idx.intervals_,
+                                         &idx.total_intervals_));
   if (idx.post_.size() != idx.intervals_.size()) {
     return Status::ParseError("inconsistent interval section sizes");
   }

@@ -111,23 +111,16 @@ bool Sspi::Reaches(NodeId from, NodeId to) const {
 
 void Sspi::SaveBody(storage::Writer* w) const {
   storage::SaveSccResult(scc_, w);
-  w->WritePodVec(pre_);
-  w->WritePodVec(post_);
-  w->WritePodVec(tree_parent_);
-  w->WriteNestedVec(surplus_);
-  w->WriteU64(total_surplus_);
+  storage::WriteFields(w, pre_, post_, tree_parent_, surplus_,
+                       total_surplus_);
 }
 
 Result<Sspi> Sspi::LoadBody(storage::Reader* r) {
   Sspi idx;
   GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.pre_));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.post_));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.tree_parent_));
-  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&idx.surplus_));
-  uint64_t total = 0;
-  GTPQ_RETURN_NOT_OK(r->ReadU64(&total));
-  idx.total_surplus_ = static_cast<size_t>(total);
+  GTPQ_RETURN_NOT_OK(storage::ReadFields(r, &idx.pre_, &idx.post_,
+                                         &idx.tree_parent_, &idx.surplus_,
+                                         &idx.total_surplus_));
   const size_t m = idx.pre_.size();
   if (idx.post_.size() != m || idx.tree_parent_.size() != m ||
       idx.surplus_.size() != m) {

@@ -195,29 +195,17 @@ bool ThreeHopIndex::Reaches(NodeId from, NodeId to) const {
 void ThreeHopIndex::SaveBody(storage::Writer* w) const {
   storage::SaveSccResult(scc_, w);
   storage::SaveChainCover(cover_, w);
-  w->WritePodVec(pos_);
-  w->WriteNestedVec(lout_);
-  w->WriteNestedVec(lin_);
-  w->WritePodVec(next_with_lout_);
-  w->WritePodVec(prev_with_lin_);
-  w->WriteU64(total_lout_);
-  w->WriteU64(total_lin_);
+  storage::WriteFields(w, pos_, lout_, lin_, next_with_lout_,
+                       prev_with_lin_, total_lout_, total_lin_);
 }
 
 Result<ThreeHopIndex> ThreeHopIndex::LoadBody(storage::Reader* r) {
   ThreeHopIndex idx;
   GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
   GTPQ_RETURN_NOT_OK(storage::LoadChainCover(r, &idx.cover_));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.pos_));
-  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&idx.lout_));
-  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&idx.lin_));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.next_with_lout_));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&idx.prev_with_lin_));
-  uint64_t total_lout = 0, total_lin = 0;
-  GTPQ_RETURN_NOT_OK(r->ReadU64(&total_lout));
-  GTPQ_RETURN_NOT_OK(r->ReadU64(&total_lin));
-  idx.total_lout_ = static_cast<size_t>(total_lout);
-  idx.total_lin_ = static_cast<size_t>(total_lin);
+  GTPQ_RETURN_NOT_OK(storage::ReadFields(
+      r, &idx.pos_, &idx.lout_, &idx.lin_, &idx.next_with_lout_,
+      &idx.prev_with_lin_, &idx.total_lout_, &idx.total_lin_));
   const size_t m = idx.pos_.size();
   if (idx.lout_.size() != m || idx.lin_.size() != m ||
       idx.next_with_lout_.size() != m || idx.prev_with_lin_.size() != m) {

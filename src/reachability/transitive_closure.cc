@@ -40,17 +40,13 @@ bool TransitiveClosure::Reaches(NodeId from, NodeId to) const {
 
 void TransitiveClosure::SaveBody(storage::Writer* w) const {
   storage::SaveSccResult(scc_, w);
-  w->WriteU64(words_per_row_);
-  w->WriteNestedVec(rows_);
+  storage::WriteFields(w, words_per_row_, rows_);
 }
 
 Result<TransitiveClosure> TransitiveClosure::LoadBody(storage::Reader* r) {
   TransitiveClosure tc;
   GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &tc.scc_));
-  uint64_t words = 0;
-  GTPQ_RETURN_NOT_OK(r->ReadU64(&words));
-  tc.words_per_row_ = static_cast<size_t>(words);
-  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&tc.rows_));
+  GTPQ_RETURN_NOT_OK(storage::ReadFields(r, &tc.words_per_row_, &tc.rows_));
   // One row per condensation node, wide enough for every column bit —
   // Reaches() indexes rows_[cu][cv >> 6] without further checks.
   if (tc.rows_.size() != tc.scc_.num_components ||

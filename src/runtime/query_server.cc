@@ -12,12 +12,16 @@ QueryServer::QueryServer(const DataGraph& g, QueryServerOptions options)
     : g_(g), options_(std::move(options)) {
   GTPQ_CHECK(options_.num_threads > 0);
   factory_ = SharedEngineFactory::Make(options_.engine_spec, g_,
-                                       options_.cross_names);
+                                       options_.cross_names,
+                                       options_.delta_options);
   GTPQ_CHECK(factory_ != nullptr);
+  const std::shared_ptr<const EngineSnapshot> initial =
+      factory_->snapshot();
   workers_.reserve(options_.num_threads);
   for (size_t i = 0; i < options_.num_threads; ++i) {
     auto worker = std::make_unique<Worker>();
-    worker->engine = factory_->Create();
+    worker->snap = initial;
+    worker->engine = initial->CreateEngine();
     workers_.push_back(std::move(worker));
   }
   // The pool starts after the workers so a task can never observe a
@@ -30,15 +34,20 @@ QueryServer::~QueryServer() {
   pool_.reset();
 }
 
-std::string_view QueryServer::engine_name() const {
-  return workers_.front()->engine->name();
-}
-
-QueryResult QueryServer::EvaluateOnWorker(const Gtpq& query) {
+QueryResult QueryServer::EvaluateOnWorker(
+    const Gtpq& query,
+    const std::shared_ptr<const EngineSnapshot>& snap) {
   const int index = ThreadPool::CurrentWorkerIndex();
   GTPQ_CHECK(index >= 0 &&
              static_cast<size_t>(index) < workers_.size());
   Worker& worker = *workers_[index];
+  if (worker.snap != snap) {
+    // The batch pinned a newer (or, with interleaved batches, older)
+    // epoch than this worker last served: re-stamp a cheap engine over
+    // the pinned snapshot's shared artifacts.
+    worker.engine = snap->CreateEngine();
+    worker.snap = snap;
+  }
   Timer timer;
   QueryResult result =
       worker.engine->Evaluate(query, options_.eval_options);
@@ -61,6 +70,10 @@ std::vector<QueryResult> QueryServer::EvaluateBatch(
   std::vector<QueryResult> results(queries.size());
   if (queries.empty()) return results;
 
+  // Pin one snapshot for the whole batch: queries interleaved with
+  // ApplyUpdates still all see this single epoch.
+  const std::shared_ptr<const EngineSnapshot> snap = factory_->snapshot();
+
   // Per-batch completion latch; batches from concurrent callers simply
   // interleave in the pool's queue.
   struct BatchState {
@@ -72,8 +85,8 @@ std::vector<QueryResult> QueryServer::EvaluateBatch(
   state.remaining = queries.size();
 
   for (size_t i = 0; i < queries.size(); ++i) {
-    pool_->Submit([this, &queries, &results, &state, i] {
-      results[i] = EvaluateOnWorker(queries[i]);
+    pool_->Submit([this, &queries, &results, &state, &snap, i] {
+      results[i] = EvaluateOnWorker(queries[i], snap);
       // Notify while holding the lock: the waiter owns `state` and
       // destroys it as soon as it observes remaining == 0, so the cv
       // must not be touched after the mutex is released.
@@ -91,10 +104,15 @@ std::future<QueryResult> QueryServer::Submit(Gtpq query) {
   auto promise = std::make_shared<std::promise<QueryResult>>();
   std::future<QueryResult> future = promise->get_future();
   auto shared_query = std::make_shared<Gtpq>(std::move(query));
-  pool_->Submit([this, promise, shared_query] {
-    promise->set_value(EvaluateOnWorker(*shared_query));
+  std::shared_ptr<const EngineSnapshot> snap = factory_->snapshot();
+  pool_->Submit([this, promise, shared_query, snap = std::move(snap)] {
+    promise->set_value(EvaluateOnWorker(*shared_query, snap));
   });
   return future;
+}
+
+Status QueryServer::ApplyUpdates(const UpdateBatch& batch) {
+  return factory_->ApplyUpdates(batch);
 }
 
 QueryServer::Snapshot QueryServer::stats() const {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/evaluator.h"
+#include "dynamic/graph_delta.h"
 #include "graph/data_graph.h"
 #include "query/gtpq.h"
 #include "runtime/engine_factory.h"
@@ -26,12 +27,15 @@ struct QueryServerOptions {
   std::vector<std::string> cross_names = {};
   /// Evaluation options applied to every query.
   GteaOptions eval_options = {};
+  /// Auto-compaction tuning for the incremental update path
+  /// (gtea specs; see SharedEngineFactory::ApplyUpdates).
+  DeltaOverlayOptions delta_options = {};
 };
 
 /// Concurrent batch query serving: a fixed ThreadPool whose workers
 /// each own one Evaluator, all sharing the spec's immutable index
 /// artifacts (built once by SharedEngineFactory). Correctness rests on
-/// the two invariants this PR's refactor established: oracles are
+/// the two invariants the PR-1/2 refactors established: oracles are
 /// read-only after construction with thread-confined counters and
 /// scratch, and every Evaluator keeps per-instance stats — so N
 /// workers never share mutable state, only the index.
@@ -40,25 +44,54 @@ struct QueryServerOptions {
 /// results aligned with the input order; Submit enqueues one query and
 /// returns a future. Both are safe to call from any thread, including
 /// concurrently.
+///
+/// Live updates: ApplyUpdates() folds an UpdateBatch into a new
+/// EngineSnapshot (epoch-based; see SharedEngineFactory) and is safe to
+/// call concurrently with queries. Every batch pins the snapshot that
+/// was current when it entered, so all of its queries see one
+/// consistent graph version — in-flight batches finish on the old
+/// epoch while new batches pick up the new one; readers never block
+/// the writer and vice versa. Workers re-stamp their engine lazily the
+/// first time they serve a query from a newer snapshot.
 class QueryServer {
  public:
-  /// `g` must outlive the server. Aborts (GTPQ_CHECK) on unknown
-  /// engine specs; validate with SharedEngineFactory::Make first when
-  /// the spec is untrusted.
+  /// `g` must outlive the server (it backs the epoch-0 snapshot and
+  /// remains the base graph of the incremental oracle overlay). Aborts
+  /// (GTPQ_CHECK) on unknown engine specs; validate with
+  /// SharedEngineFactory::Make first when the spec is untrusted.
   QueryServer(const DataGraph& g, QueryServerOptions options = {});
   ~QueryServer();
 
   size_t num_threads() const { return workers_.size(); }
   std::string_view engine_spec() const { return options_.engine_spec; }
-  /// Name reported by the per-worker engines ("gtea[cached:contour]").
-  std::string_view engine_name() const;
+  /// Name reported by engines stamped from the CURRENT snapshot —
+  /// "gtea[contour]" at epoch 0, "gtea[delta:contour]" once updates
+  /// wrapped the oracle.
+  std::string engine_name() const {
+    return std::string(factory_->snapshot()->engine_name());
+  }
 
   /// Evaluates the whole batch across the pool; (*results)[i] answers
-  /// queries[i]. Queries must stay alive until the call returns.
+  /// queries[i]. Queries must stay alive until the call returns. The
+  /// batch is snapshot-consistent: every query sees the epoch current
+  /// at entry.
   std::vector<QueryResult> EvaluateBatch(std::span<const Gtpq> queries);
 
   /// Enqueues one query; the future resolves when a worker answers it.
+  /// The query sees the epoch current at submit time.
   std::future<QueryResult> Submit(Gtpq query);
+
+  /// Installs a new serving snapshot with `batch` applied; queries
+  /// submitted afterwards see the new graph version. Returns the
+  /// validation error (and changes nothing) for malformed batches.
+  Status ApplyUpdates(const UpdateBatch& batch);
+
+  /// Epoch of the snapshot new queries would see (0 before any update).
+  uint64_t epoch() const { return factory_->epoch(); }
+  /// The snapshot new queries would see; pin it to inspect graph().
+  std::shared_ptr<const EngineSnapshot> snapshot() const {
+    return factory_->snapshot();
+  }
 
   /// Cumulative serving counters, aggregated across workers.
   struct Snapshot {
@@ -73,16 +106,21 @@ class QueryServer {
   Snapshot stats() const;
 
  private:
-  // Per-worker slot: engine plus its share of the serving counters,
-  // guarded by a (virtually uncontended) per-worker mutex and padded
-  // onto its own cache line.
+  // Per-worker slot: engine (bound to `snap`, re-stamped on epoch
+  // change) plus its share of the serving counters, guarded by a
+  // (virtually uncontended) per-worker mutex and padded onto its own
+  // cache line. `snap`/`engine` are only touched by the owning pool
+  // thread after construction.
   struct alignas(64) Worker {
+    std::shared_ptr<const EngineSnapshot> snap;
     std::unique_ptr<Evaluator> engine;
     mutable std::mutex mu;
     Snapshot served;
   };
 
-  QueryResult EvaluateOnWorker(const Gtpq& query);
+  QueryResult EvaluateOnWorker(
+      const Gtpq& query,
+      const std::shared_ptr<const EngineSnapshot>& snap);
 
   const DataGraph& g_;
   QueryServerOptions options_;

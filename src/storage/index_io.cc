@@ -3,6 +3,7 @@
 #include <fstream>
 #include <utility>
 
+#include "dynamic/delta_overlay.h"
 #include "reachability/cached_oracle.h"
 #include "reachability/chain_cover_index.h"
 #include "reachability/contour.h"
@@ -20,6 +21,7 @@ namespace {
 
 constexpr std::string_view kCachedPrefix = "cached:";
 constexpr std::string_view kShardedPrefix = "sharded:";
+constexpr std::string_view kDeltaPrefix = "delta:";
 
 // Offsets within the fixed file prologue (see index_io.h): magic,
 // then u32 version at 8, u32 CRC at 12, checksummed bytes from 16.
@@ -201,6 +203,15 @@ Status SaveOracleBody(const ReachabilityOracle& oracle, Writer* w) {
     sharded->SaveBody(w);
     return Status::OK();
   }
+  if (spec.rfind(kDeltaPrefix, 0) == 0) {
+    const auto* delta = dynamic_cast<const DeltaOverlayOracle*>(&oracle);
+    if (delta == nullptr) {
+      return Status::InvalidArgument("oracle named '" + std::string(spec) +
+                                     "' is not a DeltaOverlayOracle");
+    }
+    delta->SaveBody(w);
+    return Status::OK();
+  }
 
   auto save_as = [&](const auto* typed) {
     if (typed == nullptr) {
@@ -236,6 +247,12 @@ Result<std::unique_ptr<ReachabilityOracle>> LoadOracleBody(
     GTPQ_RETURN_NOT_OK(inner.status());
     return std::unique_ptr<ReachabilityOracle>(std::make_unique<CachedOracle>(
         std::shared_ptr<const ReachabilityOracle>(inner.TakeValue())));
+  }
+  if (spec.rfind(kDeltaPrefix, 0) == 0) {
+    auto delta =
+        DeltaOverlayOracle::LoadBody(spec.substr(kDeltaPrefix.size()), r);
+    GTPQ_RETURN_NOT_OK(delta.status());
+    return std::unique_ptr<ReachabilityOracle>(delta.TakeValue());
   }
   if (spec.rfind(kShardedPrefix, 0) == 0) {
     auto sharded = ShardedOracle::LoadBody(r);
@@ -313,6 +330,45 @@ Status LoadSccResult(Reader* r, SccResult* out) {
       return Status::ParseError("SCC component id out of range");
     }
   }
+  return Status::OK();
+}
+
+void SaveDigraph(const Digraph& g, Writer* w) {
+  GTPQ_CHECK(g.finalized());
+  w->WriteU64(g.NumNodes());
+  w->WriteU64(g.NumEdges());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId t : g.OutNeighbors(v)) {
+      w->WriteU32(v);
+      w->WriteU32(t);
+    }
+  }
+}
+
+Status LoadDigraph(Reader* r, Digraph* out) {
+  uint64_t num_nodes = 0, num_edges = 0;
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&num_nodes));
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&num_edges));
+  if (num_edges > r->remaining() / 8) {
+    return Status::ParseError("digraph section edge count overruns payload");
+  }
+  Digraph g(static_cast<size_t>(num_nodes));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    uint32_t from = 0, to = 0;
+    GTPQ_RETURN_NOT_OK(r->ReadU32(&from));
+    GTPQ_RETURN_NOT_OK(r->ReadU32(&to));
+    if (from >= num_nodes || to >= num_nodes) {
+      return Status::ParseError("digraph section edge out of range");
+    }
+    g.AddEdge(from, to);
+  }
+  g.Finalize();
+  if (g.NumEdges() != num_edges) {
+    // The CSR walk a save iterates is already sorted and duplicate-free,
+    // so any shrink here means the section was not produced by SaveDigraph.
+    return Status::ParseError("digraph section contains duplicate edges");
+  }
+  *out = std::move(g);
   return Status::OK();
 }
 

@@ -93,6 +93,11 @@ void SaveSccResult(const SccResult& scc, Writer* w);
 Status LoadSccResult(Reader* r, SccResult* out);
 void SaveChainCover(const ChainCover& cover, Writer* w);
 Status LoadChainCover(Reader* r, ChainCover* out);
+/// Structure-only digraph codec (node count + edge list). Used by the
+/// delta-overlay section, whose immutable base graph travels inside the
+/// index file so a loaded snapshot can keep searching the overlay.
+void SaveDigraph(const Digraph& g, Writer* w);
+Status LoadDigraph(Reader* r, Digraph* out);
 
 }  // namespace storage
 }  // namespace gtpq

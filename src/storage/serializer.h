@@ -151,6 +151,65 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// --- Field-list codecs -------------------------------------------------
+//
+// Every backend body is a flat sequence of the same three field shapes:
+// u64 scalars, POD vectors, and nested POD vectors. WriteFields /
+// ReadFields serialize such a sequence in declaration order, so a
+// backend's SaveBody/LoadBody reduce to one mirrored field list instead
+// of hand-repeated WritePodVec/ReadPodVec boilerplate. Overload
+// resolution picks the nested-vector codec over the POD one (it is more
+// specialized), and the u64 overload absorbs size_t counters.
+
+inline void WriteField(Writer* w, uint64_t v) { w->WriteU64(v); }
+template <typename T>
+void WriteField(Writer* w, const std::vector<T>& v) {
+  w->WritePodVec(v);
+}
+template <typename T>
+void WriteField(Writer* w, const std::vector<std::vector<T>>& v) {
+  w->WriteNestedVec(v);
+}
+
+/// Writes each field in order.
+template <typename... Fields>
+void WriteFields(Writer* w, const Fields&... fields) {
+  (WriteField(w, fields), ...);
+}
+
+inline Status ReadField(Reader* r, uint64_t* v) { return r->ReadU64(v); }
+/// size_t counters read through a u64 on platforms where size_t is a
+/// distinct type (e.g. unsigned long vs unsigned long long on LP64
+/// macOS); SFINAE keeps this overload out where they coincide.
+template <typename T,
+          typename = std::enable_if_t<std::is_same_v<T, size_t> &&
+                                      !std::is_same_v<size_t, uint64_t>>>
+Status ReadField(Reader* r, T* v) {
+  uint64_t raw = 0;
+  GTPQ_RETURN_NOT_OK(r->ReadU64(&raw));
+  *v = static_cast<size_t>(raw);
+  return Status::OK();
+}
+template <typename T>
+Status ReadField(Reader* r, std::vector<T>* v) {
+  return r->ReadPodVec(v);
+}
+template <typename T>
+Status ReadField(Reader* r, std::vector<std::vector<T>>* v) {
+  return r->ReadNestedVec(v);
+}
+
+/// Reads each field in order, stopping at (and returning) the first
+/// failure.
+template <typename... Fields>
+Status ReadFields(Reader* r, Fields*... fields) {
+  Status st;
+  // Left-to-right &&-fold mirrors WriteFields' order and short-circuits
+  // on the first parse error.
+  static_cast<void>(((st = ReadField(r, fields)).ok() && ...));
+  return st;
+}
+
 }  // namespace storage
 }  // namespace gtpq
 

@@ -1,10 +1,14 @@
-// gteactl — build, inspect, and verify persisted reachability indexes.
+// gteactl — build, inspect, verify, and incrementally update persisted
+// reachability indexes.
 //
 //   gteactl build   (--graph=<file> | --gen=<spec>) [--index=<spec>]
 //                   --out=<path>
 //   gteactl inspect <index-file>
 //   gteactl verify  <index-file> (--graph=<file> | --gen=<spec>)
 //                   [--probes=<n>] [--seed=<s>]
+//   gteactl apply   <index-file> --updates=<file>
+//                   (--graph=<file> | --gen=<spec>) --out=<path>
+//                   [--graph-out=<path>] [--compact]
 //
 // Graph sources:
 //   --graph=<file>  a "gtpq-graph v1" text file (graph/graph_io.h)
@@ -19,9 +23,16 @@
 // MakeReachabilityIndex spec (decorators included). `inspect` dumps the
 // validated header without parsing the payload. `verify` reloads the
 // index, enforces the graph fingerprint, and spot-checks whole
-// reachability rows against a BFS ground truth.
+// reachability rows against a BFS ground truth. `apply` replays a
+// "gtpq-updates v1" file (dynamic/update_io.h) against a saved index:
+// the index is wrapped in (or continues) a delta overlay, each batch
+// becomes a snapshot — auto-compacting past the overlay threshold or
+// forced with --compact — and the result is written as a new index
+// stamped with the updated graph's fingerprint (plus, optionally, the
+// updated graph itself via --graph-out).
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +40,8 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "dynamic/delta_overlay.h"
+#include "dynamic/update_io.h"
 #include "graph/algorithms.h"
 #include "graph/data_graph.h"
 #include "graph/generators.h"
@@ -49,6 +62,9 @@ int Usage() {
       "  gteactl inspect <index-file>\n"
       "  gteactl verify  <index-file> (--graph=<file> | --gen=<spec>) "
       "[--probes=<n>] [--seed=<s>]\n"
+      "  gteactl apply   <index-file> --updates=<file> (--graph=<file> | "
+      "--gen=<spec>)\n"
+      "                  --out=<path> [--graph-out=<path>] [--compact]\n"
       "\n"
       "generator specs: xmark:<scale> | dag:<nodes>[,<seed>[,<deg>]] |\n"
       "                 digraph:<nodes>[,<seed>[,<deg>]] | "
@@ -56,7 +72,7 @@ int Usage() {
       "index specs:     any MakeReachabilityIndex spec (contour, "
       "three_hop,\n"
       "                 interval, sspi, chain_cover, transitive_closure,\n"
-      "                 cached:<spec>, sharded:<spec>)\n");
+      "                 cached:<spec>, sharded:<spec>, delta:<spec>)\n");
   return 2;
 }
 
@@ -314,12 +330,134 @@ int RunVerify(int argc, char** argv) {
   return 0;
 }
 
+int RunApply(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string path = argv[2];
+  const auto updates_path = FlagValue(argc, argv, "--updates=");
+  const auto out = FlagValue(argc, argv, "--out=");
+  if (!updates_path.has_value() || !out.has_value() || out->empty()) {
+    std::fprintf(stderr,
+                 "apply: --updates=<file> and --out=<path> are required\n");
+    return Usage();
+  }
+  bool force_compact = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--compact") == 0) force_compact = true;
+  }
+
+  auto graph = ResolveGraph(argc, argv);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "apply: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const DataGraph& g = graph.ValueOrDie();
+
+  auto loaded = storage::LoadReachabilityIndex(path, g.graph());
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "apply: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  // Continue an existing overlay chain, or start one over the loaded
+  // immutable index (its base graph is then `g`, alive for the rest of
+  // this run).
+  std::shared_ptr<const ReachabilityOracle> oracle(loaded.TakeValue());
+  std::shared_ptr<const DeltaOverlayOracle> overlay =
+      std::dynamic_pointer_cast<const DeltaOverlayOracle>(oracle);
+  if (overlay == nullptr) {
+    overlay =
+        std::make_shared<const DeltaOverlayOracle>(oracle, &g.graph());
+  }
+  std::printf("loaded '%s' (%s): %zu pending ops\n", path.c_str(),
+              std::string(overlay->name()).c_str(), overlay->PendingOps());
+
+  auto batches = LoadUpdateBatchesFromFile(*updates_path);
+  if (!batches.ok()) {
+    std::fprintf(stderr, "apply: %s\n",
+                 batches.status().ToString().c_str());
+    return 1;
+  }
+
+  // The combined current view, accumulated across every batch — the
+  // fingerprint the new index file is stamped with.
+  GraphDelta view(g.NumNodes());
+  const uint64_t compactions_before = overlay->compactions();
+  Timer apply_timer;
+  size_t ops = 0;
+  for (size_t i = 0; i < batches->size(); ++i) {
+    const UpdateBatch& batch = (*batches)[i];
+    // The overlay validates first — it also remembers vertices retired
+    // before this run (and across compactions), which the fresh view
+    // cannot. In-place apply is fine: any failure exits immediately.
+    auto next = overlay->WithUpdates(batch);
+    if (!next.ok()) {
+      std::fprintf(stderr, "apply: batch %zu: %s\n", i,
+                   next.status().ToString().c_str());
+      return 1;
+    }
+    const Status folded = view.ApplyInPlace(g.graph(), batch);
+    if (!folded.ok()) {
+      std::fprintf(stderr, "apply: batch %zu: %s\n", i,
+                   folded.ToString().c_str());
+      return 1;
+    }
+    overlay = next.TakeValue();
+    ops += batch.NumOps();
+  }
+  if (force_compact) {
+    auto compacted = overlay->Compact();
+    if (!compacted.ok()) {
+      std::fprintf(stderr, "apply: %s\n",
+                   compacted.status().ToString().c_str());
+      return 1;
+    }
+    overlay = compacted.TakeValue();
+  }
+  const double apply_ms = apply_timer.ElapsedMillis();
+
+  const DataGraph updated = view.MaterializeDataGraph(g);
+  const Status saved =
+      storage::SaveReachabilityIndex(*overlay, updated.graph(), *out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "apply: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  if (auto graph_out = FlagValue(argc, argv, "--graph-out=")) {
+    const Status graph_saved = SaveDataGraphToFile(updated, *graph_out);
+    if (!graph_saved.ok()) {
+      std::fprintf(stderr, "apply: %s\n", graph_saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote updated graph to %s\n", graph_out->c_str());
+  }
+
+  std::printf("applied %zu batches (%zu ops) in %.1f ms, %llu "
+              "compaction(s)\n",
+              batches->size(), ops, apply_ms,
+              static_cast<unsigned long long>(overlay->compactions() -
+                                              compactions_before));
+  std::printf("graph          : %zu -> %zu nodes, %zu -> %zu edges\n",
+              g.NumNodes(), updated.NumNodes(), g.NumEdges(),
+              updated.NumEdges());
+  std::printf("pending ops    : %zu\n", overlay->PendingOps());
+  auto info = storage::InspectReachabilityIndex(*out);
+  if (!info.ok()) {
+    std::fprintf(stderr, "apply: wrote an unreadable file?! %s\n",
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  PrintInfo(info.ValueOrDie());
+  std::printf("wrote %s\n", out->c_str());
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string_view command = argv[1];
   if (command == "build") return RunBuild(argc, argv);
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "verify") return RunVerify(argc, argv);
+  if (command == "apply") return RunApply(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return Usage();
 }

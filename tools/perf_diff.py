@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json artifacts between two runs and flag regressions.
+
+Usage: perf_diff.py <baseline-dir> <current-dir> [--threshold=0.20]
+
+Both directories hold the machine-readable reports the bench binaries
+emit via --json= (bench/harness.h JsonReport: {"bench": ..., "rows":
+[{...}]}). Rows are matched by their identity fields (every
+string-valued field plus well-known config integers such as "threads"),
+then metric fields are compared:
+
+  * throughput metrics (field name containing "per_sec", "qps" or
+    "throughput"): a drop past the threshold (default 20%) is flagged;
+  * latency metrics (field name ending in "_ms" or "_time"): a rise
+    past threshold + 5 points is flagged.
+
+Warn-only by design: findings are printed as GitHub "::warning::"
+annotations and the exit code stays 0 (pass --strict to fail instead),
+so a noisy CI runner can never block a merge on timing jitter. Missing
+baselines (first run on a branch) are reported and skipped.
+"""
+
+import glob
+import json
+import os
+import sys
+
+KEY_INT_FIELDS = {"threads", "rounds", "ops_per_round", "iterations_cap"}
+THROUGHPUT_MARKERS = ("per_sec", "qps", "throughput")
+TIME_SUFFIXES = ("_ms", "_time")
+
+
+def row_key(row):
+    parts = []
+    for key, value in sorted(row.items()):
+        if isinstance(value, str) or key in KEY_INT_FIELDS:
+            parts.append((key, value))
+    return tuple(parts)
+
+
+def index_rows(report):
+    rows = {}
+    for row in report.get("rows", []):
+        key = row_key(row)
+        # Preserve duplicates (repeated sweeps) by occurrence index.
+        occurrence = 0
+        while (key, occurrence) in rows:
+            occurrence += 1
+        rows[(key, occurrence)] = row
+    return rows
+
+
+def is_throughput(field):
+    return any(marker in field for marker in THROUGHPUT_MARKERS)
+
+
+def is_time(field):
+    return field.endswith(TIME_SUFFIXES)
+
+
+def compare_reports(name, baseline, current, threshold):
+    warnings = []
+    base_rows = index_rows(baseline)
+    for key, row in index_rows(current).items():
+        base = base_rows.get(key)
+        if base is None:
+            continue
+        label = ", ".join(f"{k}={v}" for k, v in key[0]) or name
+        for field, value in row.items():
+            old = base.get(field)
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not isinstance(old, (int, float))
+                or old <= 0
+                or value <= 0
+            ):
+                continue
+            if is_throughput(field) and value < old * (1.0 - threshold):
+                warnings.append(
+                    f"{name}: {label}: {field} fell {100 * (1 - value / old):.0f}% "
+                    f"({old:.6g} -> {value:.6g})"
+                )
+            elif is_time(field) and value > old * (1.0 + threshold + 0.05):
+                warnings.append(
+                    f"{name}: {label}: {field} rose {100 * (value / old - 1):.0f}% "
+                    f"({old:.6g} -> {value:.6g})"
+                )
+    return warnings
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline_dir, current_dir = args
+    threshold = 0.20
+    strict = False
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg == "--strict":
+            strict = True
+
+    current_files = sorted(glob.glob(os.path.join(current_dir, "BENCH_*.json")))
+    if not current_files:
+        print(f"perf-diff: no BENCH_*.json in {current_dir}", file=sys.stderr)
+        return 2
+
+    all_warnings = []
+    compared = 0
+    for current_path in current_files:
+        name = os.path.basename(current_path)
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"perf-diff: no baseline for {name}, skipping")
+            continue
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        with open(current_path) as fh:
+            current = json.load(fh)
+        compared += 1
+        all_warnings.extend(compare_reports(name, baseline, current, threshold))
+
+    if compared == 0:
+        print("perf-diff: no baselines found (first run?); nothing compared")
+        return 0
+    if not all_warnings:
+        print(f"perf-diff: {compared} report(s) compared, no regressions "
+              f"past {100 * threshold:.0f}%")
+        return 0
+    for warning in all_warnings:
+        print(f"::warning title=bench regression::{warning}")
+    print(f"perf-diff: {len(all_warnings)} possible regression(s) across "
+          f"{compared} report(s) (warn-only)")
+    return 1 if strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
