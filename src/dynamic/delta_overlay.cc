@@ -178,6 +178,139 @@ bool DeltaOverlayOracle::SearchReaches(NodeId from, NodeId to) const {
   return false;
 }
 
+// --- Delta-aware set reachability --------------------------------------
+
+namespace {
+
+/// Wrapper summary: the raw member list for pairwise fallbacks plus the
+/// inner index's native summary over the members that live in the base
+/// id space (added vertices cannot appear in any base-index structure).
+class DeltaSetSummary : public ReachabilityOracle::SetSummary {
+ public:
+  std::vector<NodeId> members;
+  std::unique_ptr<ReachabilityOracle::SetSummary> inner;  // may be null
+};
+
+const DeltaSetSummary& AsDelta(const ReachabilityOracle::SetSummary& s) {
+  return static_cast<const DeltaSetSummary&>(s);
+}
+
+/// Runs an inner-index operation with decorator accounting: the inner
+/// elements visited roll up into the overlay's stats slot (the
+/// set-probe sibling of DeltaOverlayOracle::InnerReaches).
+template <typename Fn>
+auto WithInnerStats(const DeltaOverlayOracle& oracle, Fn&& fn) {
+  const uint64_t before = oracle.inner().stats().elements_looked_up;
+  auto result = fn();
+  oracle.stats().elements_looked_up +=
+      oracle.inner().stats().elements_looked_up - before;
+  return result;
+}
+
+/// Shared summary construction for both probe directions.
+std::unique_ptr<DeltaSetSummary> MakeDeltaSummary(
+    const DeltaOverlayOracle& oracle, std::span<const NodeId> members,
+    bool targets) {
+  auto summary = std::make_unique<DeltaSetSummary>();
+  summary->members.assign(members.begin(), members.end());
+  const NodeId nb = static_cast<NodeId>(oracle.delta().base_nodes());
+  std::vector<NodeId> base_members;
+  for (NodeId m : members) {
+    if (m < nb) base_members.push_back(m);
+  }
+  if (!base_members.empty()) {
+    summary->inner = WithInnerStats(oracle, [&] {
+      return targets ? oracle.inner().SummarizeTargets(base_members)
+                     : oracle.inner().SummarizeSources(base_members);
+    });
+  }
+  return summary;
+}
+
+/// Shared probe core. `downward` distinguishes ReachesSet (v reaches a
+/// member?) from SetReaches (a member reaches v?). Regime proofs mirror
+/// Reaches(): adds keep base paths alive, so a positive inner answer
+/// stands; without added edges nothing new is reachable, so a negative
+/// inner answer stands (vertices outside the base id space only ever
+/// touch added edges).
+bool DeltaSetProbe(const DeltaOverlayOracle& oracle, NodeId v,
+                   const DeltaSetSummary& summary, bool downward) {
+  ++oracle.stats().queries;
+  const GraphDelta& delta = oracle.delta();
+  if (v >= delta.NumNodes() || summary.members.empty()) return false;
+
+  const NodeId nb = static_cast<NodeId>(delta.base_nodes());
+  bool inner_hit = false;
+  if (v < nb && summary.inner != nullptr) {
+    inner_hit = WithInnerStats(oracle, [&] {
+      return downward ? oracle.inner().ReachesSet(v, *summary.inner)
+                      : oracle.inner().SetReaches(*summary.inner, v);
+    });
+  }
+  if (delta.empty()) return inner_hit;
+  if (delta.NumRemovedEdges() == 0 && inner_hit) return true;
+  if (delta.NumAddedEdges() == 0 && !inner_hit) return false;
+  for (NodeId m : summary.members) {
+    if (downward ? oracle.Reaches(v, m) : oracle.Reaches(m, v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+DeltaOverlayOracle::SummarizeTargets(std::span<const NodeId> members) const {
+  return MakeDeltaSummary(*this, members, /*targets=*/true);
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+DeltaOverlayOracle::SummarizeSources(std::span<const NodeId> members) const {
+  return MakeDeltaSummary(*this, members, /*targets=*/false);
+}
+
+bool DeltaOverlayOracle::ReachesSet(NodeId from,
+                                    const SetSummary& targets) const {
+  return DeltaSetProbe(*this, from, AsDelta(targets), /*downward=*/true);
+}
+
+bool DeltaOverlayOracle::SetReaches(const SetSummary& sources,
+                                    NodeId to) const {
+  return DeltaSetProbe(*this, to, AsDelta(sources), /*downward=*/false);
+}
+
+std::unique_ptr<ReachabilityOracle::SetSummary>
+DeltaOverlayOracle::PrepareSuccessorTargets(
+    std::span<const NodeId> targets) const {
+  auto summary = std::make_unique<DeltaSetSummary>();
+  summary->members.assign(targets.begin(), targets.end());
+  // Indices returned by SuccessorsAmong are positions in the prepared
+  // list, so the inner preparation must cover the EXACT same list —
+  // only sound when the delta cannot shift any answer.
+  if (delta_.empty()) {
+    summary->inner = WithInnerStats(
+        *this, [&] { return inner_->PrepareSuccessorTargets(targets); });
+  }
+  return summary;
+}
+
+void DeltaOverlayOracle::SuccessorsAmong(NodeId from,
+                                         const SetSummary& targets,
+                                         std::vector<uint32_t>* out) const {
+  const DeltaSetSummary& summary = AsDelta(targets);
+  if (summary.inner != nullptr) {
+    WithInnerStats(*this, [&] {
+      inner_->SuccessorsAmong(from, *summary.inner, out);
+      return 0;
+    });
+    return;
+  }
+  for (uint32_t i = 0; i < summary.members.size(); ++i) {
+    if (Reaches(from, summary.members[i])) out->push_back(i);
+  }
+}
+
 bool DeltaOverlayOracle::ShouldCompact() const {
   const size_t threshold = std::max(
       options_.min_compact_ops,

@@ -70,6 +70,28 @@ class DeltaOverlayOracle : public ReachabilityOracle {
   std::string_view name() const override { return name_; }
   bool Reaches(NodeId from, NodeId to) const override;
 
+  /// Delta-aware set reachability: summaries wrap the inner index's
+  /// NATIVE set summaries over the base-id members, so a set probe
+  /// costs one batched inner probe wherever a regime proof applies —
+  /// empty delta (delegate outright), insert-only (a positive inner
+  /// answer is a proof), delete-only (a negative inner answer is a
+  /// proof) — and only the residual cases fall back to pairwise
+  /// Reaches() with its memoized prefilters. Native probes bump
+  /// IndexStats::queries ONCE per set probe (the pairwise defaults
+  /// bump it per member), which is what the unit tests assert.
+  std::unique_ptr<SetSummary> SummarizeTargets(
+      std::span<const NodeId> members) const override;
+  std::unique_ptr<SetSummary> SummarizeSources(
+      std::span<const NodeId> members) const override;
+  bool ReachesSet(NodeId from, const SetSummary& targets) const override;
+  bool SetReaches(const SetSummary& sources, NodeId to) const override;
+  /// Successor scans delegate to the inner index verbatim when the
+  /// delta is empty (post-compaction snapshots); otherwise pairwise.
+  std::unique_ptr<SetSummary> PrepareSuccessorTargets(
+      std::span<const NodeId> targets) const override;
+  void SuccessorsAmong(NodeId from, const SetSummary& targets,
+                       std::vector<uint32_t>* out) const override;
+
   const ReachabilityOracle& inner() const { return *inner_; }
   const Digraph& base_graph() const { return *base_; }
   const GraphDelta& delta() const { return delta_; }

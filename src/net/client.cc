@@ -1,0 +1,302 @@
+#include "net/client.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "dynamic/update_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#define GTPQ_NET_CLIENT_POSIX 1
+#endif
+
+namespace gtpq {
+namespace net {
+
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  const std::string host_part =
+      colon == std::string::npos ? "127.0.0.1" : spec.substr(0, colon);
+  const std::string port_part =
+      colon == std::string::npos ? spec : spec.substr(colon + 1);
+  char* end = nullptr;
+  const unsigned long value = std::strtoul(port_part.c_str(), &end, 10);
+  if (port_part.empty() || host_part.empty() ||
+      end != port_part.c_str() + port_part.size() || value == 0 ||
+      value > 65535) {
+    return false;
+  }
+  *host = host_part;
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+
+#if defined(GTPQ_NET_CLIENT_POSIX)
+
+namespace {
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+}  // namespace
+
+NetClient::~NetClient() { Close(); }
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  parked_.clear();
+}
+
+Status NetClient::Connect(const std::string& host, uint16_t port,
+                          WireLimits limits) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  limits_ = limits;
+  decoder_ = FrameDecoder(limits);
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("need a numeric IPv4 host, got: " +
+                                   host);
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status st = Errno("connect " + host + ":" + std::to_string(port));
+    Close();
+    return st;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  auto hello = RoundTrip(FrameType::kHello, EncodeHello(),
+                         FrameType::kHelloOk);
+  if (!hello.ok()) {
+    Close();
+    return hello.status();
+  }
+  const Status st = DecodeHelloOk(*hello, &server_info_);
+  if (!st.ok()) Close();
+  return st;
+}
+
+Status NetClient::SendFrame(FrameType type, uint64_t request_id,
+                            std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (payload.size() + kFrameOverhead > limits_.max_frame_bytes) {
+    return Status::OutOfRange(
+        "request payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(limits_.max_frame_bytes) +
+        "-byte frame limit");
+  }
+  std::string bytes;
+  EncodeFrame(type, request_id, payload, &bytes);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<Frame> NetClient::ReadFrame() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  while (true) {
+    auto frame = decoder_.Next();
+    if (!frame.ok()) return frame.status();
+    if (frame->has_value()) return std::move(**frame);
+    char buf[64 * 1024];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return Status::Internal("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    decoder_.Append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<Frame> NetClient::Receive() {
+  if (!parked_.empty()) {
+    Frame frame = std::move(parked_.front());
+    parked_.pop_front();
+    return frame;
+  }
+  return ReadFrame();
+}
+
+Result<Frame> NetClient::WaitFor(uint64_t request_id) {
+  for (auto it = parked_.begin(); it != parked_.end(); ++it) {
+    if (it->request_id == request_id) {
+      Frame frame = std::move(*it);
+      parked_.erase(it);
+      return frame;
+    }
+  }
+  while (true) {
+    auto frame = ReadFrame();
+    if (!frame.ok()) return frame.status();
+    if (frame->request_id == request_id) return frame;
+    parked_.push_back(std::move(*frame));
+  }
+}
+
+Result<std::string> NetClient::RoundTrip(FrameType type,
+                                         std::string_view payload,
+                                         FrameType expect) {
+  const uint64_t id = next_request_id_++;
+  GTPQ_RETURN_NOT_OK(SendFrame(type, id, payload));
+  auto frame = WaitFor(id);
+  if (!frame.ok()) return frame.status();
+  if (frame->type == FrameType::kError) {
+    return DecodeError(frame->payload);
+  }
+  if (frame->type != expect) {
+    return Status::Internal(std::string("expected ") +
+                            FrameTypeName(expect) + " response, got " +
+                            FrameTypeName(frame->type));
+  }
+  return std::move(frame->payload);
+}
+
+Result<WireResult> NetClient::Query(const std::string& text,
+                                    uint64_t result_limit) {
+  QueryRequest request;
+  request.result_limit = result_limit;
+  request.text = text;
+  auto payload = RoundTrip(FrameType::kQuery,
+                           EncodeQueryRequest(request), FrameType::kResult);
+  if (!payload.ok()) return payload.status();
+  WireResult out;
+  GTPQ_RETURN_NOT_OK(DecodeResult(*payload, &out));
+  return out;
+}
+
+Result<WireBatchResult> NetClient::QueryBatch(
+    const std::vector<std::string>& texts, uint64_t result_limit) {
+  BatchRequest request;
+  request.result_limit = result_limit;
+  request.texts = texts;
+  auto payload =
+      RoundTrip(FrameType::kBatch, EncodeBatchRequest(request),
+                FrameType::kBatchResult);
+  if (!payload.ok()) return payload.status();
+  WireBatchResult out;
+  GTPQ_RETURN_NOT_OK(DecodeBatchResult(*payload, &out));
+  return out;
+}
+
+Result<ApplyOk> NetClient::ApplyUpdates(const std::string& updates_text) {
+  auto payload = RoundTrip(FrameType::kApplyUpdates, updates_text,
+                           FrameType::kApplyOk);
+  if (!payload.ok()) return payload.status();
+  ApplyOk out;
+  GTPQ_RETURN_NOT_OK(DecodeApplyOk(*payload, &out));
+  return out;
+}
+
+Result<ApplyOk> NetClient::ApplyUpdates(std::span<const UpdateBatch> batches) {
+  std::ostringstream text;
+  GTPQ_RETURN_NOT_OK(SaveUpdateBatches(batches, &text));
+  return ApplyUpdates(text.str());
+}
+
+Result<ServingStats> NetClient::Stats() {
+  auto payload = RoundTrip(FrameType::kStats, std::string_view(),
+                           FrameType::kStatsResult);
+  if (!payload.ok()) return payload.status();
+  ServingStats out;
+  GTPQ_RETURN_NOT_OK(DecodeServingStats(*payload, &out));
+  return out;
+}
+
+Result<uint64_t> NetClient::SendQuery(const std::string& text,
+                                      uint64_t result_limit) {
+  QueryRequest request;
+  request.result_limit = result_limit;
+  request.text = text;
+  const uint64_t id = next_request_id_++;
+  GTPQ_RETURN_NOT_OK(
+      SendFrame(FrameType::kQuery, id, EncodeQueryRequest(request)));
+  return id;
+}
+
+Result<uint64_t> NetClient::SendBatch(const std::vector<std::string>& texts,
+                                      uint64_t result_limit) {
+  BatchRequest request;
+  request.result_limit = result_limit;
+  request.texts = texts;
+  const uint64_t id = next_request_id_++;
+  GTPQ_RETURN_NOT_OK(
+      SendFrame(FrameType::kBatch, id, EncodeBatchRequest(request)));
+  return id;
+}
+
+#else  // !GTPQ_NET_CLIENT_POSIX
+
+NetClient::~NetClient() = default;
+void NetClient::Close() {}
+Status NetClient::Connect(const std::string&, uint16_t, WireLimits) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Status NetClient::SendFrame(FrameType, uint64_t, std::string_view) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<Frame> NetClient::ReadFrame() {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<Frame> NetClient::Receive() { return ReadFrame(); }
+Result<Frame> NetClient::WaitFor(uint64_t) { return ReadFrame(); }
+Result<std::string> NetClient::RoundTrip(FrameType, std::string_view,
+                                         FrameType) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<WireResult> NetClient::Query(const std::string&, uint64_t) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<WireBatchResult> NetClient::QueryBatch(
+    const std::vector<std::string>&, uint64_t) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<ApplyOk> NetClient::ApplyUpdates(const std::string&) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<ApplyOk> NetClient::ApplyUpdates(std::span<const UpdateBatch>) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<ServingStats> NetClient::Stats() {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<uint64_t> NetClient::SendQuery(const std::string&, uint64_t) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<uint64_t> NetClient::SendBatch(const std::vector<std::string>&,
+                                      uint64_t) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+
+#endif  // GTPQ_NET_CLIENT_POSIX
+
+}  // namespace net
+}  // namespace gtpq

@@ -1,0 +1,102 @@
+#ifndef GTPQ_NET_CLIENT_H_
+#define GTPQ_NET_CLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dynamic/graph_delta.h"
+#include "net/wire.h"
+
+namespace gtpq {
+namespace net {
+
+/// Blocking gtpq-wire v1 client over one TCP connection, shared by the
+/// gteactl query/apply subcommands, bench_net_throughput, and the
+/// socket-level tests.
+///
+/// Two usage styles:
+///  * synchronous — Query/QueryBatch/ApplyUpdates/Stats send one
+///    request and wait for its response (correlated by request id;
+///    responses to other outstanding requests are parked, so the sync
+///    calls compose with pipelining);
+///  * pipelined — SendQuery/SendBatch enqueue without waiting and
+///    return the request id; Receive() yields the next response frame
+///    (parked first, then off the socket), which the caller correlates
+///    via Frame::request_id.
+///
+/// One NetClient is thread-confined. Open several clients for
+/// concurrent load (see bench_net_throughput).
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects to a numeric IPv4 host ("127.0.0.1") and performs the
+  /// HELLO handshake; server_info() is valid afterwards.
+  Status Connect(const std::string& host, uint16_t port,
+                 WireLimits limits = {});
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// HELLO_OK fields captured at Connect (engine, epoch, graph size).
+  const HelloOk& server_info() const { return server_info_; }
+
+  // --- Synchronous calls ----------------------------------------------
+
+  /// `text` is the query/query_parser.h line format; result_limit 0
+  /// defers to the server's configured cap.
+  Result<WireResult> Query(const std::string& text,
+                           uint64_t result_limit = 0);
+  Result<WireBatchResult> QueryBatch(const std::vector<std::string>& texts,
+                                     uint64_t result_limit = 0);
+  /// Applies "gtpq-updates v1" text (dynamic/update_io.h) atomically
+  /// batch by batch on the server's live snapshot chain.
+  Result<ApplyOk> ApplyUpdates(const std::string& updates_text);
+  Result<ApplyOk> ApplyUpdates(std::span<const UpdateBatch> batches);
+  Result<ServingStats> Stats();
+
+  // --- Pipelined calls ------------------------------------------------
+
+  /// Sends without waiting; returns the request id to correlate the
+  /// eventual response.
+  Result<uint64_t> SendQuery(const std::string& text,
+                             uint64_t result_limit = 0);
+  Result<uint64_t> SendBatch(const std::vector<std::string>& texts,
+                             uint64_t result_limit = 0);
+  /// Next response frame: parked responses first, then a blocking read.
+  Result<Frame> Receive();
+
+ private:
+  Status SendFrame(FrameType type, uint64_t request_id,
+                   std::string_view payload);
+  /// Blocking read of the response carrying `request_id`; responses to
+  /// other requests are parked for later Receive() calls.
+  Result<Frame> WaitFor(uint64_t request_id);
+  /// Send + WaitFor + unwrap: an ERROR frame becomes its carried
+  /// status, a type other than `expect` a protocol error.
+  Result<std::string> RoundTrip(FrameType type, std::string_view payload,
+                                FrameType expect);
+  Result<Frame> ReadFrame();
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  WireLimits limits_;
+  FrameDecoder decoder_;
+  std::deque<Frame> parked_;
+  HelloOk server_info_;
+};
+
+/// Parses "host:port" (or a bare "port", host defaulting to
+/// 127.0.0.1) — the shared syntax of every --connect= flag.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port);
+
+}  // namespace net
+}  // namespace gtpq
+
+#endif  // GTPQ_NET_CLIENT_H_

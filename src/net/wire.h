@@ -1,0 +1,183 @@
+#ifndef GTPQ_NET_WIRE_H_
+#define GTPQ_NET_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/eval_types.h"
+#include "runtime/query_server.h"
+
+namespace gtpq {
+namespace net {
+
+/// "gtpq-wire v1": the length-prefixed binary protocol the network
+/// front-end (net/server.h) speaks. Every frame is
+///
+///   u32 length       bytes that follow (type + request id + payload
+///                    + trailer), bounds-checked against
+///                    WireLimits::max_frame_bytes before any allocation
+///   u8  type         FrameType
+///   u64 request_id   caller-chosen correlation id, echoed verbatim in
+///                    the response; responses may arrive out of order
+///   ...              payload (length - 13 bytes), per-type layout below
+///   u32 crc32        storage::Crc32 over [type, request_id, payload]
+///
+/// all little-endian via the storage Writer/Reader primitives, so the
+/// codec shares its byte order, bounds checking, and checksum flavour
+/// with the .gtpqidx on-disk format.
+///
+/// Request payloads:
+///   HELLO          u32 magic "GTPW", u32 version
+///   QUERY          u64 result_limit, string query text
+///                  (query/query_parser.h line format)
+///   BATCH          u64 result_limit, u32 count, count query strings
+///   APPLY_UPDATES  string "gtpq-updates v1" text (dynamic/update_io.h)
+///   STATS          empty
+///
+/// Response payloads (type = request type | 0x80, or ERROR):
+///   HELLO_OK       u32 magic, u32 version, u64 epoch, u64 graph nodes,
+///                  string engine name
+///   RESULT         u64 epoch, QueryResult (EncodeQueryResult)
+///   BATCH_RESULT   u64 epoch, u32 count, count QueryResults
+///   APPLY_OK       u64 epoch, u64 batches applied
+///   STATS_RESULT   ServingStats (EncodeServingStats)
+///   ERROR          u8 StatusCode, string message
+inline constexpr uint32_t kWireMagic = 0x57505447;  // "GTPW" LE
+inline constexpr uint32_t kWireVersion = 1;
+
+/// Frame header bytes after the length prefix: type + request id +
+/// crc trailer.
+inline constexpr size_t kFrameOverhead = 1 + 8 + 4;
+
+enum class FrameType : uint8_t {
+  kHello = 0x01,
+  kQuery = 0x02,
+  kBatch = 0x03,
+  kApplyUpdates = 0x04,
+  kStats = 0x05,
+
+  kError = 0x7f,
+  kHelloOk = 0x81,
+  kResult = 0x82,
+  kBatchResult = 0x83,
+  kApplyOk = 0x84,
+  kStatsResult = 0x85,
+};
+
+/// True for the five request (client -> server) frame types.
+bool IsRequestType(uint8_t type);
+/// True for any frame type defined by gtpq-wire v1.
+bool IsKnownType(uint8_t type);
+const char* FrameTypeName(FrameType type);
+
+/// Decoder bounds. Oversized declared lengths are rejected before any
+/// buffer grows, so a hostile or corrupt peer cannot balloon memory.
+struct WireLimits {
+  size_t max_frame_bytes = 16u << 20;
+  /// Queries per BATCH frame (admission control, not format).
+  uint32_t max_batch_queries = 4096;
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Appends one encoded frame to `*out` (length prefix, header, payload,
+/// CRC trailer).
+void EncodeFrame(FrameType type, uint64_t request_id,
+                 std::string_view payload, std::string* out);
+
+/// Incremental frame decoder over one connection's byte stream. Append
+/// received bytes, then call Next() until it yields nullopt (need more
+/// bytes). A decode error (oversized length, unknown type, CRC
+/// mismatch) is FATAL for the stream: framing can no longer be
+/// trusted, so the caller must close the connection.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(WireLimits limits = {}) : limits_(limits) {}
+
+  void Append(const char* data, size_t len) { buf_.append(data, len); }
+
+  /// One complete frame, nullopt when more bytes are needed, or a
+  /// ParseError that invalidates the stream.
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buf_.size() - consumed_; }
+
+ private:
+  WireLimits limits_;
+  std::string buf_;
+  size_t consumed_ = 0;
+};
+
+// --- Payload codecs ----------------------------------------------------
+
+std::string EncodeHello();
+/// Validates magic + version of a HELLO (or HELLO_OK prefix).
+Status DecodeHello(std::string_view payload);
+
+struct HelloOk {
+  uint64_t epoch = 0;
+  uint64_t graph_nodes = 0;
+  std::string engine;
+};
+std::string EncodeHelloOk(const HelloOk& hello);
+Status DecodeHelloOk(std::string_view payload, HelloOk* out);
+
+struct QueryRequest {
+  uint64_t result_limit = 0;
+  std::string text;
+};
+std::string EncodeQueryRequest(const QueryRequest& request);
+Status DecodeQueryRequest(std::string_view payload, QueryRequest* out);
+
+struct BatchRequest {
+  uint64_t result_limit = 0;
+  std::vector<std::string> texts;
+};
+std::string EncodeBatchRequest(const BatchRequest& request);
+Status DecodeBatchRequest(std::string_view payload, const WireLimits& limits,
+                          BatchRequest* out);
+
+struct WireResult {
+  uint64_t epoch = 0;
+  QueryResult result;
+};
+std::string EncodeResult(const WireResult& result);
+Status DecodeResult(std::string_view payload, WireResult* out);
+
+struct WireBatchResult {
+  uint64_t epoch = 0;
+  std::vector<QueryResult> results;
+};
+std::string EncodeBatchResult(const WireBatchResult& result);
+Status DecodeBatchResult(std::string_view payload, WireBatchResult* out);
+
+struct ApplyOk {
+  uint64_t epoch = 0;
+  uint64_t batches_applied = 0;
+};
+std::string EncodeApplyOk(const ApplyOk& apply);
+Status DecodeApplyOk(std::string_view payload, ApplyOk* out);
+
+std::string EncodeServingStats(const ServingStats& stats);
+Status DecodeServingStats(std::string_view payload, ServingStats* out);
+
+/// ERROR payload round trip; encoding an OK status is a programming
+/// error. DecodeError returns the CARRIED status on success (never OK)
+/// and a ParseError when the payload itself is malformed.
+std::string EncodeError(const Status& status);
+Status DecodeError(std::string_view payload);
+
+}  // namespace net
+}  // namespace gtpq
+
+#endif  // GTPQ_NET_WIRE_H_

@@ -36,7 +36,8 @@ QueryServer::~QueryServer() {
 
 QueryResult QueryServer::EvaluateOnWorker(
     const Gtpq& query,
-    const std::shared_ptr<const EngineSnapshot>& snap) {
+    const std::shared_ptr<const EngineSnapshot>& snap,
+    const GteaOptions& options) {
   const int index = ThreadPool::CurrentWorkerIndex();
   GTPQ_CHECK(index >= 0 &&
              static_cast<size_t>(index) < workers_.size());
@@ -49,8 +50,7 @@ QueryResult QueryServer::EvaluateOnWorker(
     worker.snap = snap;
   }
   Timer timer;
-  QueryResult result =
-      worker.engine->Evaluate(query, options_.eval_options);
+  QueryResult result = worker.engine->Evaluate(query, options);
   const double elapsed_ms = timer.ElapsedMillis();
   const EngineStats& stats = worker.engine->stats();
   {
@@ -66,13 +66,24 @@ QueryResult QueryServer::EvaluateOnWorker(
 }
 
 std::vector<QueryResult> QueryServer::EvaluateBatch(
-    std::span<const Gtpq> queries) {
+    std::span<const Gtpq> queries, BatchInfo* info) {
+  return EvaluateBatch(queries, info, options_.eval_options);
+}
+
+std::vector<QueryResult> QueryServer::EvaluateBatch(
+    std::span<const Gtpq> queries, BatchInfo* info,
+    const GteaOptions& options) {
+  Timer wall;
   std::vector<QueryResult> results(queries.size());
-  if (queries.empty()) return results;
 
   // Pin one snapshot for the whole batch: queries interleaved with
   // ApplyUpdates still all see this single epoch.
   const std::shared_ptr<const EngineSnapshot> snap = factory_->snapshot();
+  if (info != nullptr) {
+    info->epoch = snap->epoch();
+    info->wall_ms = 0;
+  }
+  if (queries.empty()) return results;
 
   // Per-batch completion latch; batches from concurrent callers simply
   // interleave in the pool's queue.
@@ -85,8 +96,8 @@ std::vector<QueryResult> QueryServer::EvaluateBatch(
   state.remaining = queries.size();
 
   for (size_t i = 0; i < queries.size(); ++i) {
-    pool_->Submit([this, &queries, &results, &state, &snap, i] {
-      results[i] = EvaluateOnWorker(queries[i], snap);
+    pool_->Submit([this, &queries, &results, &state, &snap, &options, i] {
+      results[i] = EvaluateOnWorker(queries[i], snap, options);
       // Notify while holding the lock: the waiter owns `state` and
       // destroys it as soon as it observes remaining == 0, so the cv
       // must not be touched after the mutex is released.
@@ -97,6 +108,8 @@ std::vector<QueryResult> QueryServer::EvaluateBatch(
   }
   std::unique_lock<std::mutex> lock(state.mu);
   state.cv.wait(lock, [&state] { return state.remaining == 0; });
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  if (info != nullptr) info->wall_ms = wall.ElapsedMillis();
   return results;
 }
 
@@ -106,13 +119,16 @@ std::future<QueryResult> QueryServer::Submit(Gtpq query) {
   auto shared_query = std::make_shared<Gtpq>(std::move(query));
   std::shared_ptr<const EngineSnapshot> snap = factory_->snapshot();
   pool_->Submit([this, promise, shared_query, snap = std::move(snap)] {
-    promise->set_value(EvaluateOnWorker(*shared_query, snap));
+    promise->set_value(
+        EvaluateOnWorker(*shared_query, snap, options_.eval_options));
   });
   return future;
 }
 
 Status QueryServer::ApplyUpdates(const UpdateBatch& batch) {
-  return factory_->ApplyUpdates(batch);
+  const Status st = factory_->ApplyUpdates(batch);
+  if (st.ok()) updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  return st;
 }
 
 QueryServer::Snapshot QueryServer::stats() const {
@@ -127,6 +143,23 @@ QueryServer::Snapshot QueryServer::stats() const {
     total.busy_ms += worker->served.busy_ms;
   }
   return total;
+}
+
+ServingStats QueryServer::serving_stats() const {
+  ServingStats out;
+  out.engine = engine_name();
+  out.epoch = epoch();
+  out.threads = num_threads();
+  out.batches = batches_.load(std::memory_order_relaxed);
+  out.updates_applied = updates_applied_.load(std::memory_order_relaxed);
+  const Snapshot counters = stats();
+  out.queries = counters.queries;
+  out.input_nodes = counters.input_nodes;
+  out.index_lookups = counters.index_lookups;
+  out.intermediate_size = counters.intermediate_size;
+  out.join_ops = counters.join_ops;
+  out.busy_ms = counters.busy_ms;
+  return out;
 }
 
 }  // namespace gtpq

@@ -1,6 +1,7 @@
 #ifndef GTPQ_RUNTIME_QUERY_SERVER_H_
 #define GTPQ_RUNTIME_QUERY_SERVER_H_
 
+#include <atomic>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -16,6 +17,29 @@
 #include "runtime/thread_pool.h"
 
 namespace gtpq {
+
+/// One coherent picture of a QueryServer's serving state: identity
+/// (engine, pool size), the epoch new queries would see, and the
+/// cumulative work counters — everything the STATS wire frame and the
+/// bench reporters need, gathered in ONE call so the numbers cannot
+/// drift apart across piecemeal accessors.
+struct ServingStats {
+  std::string engine;
+  uint64_t epoch = 0;
+  uint64_t threads = 0;
+  /// Queries answered (EvaluateBatch members + Submit singles).
+  uint64_t queries = 0;
+  /// EvaluateBatch calls completed.
+  uint64_t batches = 0;
+  /// ApplyUpdates calls that installed a new snapshot.
+  uint64_t updates_applied = 0;
+  uint64_t input_nodes = 0;
+  uint64_t index_lookups = 0;
+  uint64_t intermediate_size = 0;
+  uint64_t join_ops = 0;
+  /// Sum of per-query evaluation times (not wall clock).
+  double busy_ms = 0;
+};
 
 struct QueryServerOptions {
   /// Worker threads; each carries one Evaluator.
@@ -71,11 +95,29 @@ class QueryServer {
     return std::string(factory_->snapshot()->engine_name());
   }
 
+  /// Batch-completion report: which epoch the batch pinned and how long
+  /// it took wall-clock. The pinned epoch is otherwise unobservable by
+  /// the caller (epoch() may already have advanced under a concurrent
+  /// ApplyUpdates), and the network tier stamps every response with it
+  /// so clients can correlate answers with graph versions.
+  struct BatchInfo {
+    uint64_t epoch = 0;
+    double wall_ms = 0;
+  };
+
   /// Evaluates the whole batch across the pool; (*results)[i] answers
   /// queries[i]. Queries must stay alive until the call returns. The
   /// batch is snapshot-consistent: every query sees the epoch current
-  /// at entry.
-  std::vector<QueryResult> EvaluateBatch(std::span<const Gtpq> queries);
+  /// at entry; `info` (optional) reports that pinned epoch on return.
+  std::vector<QueryResult> EvaluateBatch(std::span<const Gtpq> queries,
+                                         BatchInfo* info = nullptr);
+
+  /// Same, with per-batch evaluation options overriding the server
+  /// defaults (the network tier honors per-request result limits this
+  /// way without re-configuring the server).
+  std::vector<QueryResult> EvaluateBatch(std::span<const Gtpq> queries,
+                                         BatchInfo* info,
+                                         const GteaOptions& options);
 
   /// Enqueues one query; the future resolves when a worker answers it.
   /// The query sees the epoch current at submit time.
@@ -105,6 +147,10 @@ class QueryServer {
   };
   Snapshot stats() const;
 
+  /// One coherent aggregate of identity + counters (see ServingStats).
+  /// Safe to call concurrently with queries and updates.
+  ServingStats serving_stats() const;
+
  private:
   // Per-worker slot: engine (bound to `snap`, re-stamped on epoch
   // change) plus its share of the serving counters, guarded by a
@@ -120,13 +166,16 @@ class QueryServer {
 
   QueryResult EvaluateOnWorker(
       const Gtpq& query,
-      const std::shared_ptr<const EngineSnapshot>& snap);
+      const std::shared_ptr<const EngineSnapshot>& snap,
+      const GteaOptions& options);
 
   const DataGraph& g_;
   QueryServerOptions options_;
   std::unique_ptr<SharedEngineFactory> factory_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ThreadPool> pool_;
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> updates_applied_{0};
 };
 
 }  // namespace gtpq

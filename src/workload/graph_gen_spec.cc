@@ -1,0 +1,97 @@
+#include "workload/graph_gen_spec.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/string_util.h"
+#include "graph/generators.h"
+#include "workload/xmark.h"
+
+namespace gtpq {
+namespace workload {
+
+namespace {
+
+/// Parses "a[,b[,c]]" numeric generator params with defaults.
+struct GenParams {
+  double a = 0;
+  uint64_t b = 0;
+  double c = 0;
+  int count = 0;  // how many fields were present
+};
+
+std::optional<GenParams> ParseGenParams(std::string_view rest) {
+  GenParams p;
+  const std::vector<std::string> parts = Split(rest, ',');
+  if (parts.empty() || parts.size() > 3) return std::nullopt;
+  char* end = nullptr;
+  p.a = std::strtod(parts[0].c_str(), &end);
+  if (end == parts[0].c_str() || *end != '\0') return std::nullopt;
+  p.count = 1;
+  if (parts.size() > 1) {
+    p.b = std::strtoull(parts[1].c_str(), &end, 10);
+    if (end == parts[1].c_str() || *end != '\0') return std::nullopt;
+    p.count = 2;
+  }
+  if (parts.size() > 2) {
+    p.c = std::strtod(parts[2].c_str(), &end);
+    if (end == parts[2].c_str() || *end != '\0') return std::nullopt;
+    p.count = 3;
+  }
+  return p;
+}
+
+}  // namespace
+
+Result<DataGraph> GenerateGraphFromSpec(const std::string& spec) {
+  const size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("generator spec needs params: " + spec);
+  }
+  const std::string kind = spec.substr(0, colon);
+  auto params = ParseGenParams(std::string_view(spec).substr(colon + 1));
+  if (!params.has_value()) {
+    return Status::InvalidArgument("malformed generator params: " + spec);
+  }
+  if (kind == "xmark") {
+    XmarkOptions o;
+    o.scale = params->a;
+    if (o.scale <= 0) {
+      return Status::InvalidArgument("xmark scale must be positive: " +
+                                     spec);
+    }
+    return GenerateXmark(o);
+  }
+  const auto nodes = static_cast<size_t>(params->a);
+  if (nodes < 1) {
+    return Status::InvalidArgument("generator node count must be >= 1: " +
+                                   spec);
+  }
+  if (kind == "dag") {
+    RandomDagOptions o;
+    o.num_nodes = nodes;
+    if (params->count > 1) o.seed = params->b;
+    if (params->count > 2) o.avg_degree = params->c;
+    return RandomDag(o);
+  }
+  if (kind == "digraph") {
+    RandomDigraphOptions o;
+    o.num_nodes = nodes;
+    if (params->count > 1) o.seed = params->b;
+    if (params->count > 2) o.avg_degree = params->c;
+    return RandomDigraph(o);
+  }
+  if (kind == "tree") {
+    RandomTreeOptions o;
+    o.num_nodes = nodes;
+    if (params->count > 1) o.seed = params->b;
+    return RandomTreeWithCrossEdges(o);
+  }
+  return Status::InvalidArgument("unknown generator kind '" + kind +
+                                 "' in spec: " + spec);
+}
+
+}  // namespace workload
+}  // namespace gtpq

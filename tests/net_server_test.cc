@@ -1,0 +1,718 @@
+// Socket-level tests for the gtpq-wire v1 front-end: codec round trips
+// for every frame type, malformed/truncated/oversized frame rejection,
+// admission control, pipelined multi-client differentials against the
+// in-process QueryServer, and wire APPLY_UPDATES snapshot consistency
+// under concurrent query load (this last one runs in the TSan CI job).
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <span>
+
+#include <gtest/gtest.h>
+
+#include "dynamic/stream_gen.h"
+#include "storage/serializer.h"
+#include "graph/generators.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "query/query_generator.h"
+#include "runtime/engine_factory.h"
+#include "runtime/query_server.h"
+#include "tests/test_util.h"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace gtpq {
+namespace {
+
+using net::Frame;
+using net::FrameDecoder;
+using net::FrameType;
+
+// ------------------------------------------------------------- codec
+
+TEST(WireCodecTest, FrameRoundTripsEveryType) {
+  const struct {
+    FrameType type;
+    std::string payload;
+  } cases[] = {
+      {FrameType::kHello, net::EncodeHello()},
+      {FrameType::kQuery,
+       net::EncodeQueryRequest({42, "backbone a root *\n"})},
+      {FrameType::kBatch,
+       net::EncodeBatchRequest({7, {"q0\n", "q1\n", ""}})},
+      {FrameType::kApplyUpdates, "gtpq-updates v1\naddedge 0 1\n"},
+      {FrameType::kStats, ""},
+      {FrameType::kError,
+       net::EncodeError(Status::InvalidArgument("boom"))},
+      {FrameType::kHelloOk,
+       net::EncodeHelloOk({3, 999, "gtea[contour]"})},
+      {FrameType::kResult, net::EncodeResult({5, {{0, 2}, {{1, 4}}}})},
+      {FrameType::kBatchResult,
+       net::EncodeBatchResult({6, {{{0}, {{1}, {2}}}, {{1}, {}}}})},
+      {FrameType::kApplyOk, net::EncodeApplyOk({9, 4})},
+      {FrameType::kStatsResult, net::EncodeServingStats([] {
+         ServingStats s;
+         s.engine = "gtea";
+         s.epoch = 2;
+         s.queries = 11;
+         s.busy_ms = 1.5;
+         return s;
+       }())},
+  };
+  // One buffer carrying all frames, drip-fed a byte at a time, checks
+  // both pipelining and resumable partial decode.
+  std::string bytes;
+  uint64_t id = 100;
+  for (const auto& c : cases) {
+    net::EncodeFrame(c.type, id++, c.payload, &bytes);
+  }
+  FrameDecoder decoder;
+  std::vector<Frame> decoded;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    decoder.Append(bytes.data() + i, 1);
+    while (true) {
+      auto frame = decoder.Next();
+      ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+      if (!frame->has_value()) break;
+      decoded.push_back(std::move(**frame));
+    }
+  }
+  ASSERT_EQ(decoded.size(), std::size(cases));
+  id = 100;
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    EXPECT_EQ(decoded[i].type, cases[i].type);
+    EXPECT_EQ(decoded[i].request_id, id++);
+    EXPECT_EQ(decoded[i].payload, cases[i].payload);
+  }
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(WireCodecTest, PayloadCodecsRoundTrip) {
+  net::HelloOk hello{7, 1234, "gtea[delta:contour]"};
+  net::HelloOk hello2;
+  ASSERT_TRUE(
+      net::DecodeHelloOk(net::EncodeHelloOk(hello), &hello2).ok());
+  EXPECT_EQ(hello2.epoch, 7u);
+  EXPECT_EQ(hello2.graph_nodes, 1234u);
+  EXPECT_EQ(hello2.engine, "gtea[delta:contour]");
+
+  net::QueryRequest query{64, "backbone a root *\nattr a label=3\n"};
+  net::QueryRequest query2;
+  ASSERT_TRUE(
+      net::DecodeQueryRequest(net::EncodeQueryRequest(query), &query2)
+          .ok());
+  EXPECT_EQ(query2.result_limit, 64u);
+  EXPECT_EQ(query2.text, query.text);
+
+  net::BatchRequest batch{0, {"a\n", "b\n"}};
+  net::BatchRequest batch2;
+  ASSERT_TRUE(net::DecodeBatchRequest(net::EncodeBatchRequest(batch), {},
+                                      &batch2)
+                  .ok());
+  EXPECT_EQ(batch2.texts, batch.texts);
+  // Batch count above the limit is an admission error, not a crash.
+  net::WireLimits tiny;
+  tiny.max_batch_queries = 1;
+  EXPECT_EQ(net::DecodeBatchRequest(net::EncodeBatchRequest(batch), tiny,
+                                    &batch2)
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  net::WireResult result{3, {{1, 5}, {{2, 7}, {4, 9}}}};
+  net::WireResult result2;
+  ASSERT_TRUE(net::DecodeResult(net::EncodeResult(result), &result2).ok());
+  EXPECT_EQ(result2.epoch, 3u);
+  EXPECT_EQ(result2.result, result.result);
+
+  net::WireBatchResult batch_result{
+      2, {{{0}, {{3}}}, {{0, 1}, {{4, 5}, {6, 7}}}}};
+  net::WireBatchResult batch_result2;
+  ASSERT_TRUE(net::DecodeBatchResult(
+                  net::EncodeBatchResult(batch_result), &batch_result2)
+                  .ok());
+  EXPECT_EQ(batch_result2.epoch, 2u);
+  ASSERT_EQ(batch_result2.results.size(), 2u);
+  EXPECT_EQ(batch_result2.results[1], batch_result.results[1]);
+
+  const Status carried =
+      net::DecodeError(net::EncodeError(Status::NotFound("gone")));
+  EXPECT_EQ(carried.code(), StatusCode::kNotFound);
+  EXPECT_EQ(carried.message(), "gone");
+
+  // Truncated payloads surface as parse errors, not crashes.
+  const std::string encoded = net::EncodeResult(result);
+  for (size_t cut : {size_t{0}, size_t{3}, encoded.size() - 1}) {
+    net::WireResult scratch;
+    EXPECT_FALSE(
+        net::DecodeResult(encoded.substr(0, cut), &scratch).ok());
+  }
+}
+
+TEST(WireCodecTest, DecoderRejectsMalformedFrames) {
+  std::string good;
+  net::EncodeFrame(FrameType::kStats, 1, "", &good);
+
+  // Truncation is not an error — the decoder just waits for more.
+  {
+    FrameDecoder decoder;
+    decoder.Append(good.data(), good.size() - 1);
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_FALSE(frame->has_value());
+  }
+  // Flipped payload/CRC byte.
+  {
+    std::string bad = good;
+    bad[bad.size() - 1] ^= 0x40;
+    FrameDecoder decoder;
+    decoder.Append(bad.data(), bad.size());
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  // Declared length below the frame-header minimum.
+  {
+    std::string bad;
+    storage::Writer w;
+    w.WriteU32(4);
+    bad = w.buffer();
+    bad.append(8, '\0');
+    FrameDecoder decoder;
+    decoder.Append(bad.data(), bad.size());
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  // Oversized declared length is rejected before buffering the body.
+  {
+    net::WireLimits limits;
+    limits.max_frame_bytes = 64;
+    std::string bad;
+    storage::Writer w;
+    w.WriteU32(1 << 20);
+    bad = w.buffer();
+    FrameDecoder decoder(limits);
+    decoder.Append(bad.data(), bad.size());
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+  // Unknown frame type (valid CRC).
+  {
+    std::string bad;
+    net::EncodeFrame(static_cast<FrameType>(0x33), 1, "", &bad);
+    FrameDecoder decoder;
+    decoder.Append(bad.data(), bad.size());
+    EXPECT_FALSE(decoder.Next().ok());
+  }
+}
+
+// ------------------------------------------------------------ server
+
+std::vector<Gtpq> MakeQueries(const DataGraph& g, size_t count,
+                              uint64_t seed_base) {
+  std::vector<Gtpq> queries;
+  for (uint64_t seed = seed_base;
+       queries.size() < count && seed < seed_base + 40 * count; ++seed) {
+    QueryGenOptions qo;
+    qo.num_nodes = 4 + seed % 3;
+    qo.pc_probability = 0.25;
+    qo.predicate_fraction = 0.3;
+    qo.output_fraction = 0.8;
+    qo.seed = seed * 29 + 1;
+    auto q = GenerateRandomQueryWithRetry(g, qo);
+    if (q.has_value()) queries.push_back(std::move(*q));
+  }
+  return queries;
+}
+
+std::vector<std::string> ToTexts(const DataGraph& g,
+                                 const std::vector<Gtpq>& queries) {
+  std::vector<std::string> texts;
+  for (const Gtpq& q : queries) texts.push_back(q.ToString(g.attr_names()));
+  return texts;
+}
+
+/// Starts a server or skips the test on non-epoll platforms.
+#define START_OR_SKIP(server)                                   \
+  do {                                                          \
+    const Status _st = (server).Start();                        \
+    if (_st.code() == StatusCode::kUnimplemented) {             \
+      GTEST_SKIP() << _st.ToString();                           \
+    }                                                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+TEST(NetServerTest, HelloQueryBatchStatsRoundTrip) {
+  DataGraph g = RandomDag({.num_nodes = 60,
+                           .avg_degree = 2.2,
+                           .num_labels = 6,
+                           .locality = 1.0,
+                           .seed = 13});
+  const std::vector<Gtpq> queries = MakeQueries(g, 6, 300);
+  ASSERT_GE(queries.size(), 3u) << "generator starved";
+  const std::vector<std::string> texts = ToTexts(g, queries);
+
+  net::NetServerOptions options;
+  options.runtime.num_threads = 2;
+  net::NetServer server(g, options);
+  START_OR_SKIP(server);
+
+  const std::vector<QueryResult> expected =
+      server.runtime().EvaluateBatch(queries);
+
+  net::NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(client.server_info().engine, "gtea[contour]");
+  EXPECT_EQ(client.server_info().graph_nodes, g.NumNodes());
+  EXPECT_EQ(client.server_info().epoch, 0u);
+
+  // Single queries, one by one.
+  for (size_t i = 0; i < texts.size(); ++i) {
+    auto result = client.Query(texts[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->epoch, 0u);
+    EXPECT_EQ(result->result, expected[i]) << "query " << i;
+  }
+  // The same workload as one BATCH frame.
+  auto batch = client.QueryBatch(texts);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->results, expected);
+
+  // Result limit is honored per request.
+  auto limited = client.Query(texts[0], 1);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_LE(limited->result.tuples.size(), 1u);
+
+  // STATS aggregates: warmup batch + wire singles + wire batch + the
+  // limited query, all counted by the shared runtime.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->engine, "gtea[contour]");
+  EXPECT_EQ(stats->queries, 3 * texts.size() + 1);
+  EXPECT_GE(stats->batches, 2u);
+  EXPECT_EQ(stats->updates_applied, 0u);
+  // And they are the same numbers the in-process accessor reports.
+  const ServingStats direct = server.runtime().serving_stats();
+  EXPECT_EQ(stats->queries, direct.queries);
+  EXPECT_EQ(stats->index_lookups, direct.index_lookups);
+
+  // Malformed query text is a per-request typed error; the connection
+  // survives and keeps serving.
+  auto bad = client.Query("backbone a nowhere ad *\n");
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto again = client.Query(texts[0]);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->result, expected[0]);
+
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+#if defined(__linux__)
+
+/// Minimal raw socket for protocol-violation tests the NetClient
+/// cannot express (it always says HELLO first).
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0;
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void Send(const std::string& bytes) {
+    ASSERT_EQ(::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(bytes.size()));
+  }
+  /// Reads frames until one arrives, EOF, or an error.
+  Result<Frame> ReadFrame() {
+    while (true) {
+      auto frame = decoder_.Next();
+      if (!frame.ok()) return frame.status();
+      if (frame->has_value()) return std::move(**frame);
+      char buf[4096];
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return Status::Internal("EOF");
+      if (n < 0) return Status::Internal("recv failed");
+      decoder_.Append(buf, static_cast<size_t>(n));
+    }
+  }
+  /// True once the server closes its end.
+  bool WaitForClose() {
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;
+      decoder_.Append(buf, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  FrameDecoder decoder_;
+};
+
+TEST(NetServerTest, ProtocolViolationsGetTypedErrorsThenClose) {
+  DataGraph g = testing::SmallDag();
+  net::NetServerOptions options;
+  options.runtime.num_threads = 1;
+  options.limits.max_frame_bytes = 4096;
+  net::NetServer server(g, options);
+  START_OR_SKIP(server);
+
+  // QUERY before HELLO: typed error, connection stays open.
+  {
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.connected());
+    std::string bytes;
+    net::EncodeFrame(FrameType::kQuery, 9,
+                     net::EncodeQueryRequest({0, "backbone a root *\n"}),
+                     &bytes);
+    conn.Send(bytes);
+    auto frame = conn.ReadFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame->type, FrameType::kError);
+    EXPECT_EQ(frame->request_id, 9u);
+    EXPECT_EQ(net::DecodeError(frame->payload).code(),
+              StatusCode::kFailedPrecondition);
+
+    // The connection still answers a proper handshake afterwards.
+    bytes.clear();
+    net::EncodeFrame(FrameType::kHello, 10, net::EncodeHello(), &bytes);
+    conn.Send(bytes);
+    frame = conn.ReadFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, FrameType::kHelloOk);
+  }
+
+  // Response frame types from a client are a violation: error + close.
+  {
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.connected());
+    std::string bytes;
+    net::EncodeFrame(FrameType::kResult, 3, "", &bytes);
+    conn.Send(bytes);
+    auto frame = conn.ReadFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, FrameType::kError);
+    EXPECT_TRUE(conn.WaitForClose());
+  }
+
+  // Corrupt CRC: final error frame, then close.
+  {
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.connected());
+    std::string bytes;
+    net::EncodeFrame(FrameType::kHello, 1, net::EncodeHello(), &bytes);
+    bytes[bytes.size() - 1] ^= 0x11;
+    conn.Send(bytes);
+    auto frame = conn.ReadFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, FrameType::kError);
+    EXPECT_TRUE(conn.WaitForClose());
+  }
+
+  // Oversized declared frame length: rejected without buffering.
+  {
+    RawConn conn(server.port());
+    ASSERT_TRUE(conn.connected());
+    storage::Writer w;
+    w.WriteU32(1u << 24);  // past the 4 KiB server limit
+    conn.Send(w.buffer());
+    auto frame = conn.ReadFrame();
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(frame->type, FrameType::kError);
+    EXPECT_TRUE(conn.WaitForClose());
+  }
+
+  EXPECT_GE(server.counters().protocol_errors, 3u);
+}
+
+#endif  // defined(__linux__)
+
+TEST(NetServerTest, AdmissionControlRejectsWithTypedErrors) {
+  DataGraph g = RandomDag({.num_nodes = 40,
+                           .avg_degree = 2.0,
+                           .num_labels = 5,
+                           .locality = 1.0,
+                           .seed = 3});
+  const std::vector<Gtpq> queries = MakeQueries(g, 2, 700);
+  ASSERT_GE(queries.size(), 1u);
+  const std::vector<std::string> texts = ToTexts(g, queries);
+
+  // A long coalescing window holds responses back, so in-flight
+  // requests pile up deterministically past the per-connection cap.
+  net::NetServerOptions options;
+  options.runtime.num_threads = 1;
+  options.max_inflight_per_conn = 2;
+  options.coalesce_max_queries = 64;
+  options.coalesce_window_us = 200000;  // 200 ms
+  net::NetServer server(g, options);
+  START_OR_SKIP(server);
+
+  net::NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  constexpr size_t kSends = 8;
+  for (size_t i = 0; i < kSends; ++i) {
+    ASSERT_TRUE(client.SendQuery(texts[0]).ok());
+  }
+  size_t ok_count = 0, rejected = 0;
+  for (size_t i = 0; i < kSends; ++i) {
+    auto frame = client.Receive();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    if (frame->type == FrameType::kResult) {
+      ++ok_count;
+    } else {
+      ASSERT_EQ(frame->type, FrameType::kError);
+      EXPECT_EQ(net::DecodeError(frame->payload).code(),
+                StatusCode::kFailedPrecondition);
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok_count, 2u);
+  EXPECT_EQ(rejected, kSends - 2);
+  EXPECT_EQ(server.counters().rejected_overload, kSends - 2);
+
+  // A zero-capacity global queue rejects everything typed, too.
+  net::NetServerOptions zero = options;
+  zero.coalesce_window_us = 100;
+  zero.max_pending_requests = 0;
+  net::NetServer full(g, zero);
+  START_OR_SKIP(full);
+  net::NetClient client2;
+  ASSERT_TRUE(client2.Connect("127.0.0.1", full.port()).ok());
+  auto result = client2.Query(texts[0]);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetServerTest, EightPipelinedClientsMatchInProcessServer) {
+  DataGraph g = RandomDag({.num_nodes = 70,
+                           .avg_degree = 2.3,
+                           .num_labels = 6,
+                           .locality = 1.0,
+                           .seed = 29});
+  const std::vector<Gtpq> queries = MakeQueries(g, 8, 1500);
+  ASSERT_GE(queries.size(), 4u) << "generator starved";
+  const std::vector<std::string> texts = ToTexts(g, queries);
+
+  net::NetServerOptions options;
+  options.runtime.num_threads = 4;
+  options.coalesce_max_queries = 16;
+  options.coalesce_window_us = 2000;  // force visible grouping
+  net::NetServer server(g, options);
+  START_OR_SKIP(server);
+
+  // Independent in-process reference (not the server's own runtime).
+  QueryServer reference(g, {.num_threads = 2});
+  const std::vector<QueryResult> expected =
+      reference.EvaluateBatch(queries);
+
+  constexpr size_t kClients = 8;
+  constexpr size_t kRounds = 20;
+  constexpr size_t kPipeline = 4;
+  std::vector<std::thread> workers;
+  std::atomic<int> failures{0};
+  for (size_t c = 0; c < kClients; ++c) {
+    workers.emplace_back([&, c] {
+      net::NetClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        ++failures;
+        return;
+      }
+      size_t sent = 0, done = 0;
+      const size_t total = kRounds * texts.size();
+      std::unordered_map<uint64_t, size_t> pending;
+      while (done < total) {
+        while (sent < total && pending.size() < kPipeline) {
+          const size_t index = (sent * (c + 1)) % texts.size();
+          auto id = client.SendQuery(texts[index]);
+          if (!id.ok()) {
+            ++failures;
+            return;
+          }
+          pending.emplace(*id, index);
+          ++sent;
+        }
+        auto frame = client.Receive();
+        if (!frame.ok() || frame->type != FrameType::kResult) {
+          ++failures;
+          return;
+        }
+        auto it = pending.find(frame->request_id);
+        if (it == pending.end()) {
+          ++failures;
+          return;
+        }
+        net::WireResult result;
+        if (!net::DecodeResult(frame->payload, &result).ok() ||
+            result.result != expected[it->second]) {
+          ++failures;
+          return;
+        }
+        pending.erase(it);
+        ++done;
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.counters().queries_served,
+            kClients * kRounds * texts.size());
+  // Coalescing must have packed concurrent singles into shared
+  // dispatches (strictly fewer EvaluateBatch calls than queries).
+  EXPECT_LT(server.counters().batches_dispatched,
+            server.counters().queries_served);
+}
+
+// While one wire client streams APPLY_UPDATES, readers pushing BATCH
+// frames must always see the golden answers of exactly one epoch —
+// never a mix. Mirrors the in-process SnapshotConsistencyTest at the
+// wire layer; runs under TSan in CI.
+TEST(NetServerTest, WireUpdatesAndQueriesSeeOneEpoch) {
+  DataGraph g = RandomDag({.num_nodes = 50,
+                           .avg_degree = 2.2,
+                           .num_labels = 5,
+                           .locality = 1.0,
+                           .seed = 23});
+  const std::vector<Gtpq> queries = MakeQueries(g, 6, 1200);
+  ASSERT_GE(queries.size(), 3u) << "generator starved";
+  const std::vector<std::string> texts = ToTexts(g, queries);
+  UpdateStreamOptions so;
+  so.rounds = 4;
+  so.ops_per_round = 6;
+  so.del_ratio = 0.4;
+  so.seed = 61;
+  const std::vector<UpdateBatch> stream = GenerateUpdateStream(g, so);
+
+  // Golden per-epoch answers, computed sequentially up front.
+  std::vector<std::vector<QueryResult>> expected;
+  GraphDelta view(g.NumNodes());
+  std::vector<DataGraph> epoch_graphs;
+  {
+    auto factory = SharedEngineFactory::Make("gtea", g);
+    ASSERT_NE(factory, nullptr);
+    auto engine = factory->Create();
+    std::vector<QueryResult> epoch0;
+    for (const Gtpq& q : queries) epoch0.push_back(engine->Evaluate(q));
+    expected.push_back(std::move(epoch0));
+  }
+  for (const UpdateBatch& batch : stream) {
+    ASSERT_TRUE(view.Apply(g.graph(), batch).ok());
+    epoch_graphs.push_back(view.MaterializeDataGraph(g));
+    auto factory = SharedEngineFactory::Make("gtea", epoch_graphs.back());
+    ASSERT_NE(factory, nullptr);
+    auto engine = factory->Create();
+    std::vector<QueryResult> answers;
+    for (const Gtpq& q : queries) answers.push_back(engine->Evaluate(q));
+    expected.push_back(std::move(answers));
+  }
+
+  net::NetServerOptions options;
+  options.runtime.num_threads = 4;
+  net::NetServer server(g, options);
+  START_OR_SKIP(server);
+
+  std::atomic<int> failures{0};
+  std::thread updater([&] {
+    net::NetClient client;
+    if (!client.Connect("127.0.0.1", server.port()).ok()) {
+      ++failures;
+      return;
+    }
+    for (size_t i = 0; i < stream.size(); ++i) {
+      auto applied =
+          client.ApplyUpdates(std::span<const UpdateBatch>(&stream[i], 1));
+      if (!applied.ok() || applied->epoch != i + 1) {
+        ++failures;
+        return;
+      }
+      // Let readers interleave between epochs.
+      if (!client.QueryBatch({texts[0]}).ok()) ++failures;
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int reader = 0; reader < 2; ++reader) {
+    readers.emplace_back([&] {
+      net::NetClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        ++failures;
+        return;
+      }
+      for (int round = 0; round < 10; ++round) {
+        auto batch = client.QueryBatch(texts);
+        if (!batch.ok()) {
+          ++failures;
+          return;
+        }
+        if (batch->epoch > stream.size()) ++failures;
+        const bool one_epoch =
+            std::find(expected.begin(), expected.end(), batch->results) !=
+            expected.end();
+        if (!one_epoch) {
+          ++failures;
+          ADD_FAILURE() << "wire batch matches no single epoch (round "
+                        << round << ")";
+        }
+        // The stamped epoch must agree with the answers it produced.
+        if (one_epoch &&
+            batch->results !=
+                expected[static_cast<size_t>(batch->epoch)]) {
+          ++failures;
+          ADD_FAILURE() << "epoch stamp disagrees with the answers";
+        }
+      }
+    });
+  }
+  updater.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiescent: the final epoch serves everywhere, wire and in-process.
+  net::NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  EXPECT_EQ(client.server_info().epoch, stream.size());
+  auto final_batch = client.QueryBatch(texts);
+  ASSERT_TRUE(final_batch.ok());
+  EXPECT_EQ(final_batch->results, expected.back());
+  // An empty BATCH is a pure epoch probe and must report the live
+  // epoch, not a stale default.
+  auto probe = client.QueryBatch({});
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(probe->results.size(), 0u);
+  EXPECT_EQ(probe->epoch, stream.size());
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->updates_applied, stream.size());
+  EXPECT_EQ(stats->epoch, stream.size());
+
+  // Invalid updates are typed errors and change nothing.
+  UpdateBatch bogus;
+  bogus.remove_nodes.push_back(static_cast<NodeId>(g.NumNodes() + 500));
+  auto rejected =
+      client.ApplyUpdates(std::span<const UpdateBatch>(&bogus, 1));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(client.Stats()->epoch, stream.size());
+}
+
+}  // namespace
+}  // namespace gtpq

@@ -9,6 +9,13 @@
 //   gteactl apply   <index-file> --updates=<file>
 //                   (--graph=<file> | --gen=<spec>) --out=<path>
 //                   [--graph-out=<path>] [--compact]
+//   gteactl serve   (--graph=<file> | --gen=<spec>) [--index=<spec> |
+//                   --engine=<spec>] [--port=<p>] [--bind=<addr>]
+//                   [--threads=<n>] [--coalesce=<n>] [--window-us=<x>]
+//   gteactl query   --connect=<host:port> (--file=<query-file> |
+//                   --text=<query>) [--limit=<n>]
+//   gteactl apply   --connect=<host:port> --updates=<file>
+//   gteactl stats   --connect=<host:port>
 //
 // Graph sources:
 //   --graph=<file>  a "gtpq-graph v1" text file (graph/graph_io.h)
@@ -30,11 +37,24 @@
 // forced with --compact — and the result is written as a new index
 // stamped with the updated graph's fingerprint (plus, optionally, the
 // updated graph itself via --graph-out).
+//
+// `serve` exposes the engine over gtpq-wire v1 (net/server.h): an
+// epoll front-end coalescing pipelined queries into snapshot-pinned
+// batches, with APPLY_UPDATES folding into the live epoch chain. The
+// `--connect=` subcommands (`query`, `apply`, `stats`) are thin
+// net/client.h wrappers, so a built index can be served from one shell
+// and queried/updated from another.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <atomic>
+#include <chrono>
+#include <fstream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/rng.h"
@@ -46,8 +66,11 @@
 #include "graph/data_graph.h"
 #include "graph/generators.h"
 #include "graph/graph_io.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "reachability/factory.h"
 #include "storage/index_io.h"
+#include "workload/graph_gen_spec.h"
 #include "workload/xmark.h"
 
 namespace gtpq {
@@ -65,6 +88,15 @@ int Usage() {
       "  gteactl apply   <index-file> --updates=<file> (--graph=<file> | "
       "--gen=<spec>)\n"
       "                  --out=<path> [--graph-out=<path>] [--compact]\n"
+      "  gteactl serve   (--graph=<file> | --gen=<spec>) [--index=<spec> | "
+      "--engine=<spec>]\n"
+      "                  [--port=<p>] [--bind=<addr>] [--threads=<n>]\n"
+      "                  [--coalesce=<n>] [--window-us=<x>]\n"
+      "  gteactl query   --connect=<host:port> (--file=<query-file> | "
+      "--text=<query>)\n"
+      "                  [--limit=<n>]\n"
+      "  gteactl apply   --connect=<host:port> --updates=<file>\n"
+      "  gteactl stats   --connect=<host:port>\n"
       "\n"
       "generator specs: xmark:<scale> | dag:<nodes>[,<seed>[,<deg>]] |\n"
       "                 digraph:<nodes>[,<seed>[,<deg>]] | "
@@ -86,83 +118,6 @@ std::optional<std::string> FlagValue(int argc, char** argv,
   return value;
 }
 
-/// Parses "name:a[,b[,c]]" numeric generator params with defaults.
-struct GenParams {
-  double a = 0;
-  uint64_t b = 0;
-  double c = 0;
-  int count = 0;  // how many fields were present
-};
-
-std::optional<GenParams> ParseGenParams(std::string_view rest) {
-  GenParams p;
-  const std::vector<std::string> parts = Split(rest, ',');
-  if (parts.empty() || parts.size() > 3) return std::nullopt;
-  char* end = nullptr;
-  p.a = std::strtod(parts[0].c_str(), &end);
-  if (end == parts[0].c_str() || *end != '\0') return std::nullopt;
-  p.count = 1;
-  if (parts.size() > 1) {
-    p.b = std::strtoull(parts[1].c_str(), &end, 10);
-    if (end == parts[1].c_str() || *end != '\0') return std::nullopt;
-    p.count = 2;
-  }
-  if (parts.size() > 2) {
-    p.c = std::strtod(parts[2].c_str(), &end);
-    if (end == parts[2].c_str() || *end != '\0') return std::nullopt;
-    p.count = 3;
-  }
-  return p;
-}
-
-Result<DataGraph> GenerateGraph(const std::string& spec) {
-  const size_t colon = spec.find(':');
-  if (colon == std::string::npos) {
-    return Status::InvalidArgument("generator spec needs params: " + spec);
-  }
-  const std::string kind = spec.substr(0, colon);
-  auto params = ParseGenParams(std::string_view(spec).substr(colon + 1));
-  if (!params.has_value()) {
-    return Status::InvalidArgument("malformed generator params: " + spec);
-  }
-  if (kind == "xmark") {
-    workload::XmarkOptions o;
-    o.scale = params->a;
-    if (o.scale <= 0) {
-      return Status::InvalidArgument("xmark scale must be positive: " +
-                                     spec);
-    }
-    return workload::GenerateXmark(o);
-  }
-  const auto nodes = static_cast<size_t>(params->a);
-  if (nodes < 1) {
-    return Status::InvalidArgument("generator node count must be >= 1: " +
-                                   spec);
-  }
-  if (kind == "dag") {
-    RandomDagOptions o;
-    o.num_nodes = nodes;
-    if (params->count > 1) o.seed = params->b;
-    if (params->count > 2) o.avg_degree = params->c;
-    return RandomDag(o);
-  }
-  if (kind == "digraph") {
-    RandomDigraphOptions o;
-    o.num_nodes = nodes;
-    if (params->count > 1) o.seed = params->b;
-    if (params->count > 2) o.avg_degree = params->c;
-    return RandomDigraph(o);
-  }
-  if (kind == "tree") {
-    RandomTreeOptions o;
-    o.num_nodes = nodes;
-    if (params->count > 1) o.seed = params->b;
-    return RandomTreeWithCrossEdges(o);
-  }
-  return Status::InvalidArgument("unknown generator kind '" + kind +
-                                 "' in spec: " + spec);
-}
-
 Result<DataGraph> ResolveGraph(int argc, char** argv) {
   const auto graph_flag = FlagValue(argc, argv, "--graph=");
   const auto gen_flag = FlagValue(argc, argv, "--gen=");
@@ -171,7 +126,7 @@ Result<DataGraph> ResolveGraph(int argc, char** argv) {
         "exactly one of --graph= and --gen= is required");
   }
   if (graph_flag.has_value()) return LoadDataGraphFromFile(*graph_flag);
-  return GenerateGraph(*gen_flag);
+  return workload::GenerateGraphFromSpec(*gen_flag);
 }
 
 void PrintInfo(const storage::IndexFileInfo& info) {
@@ -451,13 +406,255 @@ int RunApply(int argc, char** argv) {
   return 0;
 }
 
+// ------------------------------------------------ network subcommands
+
+std::unique_ptr<net::NetClient> ConnectFlag(int argc, char** argv,
+                                            const char* command) {
+  const auto connect = FlagValue(argc, argv, "--connect=");
+  std::string host;
+  uint16_t port = 0;
+  if (!connect.has_value() ||
+      !net::ParseHostPort(*connect, &host, &port)) {
+    std::fprintf(stderr, "%s: --connect=<host:port> is required\n",
+                 command);
+    return nullptr;
+  }
+  auto client = std::make_unique<net::NetClient>();
+  const Status st = client->Connect(host, port);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s: %s\n", command, st.ToString().c_str());
+    return nullptr;
+  }
+  return client;
+}
+
+std::atomic<bool> g_serve_stop{false};
+void HandleServeSignal(int) { g_serve_stop.store(true); }
+
+/// Validated "--flag=<n>" parse into [min, max]; complains and reports
+/// false on junk instead of truncating or feeding zero into a
+/// GTPQ_CHECK downstream.
+bool ParseBoundedFlag(const std::optional<std::string>& value,
+                      const char* flag, unsigned long long min,
+                      unsigned long long max, unsigned long long* out) {
+  if (!value.has_value()) return true;
+  char* end = nullptr;
+  const unsigned long long parsed =
+      std::strtoull(value->c_str(), &end, 10);
+  if (value->empty() || end != value->c_str() + value->size() ||
+      parsed < min || parsed > max) {
+    std::fprintf(stderr,
+                 "serve: %s wants an integer in [%llu, %llu], got '%s'\n",
+                 flag, min, max, value->c_str());
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+int RunServe(int argc, char** argv) {
+  auto graph = ResolveGraph(argc, argv);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "serve: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const DataGraph& g = graph.ValueOrDie();
+
+  net::NetServerOptions options;
+  // --engine= takes a full engine spec ("naive", "gtea:cached:contour");
+  // --index= is the common shorthand for "gtea:<oracle spec>", which
+  // also serves prebuilt files via --index=file:<path>.
+  if (auto engine = FlagValue(argc, argv, "--engine=")) {
+    options.runtime.engine_spec = *engine;
+  } else {
+    options.runtime.engine_spec =
+        "gtea:" + FlagValue(argc, argv, "--index=").value_or("contour");
+  }
+  unsigned long long port = options.port;
+  unsigned long long threads = options.runtime.num_threads;
+  unsigned long long coalesce = options.coalesce_max_queries;
+  if (!ParseBoundedFlag(FlagValue(argc, argv, "--port="), "--port=", 0,
+                        65535, &port) ||
+      !ParseBoundedFlag(FlagValue(argc, argv, "--threads="), "--threads=",
+                        1, 1024, &threads) ||
+      !ParseBoundedFlag(FlagValue(argc, argv, "--coalesce="),
+                        "--coalesce=", 1, 1u << 20, &coalesce)) {
+    return Usage();
+  }
+  options.port = static_cast<uint16_t>(port);
+  options.runtime.num_threads = static_cast<size_t>(threads);
+  options.coalesce_max_queries = static_cast<size_t>(coalesce);
+  if (auto bind = FlagValue(argc, argv, "--bind=")) {
+    options.bind_address = *bind;
+  }
+  if (auto window = FlagValue(argc, argv, "--window-us=")) {
+    char* end = nullptr;
+    options.coalesce_window_us = std::strtod(window->c_str(), &end);
+    if (window->empty() || end != window->c_str() + window->size() ||
+        options.coalesce_window_us < 0) {
+      std::fprintf(stderr, "serve: --window-us= wants a number >= 0, "
+                           "got '%s'\n",
+                   window->c_str());
+      return Usage();
+    }
+  }
+
+  std::printf("graph: %zu nodes, %zu edges\n", g.NumNodes(), g.NumEdges());
+  net::NetServer server(g, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("gtpq-wire v1 serving on %s:%u — engine %s, %zu worker "
+              "thread(s)\n",
+              options.bind_address.c_str(), server.port(),
+              server.runtime().engine_name().c_str(),
+              server.runtime().num_threads());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (!g_serve_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+
+  const ServingStats stats = server.runtime().serving_stats();
+  const net::NetServer::Counters counters = server.counters();
+  std::printf("shutting down at epoch %llu: served %llu queries in %llu "
+              "dispatched batch(es), %llu update(s), %llu connection(s), "
+              "%llu overload rejection(s), %llu protocol error(s)\n",
+              static_cast<unsigned long long>(stats.epoch),
+              static_cast<unsigned long long>(stats.queries),
+              static_cast<unsigned long long>(counters.batches_dispatched),
+              static_cast<unsigned long long>(stats.updates_applied),
+              static_cast<unsigned long long>(
+                  counters.connections_accepted),
+              static_cast<unsigned long long>(counters.rejected_overload),
+              static_cast<unsigned long long>(counters.protocol_errors));
+  return 0;
+}
+
+int RunRemoteQuery(int argc, char** argv) {
+  std::string text;
+  if (auto inline_text = FlagValue(argc, argv, "--text=")) {
+    text = *inline_text;
+    // Shell-friendly inline form: semicolons separate lines.
+    for (char& c : text) {
+      if (c == ';') c = '\n';
+    }
+    text.push_back('\n');
+  } else if (auto file = FlagValue(argc, argv, "--file=")) {
+    std::ifstream in(*file);
+    if (!in) {
+      std::fprintf(stderr, "query: cannot read %s\n", file->c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  } else {
+    std::fprintf(stderr,
+                 "query: one of --file=<query-file> and --text=<query> "
+                 "is required\n");
+    return Usage();
+  }
+
+  auto client = ConnectFlag(argc, argv, "query");
+  if (client == nullptr) return 1;
+  uint64_t limit = 0;
+  if (auto flag = FlagValue(argc, argv, "--limit=")) {
+    limit = std::strtoull(flag->c_str(), nullptr, 10);
+  }
+
+  Timer timer;
+  auto result = client->Query(text, limit);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const double ms = timer.ElapsedMillis();
+  std::printf("server: %s (%llu-node graph)\n",
+              client->server_info().engine.c_str(),
+              static_cast<unsigned long long>(
+                  client->server_info().graph_nodes));
+  std::printf("epoch %llu, %zu tuple(s) in %.2f ms\n",
+              static_cast<unsigned long long>(result->epoch),
+              result->result.tuples.size(), ms);
+  std::printf("%s", result->result.ToString().c_str());
+  return 0;
+}
+
+int RunRemoteApply(int argc, char** argv) {
+  const auto updates_path = FlagValue(argc, argv, "--updates=");
+  if (!updates_path.has_value()) {
+    std::fprintf(stderr, "apply: --updates=<file> is required\n");
+    return Usage();
+  }
+  std::ifstream in(*updates_path);
+  if (!in) {
+    std::fprintf(stderr, "apply: cannot read %s\n", updates_path->c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  auto client = ConnectFlag(argc, argv, "apply");
+  if (client == nullptr) return 1;
+  auto applied = client->ApplyUpdates(buf.str());
+  if (!applied.ok()) {
+    std::fprintf(stderr, "apply: %s\n",
+                 applied.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("applied %llu batch(es); server now at epoch %llu\n",
+              static_cast<unsigned long long>(applied->batches_applied),
+              static_cast<unsigned long long>(applied->epoch));
+  return 0;
+}
+
+int RunRemoteStats(int argc, char** argv) {
+  auto client = ConnectFlag(argc, argv, "stats");
+  if (client == nullptr) return 1;
+  auto stats = client->Stats();
+  if (!stats.ok()) {
+    std::fprintf(stderr, "stats: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("engine         : %s\n", stats->engine.c_str());
+  std::printf("epoch          : %llu\n",
+              static_cast<unsigned long long>(stats->epoch));
+  std::printf("threads        : %llu\n",
+              static_cast<unsigned long long>(stats->threads));
+  std::printf("queries        : %llu\n",
+              static_cast<unsigned long long>(stats->queries));
+  std::printf("batches        : %llu\n",
+              static_cast<unsigned long long>(stats->batches));
+  std::printf("updates        : %llu\n",
+              static_cast<unsigned long long>(stats->updates_applied));
+  std::printf("input nodes    : %llu\n",
+              static_cast<unsigned long long>(stats->input_nodes));
+  std::printf("index lookups  : %llu\n",
+              static_cast<unsigned long long>(stats->index_lookups));
+  std::printf("busy ms        : %.2f\n", stats->busy_ms);
+  return 0;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string_view command = argv[1];
+  const bool remote = FlagValue(argc, argv, "--connect=").has_value();
   if (command == "build") return RunBuild(argc, argv);
   if (command == "inspect") return RunInspect(argc, argv);
   if (command == "verify") return RunVerify(argc, argv);
-  if (command == "apply") return RunApply(argc, argv);
+  if (command == "apply") {
+    return remote ? RunRemoteApply(argc, argv) : RunApply(argc, argv);
+  }
+  if (command == "serve") return RunServe(argc, argv);
+  if (command == "query") return RunRemoteQuery(argc, argv);
+  if (command == "stats") return RunRemoteStats(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return Usage();
 }

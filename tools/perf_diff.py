@@ -25,7 +25,18 @@ import json
 import os
 import sys
 
-KEY_INT_FIELDS = {"threads", "rounds", "ops_per_round", "iterations_cap"}
+# Integer config fields that identify a row (as opposed to measured
+# metrics): pool sizes, schedule shape, and the BENCH_net client/
+# pipelining sweep axes.
+KEY_INT_FIELDS = {
+    "threads",
+    "rounds",
+    "ops_per_round",
+    "iterations_cap",
+    "clients",
+    "pipeline",
+    "requests",
+}
 THROUGHPUT_MARKERS = ("per_sec", "qps", "throughput")
 TIME_SUFFIXES = ("_ms", "_time")
 
