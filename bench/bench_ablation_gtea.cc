@@ -28,6 +28,14 @@ void RunCase(const char* tag, GteaEngine& gtea, const Gtpq& q,
   double t_skip = MinTimeMs([&] { gtea.Evaluate(q, skip); }, reps);
   std::printf("%-24s %10.2f %12.2f %14.2f %14.2f\n", tag, t_base,
               t_noup, t_pair, t_skip);
+  // One more full-pipeline run to attribute the time to the stages.
+  gtea.Evaluate(q, base);
+  const EngineStats& st = gtea.stats();
+  std::printf("  stages(ms): match %.2f | down %.2f | prime %.2f | "
+              "up %.2f | mg %.2f | enum %.2f | total %.2f\n",
+              st.match_ms, st.prune_down_ms, st.prime_ms,
+              st.prune_up_ms, st.matching_graph_ms, st.enumerate_ms,
+              st.total_ms);
 }
 
 }  // namespace

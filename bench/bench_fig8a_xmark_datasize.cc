@@ -1,6 +1,11 @@
 // Reproduces Fig 8(a): query processing time for Q1 on XMark while the
 // data size grows, across GTEA, TwigStackD, HGJoin+, TwigStack and
 // Twig2Stack.
+//
+//   --parallelism=0,8   sweep GTEA's intra-query lane budget (the
+//                       baselines are single-threaded and run once);
+//                       the first value fills the engine table
+//   --json=<path>       machine-readable rows for the CI perf-diff
 #include "bench/harness.h"
 #include "common/rng.h"
 #include "workload/xmark.h"
@@ -8,9 +13,14 @@
 using namespace gtpq;
 using namespace gtpq::bench;
 
-int main() {
+int main(int argc, char** argv) {
   const double s = BenchScale();
   const int reps = BenchReps();
+  const auto json_path = JsonFlag(argc, argv);
+  const std::vector<size_t> lane_sweep =
+      SizeListFlag(argc, argv, "--parallelism=", "0");
+  JsonReport report("fig8a_xmark_datasize");
+  report.AddMeta("scale", s);
   std::printf("Fig 8(a): Q1 query time (ms) vs data size "
               "(GTPQ_BENCH_SCALE=%g)\n", s);
   std::printf("%-10s %12s %12s %12s %12s %12s\n", "Scale", "GTEA",
@@ -21,13 +31,19 @@ int main() {
     DataGraph g = workload::GenerateXmark(o);
     EngineBench engines(g);
     Rng rng(11);
-    double t_gtea = 0, t_tsd = 0, t_hg = 0, t_ts = 0, t_t2s = 0;
+    double t_tsd = 0, t_hg = 0, t_ts = 0, t_t2s = 0;
+    std::vector<double> t_gtea(lane_sweep.size(), 0.0);
     const int kQueries = 5;
     for (int i = 0; i < kQueries; ++i) {
       int pg = static_cast<int>(rng.NextBounded(10));
       auto wq = workload::BuildXmarkQ1(g, pg);
       auto cross = EngineBench::CrossIds(wq.query, wq.cross_node_names);
-      t_gtea += MinTimeMs([&] { engines.RunGtea(wq.query); }, reps);
+      for (size_t li = 0; li < lane_sweep.size(); ++li) {
+        GteaOptions opts;
+        opts.parallelism = lane_sweep[li];
+        t_gtea[li] +=
+            MinTimeMs([&] { engines.RunGtea(wq.query, opts); }, reps);
+      }
       t_tsd += MinTimeMs([&] { engines.RunTwigStackD(wq.query); }, reps);
       t_hg += MinTimeMs([&] { engines.RunHgJoinPlus(wq.query); }, reps);
       t_ts += MinTimeMs([&] { engines.RunTwigStack(wq.query, cross); },
@@ -36,10 +52,27 @@ int main() {
           [&] { engines.RunTwig2Stack(wq.query, cross); }, reps);
     }
     std::printf("%-10g %12.2f %12.2f %12.2f %12.2f %12.2f\n", f,
-                t_gtea / kQueries, t_tsd / kQueries, t_hg / kQueries,
+                t_gtea[0] / kQueries, t_tsd / kQueries, t_hg / kQueries,
                 t_ts / kQueries, t_t2s / kQueries);
+    // String-typed so the perf-diff keys rows on it (doubles are
+    // treated as metrics, not identity).
+    char scale_key[32];
+    std::snprintf(scale_key, sizeof(scale_key), "%g", f);
+    for (size_t li = 0; li < lane_sweep.size(); ++li) {
+      report.AddRow()
+          .Add("data_scale", std::string(scale_key))
+          .Add("parallelism", static_cast<uint64_t>(lane_sweep[li]))
+          .Add("gtea_ms", t_gtea[li] / kQueries);
+    }
+    report.AddRow()
+        .Add("data_scale", std::string(scale_key))
+        .Add("twigstackd_ms", t_tsd / kQueries)
+        .Add("hgjoin_plus_ms", t_hg / kQueries)
+        .Add("twigstack_ms", t_ts / kQueries)
+        .Add("twig2stack_ms", t_t2s / kQueries);
   }
   std::printf("\nPaper shape: GTEA fastest at every scale; gap widens "
               "with size; HGJoin+ slowest.\n");
+  if (json_path.has_value() && !report.WriteTo(*json_path)) return 1;
   return 0;
 }

@@ -3,7 +3,13 @@
 //  (b) query time, small-result group (2..50 results),
 //  (c) query time, large-result group (200..1200 results),
 //  (d) GTEA pruning time vs TwigStackD pre-filtering time.
+//
+//   --parallelism=0,8   sweep GTEA's intra-query lane budget in (b)/(c)
+//                       (the baselines are single-threaded and run
+//                       once); the first value fills the tables
+//   --json=<path>       machine-readable rows for the CI perf-diff
 #include <map>
+#include <string>
 
 #include "bench/harness.h"
 #include "baselines/twigstackd.h"
@@ -22,13 +28,19 @@ struct Group {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const int reps = BenchReps();
+  const auto json_path = JsonFlag(argc, argv);
+  const std::vector<size_t> lane_sweep =
+      SizeListFlag(argc, argv, "--parallelism=", "0");
   workload::ArxivOptions ao;
   DataGraph g = workload::GenerateArxiv(ao);
   std::printf("arXiv graph: %zu nodes, %zu edges, %zu labels\n",
               g.NumNodes(), g.NumEdges(), g.NumDistinctLabels());
   EngineBench engines(g);
+  JsonReport report("fig9_arxiv");
+  report.AddMeta("nodes", static_cast<uint64_t>(g.NumNodes()));
+  report.AddMeta("edges", static_cast<uint64_t>(g.NumEdges()));
 
   Group small{2, 50, {}};
   Group large{200, 1200, {}};
@@ -76,19 +88,39 @@ int main() {
                 group == &small ? "small" : "large");
     std::printf("%-6s %12s %12s %12s %12s\n", "Size", "GTEA", "HGJoin*",
                 "HGJoin+", "TwigStackD");
+    const std::string group_name = group == &small ? "small" : "large";
     for (size_t qsize : kSizes) {
       const auto& queries = group->by_size.at(qsize);
       if (queries.empty()) continue;
-      double t_gtea = 0, t_star = 0, t_plus = 0, t_tsd = 0;
+      std::vector<double> t_gtea(lane_sweep.size(), 0.0);
+      double t_star = 0, t_plus = 0, t_tsd = 0;
       for (const auto& q : queries) {
-        t_gtea += MinTimeMs([&] { engines.RunGtea(q); }, reps);
+        for (size_t li = 0; li < lane_sweep.size(); ++li) {
+          GteaOptions opts;
+          opts.parallelism = lane_sweep[li];
+          t_gtea[li] += MinTimeMs([&] { engines.RunGtea(q, opts); }, reps);
+        }
         t_star += MinTimeMs([&] { engines.RunHgJoinStar(q); }, reps);
         t_plus += MinTimeMs([&] { engines.RunHgJoinPlus(q); }, reps);
         t_tsd += MinTimeMs([&] { engines.RunTwigStackD(q); }, reps);
       }
       const double n = static_cast<double>(queries.size());
       std::printf("%-6zu %12.3f %12.3f %12.3f %12.3f\n", qsize,
-                  t_gtea / n, t_star / n, t_plus / n, t_tsd / n);
+                  t_gtea[0] / n, t_star / n, t_plus / n, t_tsd / n);
+      const std::string size_key = std::to_string(qsize);
+      for (size_t li = 0; li < lane_sweep.size(); ++li) {
+        report.AddRow()
+            .Add("group", group_name)
+            .Add("query_size", size_key)
+            .Add("parallelism", static_cast<uint64_t>(lane_sweep[li]))
+            .Add("gtea_ms", t_gtea[li] / n);
+      }
+      report.AddRow()
+          .Add("group", group_name)
+          .Add("query_size", size_key)
+          .Add("hgjoin_star_ms", t_star / n)
+          .Add("hgjoin_plus_ms", t_plus / n)
+          .Add("twigstackd_ms", t_tsd / n);
     }
   }
 
@@ -120,6 +152,12 @@ int main() {
     }
     std::printf("%-6zu %16.3f %16.3f %16.3f %16.3f\n", qsize, vals[0],
                 vals[2], vals[1], vals[3]);
+    report.AddRow()
+        .Add("query_size", std::to_string(qsize))
+        .Add("gtea_prune_small_ms", vals[0])
+        .Add("gtea_prune_large_ms", vals[2])
+        .Add("twigstackd_prefilter_small_ms", vals[1])
+        .Add("twigstackd_prefilter_large_ms", vals[3]);
   }
   std::printf("\nPaper shape: GTEA most robust across sizes/groups; "
               "TwigStackD degrades on this denser, deeper graph. Note: "
@@ -127,5 +165,6 @@ int main() {
               "paper's pool-based TwigStackD it stays flat here; GTEA's "
               "pruning cost grows with query size instead (see "
               "EXPERIMENTS.md).\n");
+  if (json_path.has_value() && !report.WriteTo(*json_path)) return 1;
   return 0;
 }

@@ -83,6 +83,27 @@ inline size_t SizeFlag(int argc, char** argv, const char* prefix,
   return fallback;
 }
 
+/// Comma-separated integers of a "--prefix=a,b,c" flag (last occurrence
+/// wins, `fallback` when absent); exits 2 on malformed input. Used for
+/// sweep axes such as --parallelism=0,2,8.
+inline std::vector<size_t> SizeListFlag(int argc, char** argv,
+                                        const char* prefix,
+                                        const std::string& fallback) {
+  std::vector<size_t> out;
+  for (const std::string& item : SplitFlag(argc, argv, prefix, fallback)) {
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(item.c_str(), &end, 10);
+    if (end == item.c_str() || *end != '\0') {
+      std::fprintf(stderr, "invalid value '%s' for %s (want integers)\n",
+                   item.c_str(), prefix);
+      std::exit(2);
+    }
+    out.push_back(static_cast<size_t>(value));
+  }
+  return out;
+}
+
 /// Floating-point value of a "--prefix=<x>" flag; exits 2 on
 /// malformed input (a silent 0.0 would skew rows the CI perf-diff
 /// adopts as its baseline).
@@ -248,6 +269,15 @@ class EngineBench {
     GteaEngine& engine = gtea();
     last_stats_ = &engine.stats();
     return engine.Evaluate(q);
+  }
+
+  /// As RunGtea, with explicit options — how benches sweep
+  /// GteaOptions::parallelism (answers are byte-identical, only the
+  /// timing moves).
+  QueryResult RunGtea(const Gtpq& q, const GteaOptions& options) {
+    GteaEngine& engine = gtea();
+    last_stats_ = &engine.stats();
+    return engine.Evaluate(q, options);
   }
 
   QueryResult RunTwigStackD(const Gtpq& q) {

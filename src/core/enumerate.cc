@@ -1,9 +1,10 @@
 #include "core/enumerate.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
+#include "runtime/parallel.h"
 
 namespace gtpq {
 
@@ -23,8 +24,8 @@ void SortDedup(std::vector<Partial>* tuples) {
 class Enumerator {
  public:
   Enumerator(const Gtpq& q, const MatchingGraph& mg,
-             const GteaOptions& options)
-      : q_(q), mg_(mg), options_(options) {
+             const GteaOptions& options, ParallelEvalContext* ctx)
+      : q_(q), mg_(mg), options_(options), ctx_(ctx) {
     outputs_ = q.outputs();
     std::sort(outputs_.begin(), outputs_.end());
     slot_of_.assign(q.NumNodes(), SIZE_MAX);
@@ -35,6 +36,7 @@ class Enumerator {
     QueryResult result;
     result.output_nodes = outputs_;
     ComputeForest();
+    FillMemo();
 
     // Every included root contributes a tuple set; the answer is their
     // slot-wise Cartesian product, overlaid with singleton constants.
@@ -47,7 +49,7 @@ class Enumerator {
     for (QNodeId r : roots_) {
       std::vector<Partial> sub;
       for (uint32_t i = 0; i < mg_.Candidates(r).size(); ++i) {
-        const auto& tuples = Collect(r, i);
+        const auto& tuples = memo_[r][i];
         sub.insert(sub.end(), tuples.begin(), tuples.end());
       }
       SortDedup(&sub);
@@ -151,13 +153,45 @@ class Enumerator {
     }
   }
 
-  // Memoized CollectResults: tuples over the outputs of u's included
-  // subtree for candidate #i of u.
-  const std::vector<Partial>& Collect(QNodeId u, uint32_t cand_index) {
-    auto key = (static_cast<uint64_t>(u) << 32) | cand_index;
-    auto it = memo_.find(key);
-    if (it != memo_.end()) return it->second;
+  // Fills the CollectResults memo bottom-up, one forest level at a
+  // time. The reduced matching graph guarantees every candidate of
+  // every included node is referenced by some live parent branch, so
+  // eager evaluation computes exactly the entries the old lazy
+  // recursion would have — each a pure function of (node, candidate).
+  // Within a level, entries are work-stealing units (subtree sizes are
+  // skewed); each writes only its own memo_[u][i] slot and reads
+  // deeper-level slots published by the previous level's barrier.
+  void FillMemo() {
+    const size_t n = q_.NumNodes();
+    memo_.assign(n, {});
+    std::vector<size_t> depth(n, 0);
+    std::vector<std::vector<QNodeId>> levels;
+    for (QNodeId u : q_.TopDownOrder()) {
+      if (!included_[u]) continue;
+      const QNodeId p = q_.node(u).parent;
+      depth[u] = (p != kInvalidQNode && included_[p]) ? depth[p] + 1 : 0;
+      if (depth[u] >= levels.size()) levels.resize(depth[u] + 1);
+      levels[depth[u]].push_back(u);
+    }
+    for (size_t d = levels.size(); d-- > 0;) {
+      std::vector<std::pair<QNodeId, uint32_t>> entries;
+      for (QNodeId u : levels[d]) {
+        memo_[u].resize(mg_.Candidates(u).size());
+        for (uint32_t i = 0; i < mg_.Candidates(u).size(); ++i) {
+          entries.emplace_back(u, i);
+        }
+      }
+      ParallelForWorkStealing(
+          entries.size(), ctx_->lanes, [&](size_t e, size_t /*lane*/) {
+            ComputeEntry(entries[e].first, entries[e].second);
+          });
+    }
+  }
 
+  // CollectResults for one memo entry: tuples over the outputs of u's
+  // included subtree for candidate #i of u. Child entries are already
+  // complete (deeper forest level).
+  void ComputeEntry(QNodeId u, uint32_t cand_index) {
     std::vector<Partial> acc{Partial(outputs_.size(), kInvalidNode)};
     if (q_.IsOutput(u)) {
       acc[0][slot_of_[u]] = mg_.Candidates(u)[cand_index];
@@ -168,7 +202,7 @@ class Enumerator {
       // Branch results: union over pointed-to child candidates.
       std::vector<Partial> branch;
       for (uint32_t wi : mg_.Branch(u, cand_index, slot)) {
-        const auto& sub = Collect(kids[slot], wi);
+        const auto& sub = memo_[kids[slot]][wi];
         branch.insert(branch.end(), sub.begin(), sub.end());
       }
       SortDedup(&branch);
@@ -194,27 +228,29 @@ class Enumerator {
       acc = std::move(next);
       if (acc.empty()) break;
     }
-    return memo_.emplace(key, std::move(acc)).first->second;
+    memo_[u][cand_index] = std::move(acc);
   }
 
   const Gtpq& q_;
   const MatchingGraph& mg_;
   const GteaOptions& options_;
+  ParallelEvalContext* ctx_;
   std::vector<QNodeId> outputs_;
   std::vector<size_t> slot_of_;
   std::vector<char> included_;
   std::vector<QNodeId> roots_;
   std::vector<std::pair<QNodeId, NodeId>> constants_;
-  std::unordered_map<uint64_t, std::vector<Partial>> memo_;
+  // memo_[u][i]: result tuples of candidate #i of included node u.
+  std::vector<std::vector<std::vector<Partial>>> memo_;
 };
 
 }  // namespace
 
 QueryResult EnumerateResults(const Gtpq& q, const MatchingGraph& mg,
                              const GteaOptions& options,
-                             EngineStats* stats) {
+                             ParallelEvalContext* ctx, EngineStats* stats) {
   (void)stats;
-  Enumerator e(q, mg, options);
+  Enumerator e(q, mg, options, ctx);
   return e.Run();
 }
 

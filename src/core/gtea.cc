@@ -4,7 +4,9 @@
 #include "core/enumerate.h"
 #include "core/match.h"
 #include "core/matching_graph.h"
+#include "core/parallel_eval.h"
 #include "core/prune.h"
+#include "runtime/parallel.h"
 
 namespace gtpq {
 
@@ -28,52 +30,65 @@ QueryResult GteaEngine::Evaluate(const Gtpq& q, const GteaOptions& options) {
   idx_->stats().Reset();
   Timer total;
 
+  // Lane budget for this query; 1 means fully serial (no helper-pool
+  // traffic). Helper lanes export their oracle counter deltas into the
+  // context sinks, folded back into this thread's slot by Finish so
+  // idx_->stats() describes the whole query again.
+  ParallelEvalContext ctx;
+  ctx.lanes = std::max<size_t>(1, EffectiveParallelism(options.parallelism));
+  auto finish = [&] {
+    ctx.FlushInto(&idx_->stats());
+    stats_.index_lookups = idx_->stats().elements_looked_up;
+    stats_.total_ms = total.ElapsedMillis();
+  };
+
   QueryResult empty;
   empty.output_nodes = q.outputs();
   std::sort(empty.output_nodes.begin(), empty.output_nodes.end());
 
-  auto mat = ComputeCandidates(g_, q, &stats_);
-
   Timer t;
-  PruneDownward(g_, *idx_, q, &mat, &stats_);
+  auto mat = ComputeCandidates(g_, q, &stats_);
+  stats_.match_ms = t.ElapsedMillis();
+
+  t.Restart();
+  PruneDownward(g_, *idx_, q, &mat, &ctx, &stats_);
   stats_.prune_down_ms = t.ElapsedMillis();
   if (mat[q.root()].empty()) {
-    stats_.index_lookups = idx_->stats().elements_looked_up;
-    stats_.total_ms = total.ElapsedMillis();
+    finish();
     return empty;
   }
 
+  t.Restart();
   auto in_prime = ComputePrimeSubtree(q);
+  stats_.prime_ms = t.ElapsedMillis();
 
   t.Restart();
   bool nonempty = true;
   if (options.upward_pruning) {
-    nonempty = PruneUpward(g_, *idx_, q, in_prime, &mat, options, &stats_);
+    nonempty =
+        PruneUpward(g_, *idx_, q, in_prime, &mat, options, &ctx, &stats_);
   }
   stats_.prune_up_ms = t.ElapsedMillis();
   if (!nonempty) {
-    stats_.index_lookups = idx_->stats().elements_looked_up;
-    stats_.total_ms = total.ElapsedMillis();
+    finish();
     return empty;
   }
 
   t.Restart();
   MatchingGraph mg =
-      BuildMatchingGraph(g_, *idx_, q, in_prime, mat, options, &stats_);
+      BuildMatchingGraph(g_, *idx_, q, in_prime, mat, options, &ctx, &stats_);
   nonempty = ReduceMatchingGraph(q, &mg, &stats_);
   stats_.matching_graph_ms = t.ElapsedMillis();
   if (!nonempty) {
-    stats_.index_lookups = idx_->stats().elements_looked_up;
-    stats_.total_ms = total.ElapsedMillis();
+    finish();
     return empty;
   }
 
   t.Restart();
-  QueryResult result = EnumerateResults(q, mg, options, &stats_);
+  QueryResult result = EnumerateResults(q, mg, options, &ctx, &stats_);
   stats_.enumerate_ms = t.ElapsedMillis();
 
-  stats_.index_lookups = idx_->stats().elements_looked_up;
-  stats_.total_ms = total.ElapsedMillis();
+  finish();
   return result;
 }
 

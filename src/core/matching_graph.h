@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/eval_types.h"
+#include "core/parallel_eval.h"
 #include "graph/data_graph.h"
 #include "query/gtpq.h"
 #include "reachability/reachability_index.h"
@@ -48,7 +49,8 @@ class MatchingGraph {
       const DataGraph& g, const ReachabilityOracle& idx, const Gtpq& q,
       const std::vector<char>& in_prime,
       const std::vector<std::vector<NodeId>>& mat,
-      const GteaOptions& options, EngineStats* stats);
+      const GteaOptions& options, ParallelEvalContext* ctx,
+      EngineStats* stats);
   friend bool ReduceMatchingGraph(const Gtpq& q, MatchingGraph* mg,
                                   EngineStats* stats);
 
@@ -67,12 +69,19 @@ class MatchingGraph {
 /// backends, with the ascending-chain early break); otherwise
 /// straightforward pairwise reachability probes. PC edges use
 /// adjacency.
+///
+/// With ctx->lanes > 1 each (query edge × parent candidate) tile is a
+/// work-stealing unit: the prepared child-target summary is built once
+/// and shared read-only, and every tile writes only its own branch list
+/// (branches_[u][pi][slot]), so the built graph is identical to serial
+/// no matter which lane claimed which tile.
 MatchingGraph BuildMatchingGraph(const DataGraph& g,
                                  const ReachabilityOracle& idx,
                                  const Gtpq& q,
                                  const std::vector<char>& in_prime,
                                  const std::vector<std::vector<NodeId>>& mat,
                                  const GteaOptions& options,
+                                 ParallelEvalContext* ctx,
                                  EngineStats* stats);
 
 /// Fixpoint reduction: kills candidates lacking a parent edge (non-root

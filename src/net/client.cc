@@ -181,10 +181,12 @@ Result<std::string> NetClient::RoundTrip(FrameType type,
 }
 
 Result<WireResult> NetClient::Query(const std::string& text,
-                                    uint64_t result_limit) {
+                                    uint64_t result_limit,
+                                    uint32_t parallelism) {
   QueryRequest request;
   request.result_limit = result_limit;
   request.text = text;
+  request.parallelism = parallelism;
   auto payload = RoundTrip(FrameType::kQuery,
                            EncodeQueryRequest(request), FrameType::kResult);
   if (!payload.ok()) return payload.status();
@@ -194,10 +196,12 @@ Result<WireResult> NetClient::Query(const std::string& text,
 }
 
 Result<WireBatchResult> NetClient::QueryBatch(
-    const std::vector<std::string>& texts, uint64_t result_limit) {
+    const std::vector<std::string>& texts, uint64_t result_limit,
+    uint32_t parallelism) {
   BatchRequest request;
   request.result_limit = result_limit;
   request.texts = texts;
+  request.parallelism = parallelism;
   auto payload =
       RoundTrip(FrameType::kBatch, EncodeBatchRequest(request),
                 FrameType::kBatchResult);
@@ -232,10 +236,12 @@ Result<ServingStats> NetClient::Stats() {
 }
 
 Result<uint64_t> NetClient::SendQuery(const std::string& text,
-                                      uint64_t result_limit) {
+                                      uint64_t result_limit,
+                                      uint32_t parallelism) {
   QueryRequest request;
   request.result_limit = result_limit;
   request.text = text;
+  request.parallelism = parallelism;
   const uint64_t id = next_request_id_++;
   GTPQ_RETURN_NOT_OK(
       SendFrame(FrameType::kQuery, id, EncodeQueryRequest(request)));
@@ -243,10 +249,12 @@ Result<uint64_t> NetClient::SendQuery(const std::string& text,
 }
 
 Result<uint64_t> NetClient::SendBatch(const std::vector<std::string>& texts,
-                                      uint64_t result_limit) {
+                                      uint64_t result_limit,
+                                      uint32_t parallelism) {
   BatchRequest request;
   request.result_limit = result_limit;
   request.texts = texts;
+  request.parallelism = parallelism;
   const uint64_t id = next_request_id_++;
   GTPQ_RETURN_NOT_OK(
       SendFrame(FrameType::kBatch, id, EncodeBatchRequest(request)));
@@ -272,11 +280,11 @@ Result<std::string> NetClient::RoundTrip(FrameType, std::string_view,
                                          FrameType) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
-Result<WireResult> NetClient::Query(const std::string&, uint64_t) {
+Result<WireResult> NetClient::Query(const std::string&, uint64_t, uint32_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<WireBatchResult> NetClient::QueryBatch(
-    const std::vector<std::string>&, uint64_t) {
+    const std::vector<std::string>&, uint64_t, uint32_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<ApplyOk> NetClient::ApplyUpdates(const std::string&) {
@@ -288,11 +296,12 @@ Result<ApplyOk> NetClient::ApplyUpdates(std::span<const UpdateBatch>) {
 Result<ServingStats> NetClient::Stats() {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
-Result<uint64_t> NetClient::SendQuery(const std::string&, uint64_t) {
+Result<uint64_t> NetClient::SendQuery(const std::string&, uint64_t,
+                                      uint32_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<uint64_t> NetClient::SendBatch(const std::vector<std::string>&,
-                                      uint64_t) {
+                                      uint64_t, uint32_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 

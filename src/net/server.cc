@@ -581,6 +581,7 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
     const PendingRequest* request;
     bool is_batch = false;
     uint64_t result_limit = 0;
+    uint32_t parallelism = 0;  // requested intra-query lanes (0 = serial)
     std::vector<Gtpq> queries;
     std::vector<QueryResult> results;
     uint64_t epoch = 0;
@@ -609,6 +610,7 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
         continue;
       }
       p.result_limit = decoded.result_limit;
+      p.parallelism = decoded.parallelism;
       texts.push_back(std::move(decoded.text));
     } else {
       BatchRequest decoded;
@@ -620,6 +622,7 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
       }
       p.is_batch = true;
       p.result_limit = decoded.result_limit;
+      p.parallelism = decoded.parallelism;
       texts = std::move(decoded.texts);
     }
 
@@ -639,10 +642,11 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
     if (!bad) parsed.push_back(std::move(p));
   }
 
-  // One EvaluateBatch per distinct effective result limit (requests in
-  // a coalesced group usually share one), so per-request limits are
-  // honored while the whole group still rides the pool. Each dispatch
-  // pins one snapshot; its BatchInfo epoch stamps the responses.
+  // One EvaluateBatch per distinct (result limit, requested
+  // parallelism) pair — requests in a coalesced group usually share
+  // one — so per-request settings are honored while the whole group
+  // still rides the pool. Each dispatch pins one snapshot; its
+  // BatchInfo epoch stamps the responses.
   std::vector<Gtpq> queries;
   std::vector<std::pair<size_t, size_t>> origin;  // (parsed idx, query idx)
   std::vector<size_t> members;                    // parsed idxs this round
@@ -650,11 +654,15 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
   for (size_t anchor = 0; anchor < parsed.size(); ++anchor) {
     if (done[anchor]) continue;
     const uint64_t limit = parsed[anchor].result_limit;
+    const uint32_t requested_lanes = parsed[anchor].parallelism;
     queries.clear();
     origin.clear();
     members.clear();
     for (size_t i = anchor; i < parsed.size(); ++i) {
-      if (done[i] || parsed[i].result_limit != limit) continue;
+      if (done[i] || parsed[i].result_limit != limit ||
+          parsed[i].parallelism != requested_lanes) {
+        continue;
+      }
       done[i] = 1;
       members.push_back(i);
       for (size_t q = 0; q < parsed[i].queries.size(); ++q) {
@@ -665,6 +673,14 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
     }
     GteaOptions eval = options.runtime.eval_options;
     if (limit != 0) eval.result_limit = static_cast<size_t>(limit);
+    // Intra-query lanes only when this dispatch is a single query —
+    // the case the pool cannot parallelize across queries. Coalesced
+    // multi-query dispatches stay per-query serial: the pool already
+    // fans them out, and nested fan-out would oversubscribe.
+    if (queries.size() == 1 && requested_lanes != 0) {
+      eval.parallelism = std::min<size_t>(requested_lanes,
+                                          options.max_query_parallelism);
+    }
     QueryServer::BatchInfo info;
     std::vector<QueryResult> results =
         runtime->EvaluateBatch(queries, &info, eval);

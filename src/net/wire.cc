@@ -236,6 +236,9 @@ std::string EncodeQueryRequest(const QueryRequest& request) {
   Writer w;
   w.WriteU64(request.result_limit);
   w.WriteString(request.text);
+  // Optional trailing field: a serial request stays byte-identical to
+  // the original v1 layout.
+  if (request.parallelism != 0) w.WriteU32(request.parallelism);
   return w.buffer();
 }
 
@@ -244,8 +247,13 @@ Status DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
       payload, "QUERY",
       [](Reader* r, void* opaque) -> Status {
         auto* request = static_cast<QueryRequest*>(opaque);
+        request->parallelism = 0;
         GTPQ_RETURN_NOT_OK(r->ReadU64(&request->result_limit));
-        return r->ReadString(&request->text);
+        GTPQ_RETURN_NOT_OK(r->ReadString(&request->text));
+        if (r->remaining() > 0) {
+          GTPQ_RETURN_NOT_OK(r->ReadU32(&request->parallelism));
+        }
+        return Status::OK();
       },
       out);
 }
@@ -255,6 +263,7 @@ std::string EncodeBatchRequest(const BatchRequest& request) {
   w.WriteU64(request.result_limit);
   w.WriteU32(static_cast<uint32_t>(request.texts.size()));
   for (const std::string& text : request.texts) w.WriteString(text);
+  if (request.parallelism != 0) w.WriteU32(request.parallelism);
   return w.buffer();
 }
 
@@ -262,6 +271,7 @@ Status DecodeBatchRequest(std::string_view payload,
                           const WireLimits& limits, BatchRequest* out) {
   Reader r(payload);
   out->texts.clear();
+  out->parallelism = 0;
   Status st = [&]() -> Status {
     GTPQ_RETURN_NOT_OK(r.ReadU64(&out->result_limit));
     uint32_t count = 0;
@@ -276,6 +286,9 @@ Status DecodeBatchRequest(std::string_view payload,
       std::string text;
       GTPQ_RETURN_NOT_OK(r.ReadString(&text));
       out->texts.push_back(std::move(text));
+    }
+    if (r.remaining() > 0) {
+      GTPQ_RETURN_NOT_OK(r.ReadU32(&out->parallelism));
     }
     return r.ExpectEnd();
   }();

@@ -33,8 +33,12 @@ namespace net {
 /// Request payloads:
 ///   HELLO          u32 magic "GTPW", u32 version
 ///   QUERY          u64 result_limit, string query text
-///                  (query/query_parser.h line format)
-///   BATCH          u64 result_limit, u32 count, count query strings
+///                  (query/query_parser.h line format), then an
+///                  OPTIONAL u32 parallelism budget (0 when absent) —
+///                  emitted only when non-zero so v1 peers that stop at
+///                  the query text still interoperate
+///   BATCH          u64 result_limit, u32 count, count query strings,
+///                  then the same optional trailing u32 parallelism
 ///   APPLY_UPDATES  string "gtpq-updates v1" text (dynamic/update_io.h)
 ///   STATS          empty
 ///
@@ -135,6 +139,10 @@ Status DecodeHelloOk(std::string_view payload, HelloOk* out);
 struct QueryRequest {
   uint64_t result_limit = 0;
   std::string text;
+  /// Requested intra-query lanes (GteaOptions::parallelism); 0 = serial.
+  /// Optional on the wire: encoded only when non-zero, decoded as 0
+  /// when the trailing field is absent.
+  uint32_t parallelism = 0;
 };
 std::string EncodeQueryRequest(const QueryRequest& request);
 Status DecodeQueryRequest(std::string_view payload, QueryRequest* out);
@@ -142,6 +150,8 @@ Status DecodeQueryRequest(std::string_view payload, QueryRequest* out);
 struct BatchRequest {
   uint64_t result_limit = 0;
   std::vector<std::string> texts;
+  /// Same optional trailing field as QueryRequest::parallelism.
+  uint32_t parallelism = 0;
 };
 std::string EncodeBatchRequest(const BatchRequest& request);
 Status DecodeBatchRequest(std::string_view payload, const WireLimits& limits,

@@ -42,6 +42,14 @@ struct IndexStats {
 /// queries qualifies as a GTEA backend; indexes with a native batched
 /// representation (e.g. the merged contours of Section 4.2.1 over the
 /// 3-hop index) override them.
+///
+/// Concurrency contract (intra-query parallelism relies on it): the
+/// oracle and every SetSummary are immutable once constructed, so any
+/// number of threads may issue probes concurrently — including probes
+/// against the same shared summary — without external locking.
+/// Implementations keep mutable probe scratch and the IndexStats
+/// counters in thread-confined PerThread slots (decorators with shared
+/// caches must do their own internal locking).
 class ReachabilityOracle {
  public:
   /// Opaque per-oracle summary of a node set, produced by one of the

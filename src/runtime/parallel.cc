@@ -1,0 +1,142 @@
+#include "runtime/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "runtime/thread_pool.h"
+
+namespace gtpq {
+
+namespace {
+
+size_t HardwareLanes() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+/// The shared intra-query helper pool. Leaked on purpose: worker
+/// threads may still be parked in epoll/condvar waits at process exit,
+/// and tearing the pool down from a static destructor would race
+/// lane submissions from other translation units' destructors.
+ThreadPool& HelperPool() {
+  static ThreadPool* pool = new ThreadPool(HardwareLanes());
+  return *pool;
+}
+
+}  // namespace
+
+size_t EffectiveParallelism(size_t requested) {
+  if (requested <= 1) return requested;
+  return std::min(requested, std::max<size_t>(HardwareLanes(), 64));
+}
+
+size_t HelperPoolThreads() { return HelperPool().num_threads(); }
+
+void ParallelRun(size_t lanes, const std::function<void(size_t)>& body) {
+  if (lanes <= 1) {
+    body(0);
+    return;
+  }
+  // Stage barrier: the caller runs lane 0, then waits for the helper
+  // lanes. The cv handshake doubles as the release/acquire edge that
+  // publishes lane writes to the caller.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = lanes - 1;
+  ThreadPool& pool = HelperPool();
+  for (size_t lane = 1; lane < lanes; ++lane) {
+    pool.Submit([&, lane] {
+      body(lane);
+      std::lock_guard<std::mutex> lock(mu);
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+  body(0);
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&remaining] { return remaining == 0; });
+}
+
+void ParallelForWorkStealing(
+    size_t n, size_t lanes,
+    const std::function<void(size_t, size_t)>& body) {
+  lanes = std::min(lanes, n);
+  if (lanes <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i, 0);
+    return;
+  }
+  GTPQ_CHECK(n < UINT32_MAX);
+
+  // Per-lane range deque packed as one word: (next << 32) | end. Owners
+  // claim from the front, thieves split off the upper half — both via
+  // CAS on the packed word, so every index is claimed exactly once.
+  const auto pack = [](uint32_t next, uint32_t end) {
+    return (static_cast<uint64_t>(next) << 32) | end;
+  };
+  std::vector<std::atomic<uint64_t>> slots(lanes);
+  for (size_t lane = 0; lane < lanes; ++lane) {
+    const uint32_t begin = static_cast<uint32_t>(lane * n / lanes);
+    const uint32_t end = static_cast<uint32_t>((lane + 1) * n / lanes);
+    slots[lane].store(pack(begin, end), std::memory_order_relaxed);
+  }
+
+  ParallelRun(lanes, [&](size_t lane) {
+    auto drain = [&](size_t slot) {
+      for (;;) {
+        uint64_t cur = slots[slot].load(std::memory_order_relaxed);
+        const uint32_t next = static_cast<uint32_t>(cur >> 32);
+        const uint32_t end = static_cast<uint32_t>(cur);
+        if (next >= end) return;
+        if (slots[slot].compare_exchange_weak(cur, pack(next + 1, end),
+                                              std::memory_order_acq_rel)) {
+          body(next, lane);
+        }
+      }
+    };
+    drain(lane);
+    for (;;) {
+      // Steal from the lane with the most work left.
+      size_t victim = lanes;
+      uint64_t snapshot = 0;
+      uint32_t best = 0;
+      for (size_t t = 0; t < lanes; ++t) {
+        if (t == lane) continue;
+        const uint64_t cur = slots[t].load(std::memory_order_relaxed);
+        const uint32_t next = static_cast<uint32_t>(cur >> 32);
+        const uint32_t end = static_cast<uint32_t>(cur);
+        const uint32_t rem = next < end ? end - next : 0;
+        if (rem > best) {
+          best = rem;
+          victim = t;
+          snapshot = cur;
+        }
+      }
+      if (victim == lanes) return;  // everything claimed
+      const uint32_t next = static_cast<uint32_t>(snapshot >> 32);
+      const uint32_t end = static_cast<uint32_t>(snapshot);
+      // Victim keeps the lower part (at least one index), the thief
+      // takes [mid, end).
+      const uint32_t mid = next + (end - next + 1) / 2;
+      if (mid >= end) {
+        // One index left: contend on the victim's slot directly.
+        if (slots[victim].compare_exchange_weak(
+                snapshot, pack(next + 1, end),
+                std::memory_order_acq_rel)) {
+          body(next, lane);
+        }
+        continue;
+      }
+      if (slots[victim].compare_exchange_weak(snapshot, pack(next, mid),
+                                              std::memory_order_acq_rel)) {
+        slots[lane].store(pack(mid, end), std::memory_order_release);
+        drain(lane);
+      }
+    }
+  });
+}
+
+}  // namespace gtpq

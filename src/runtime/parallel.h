@@ -1,0 +1,60 @@
+#ifndef GTPQ_RUNTIME_PARALLEL_H_
+#define GTPQ_RUNTIME_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace gtpq {
+
+/// Intra-query parallel execution primitives. Where runtime/ThreadPool
+/// scales ACROSS queries (one engine per worker), these fan one query's
+/// stage work out ACROSS cores: GTEA's pruning, matching-graph, and
+/// enumeration stages call ParallelRun/ParallelForWorkStealing with the
+/// lane budget from GteaOptions::parallelism.
+///
+/// All lanes of one call share a process-wide helper pool, lazily
+/// created at the first multi-lane request and sized to the hardware.
+/// The calling thread always executes lane 0 itself, so progress is
+/// guaranteed even when the pool is saturated by concurrent queries —
+/// helper tasks are pure compute and never block on other tasks, so
+/// callers waiting at a stage barrier can never deadlock the pool.
+/// Lane bodies must not call back into ParallelRun (no nesting).
+
+/// Clamps a requested parallelism budget to a sane lane count: 0
+/// (serial) and 1 pass through unchanged, larger requests are capped
+/// at max(hardware threads, 64). Deliberately NOT capped at the core
+/// count — more lanes than cores just time-slice on the helper pool,
+/// and letting a 2-core CI runner (or a 1-core container) execute an
+/// 8-lane request is what keeps the parallel partitioning paths
+/// exercised everywhere; the cap only bounds per-lane bookkeeping
+/// against absurd requests. Never touches the helper pool.
+size_t EffectiveParallelism(size_t requested);
+
+/// Worker threads in the shared helper pool (creates it on first call).
+size_t HelperPoolThreads();
+
+/// Runs body(lane) once for every lane in [0, lanes) and returns when
+/// all lanes finished (a stage barrier). Lane 0 runs inline on the
+/// calling thread; lanes 1.. run on the helper pool. lanes <= 1 is the
+/// serial fast path: body(0) inline, no pool, no synchronization.
+///
+/// The barrier gives the usual release/acquire guarantee: everything
+/// lane bodies wrote happens-before the return, so callers may read
+/// lane outputs without further synchronization.
+void ParallelRun(size_t lanes, const std::function<void(size_t)>& body);
+
+/// Work-stealing parallel for: executes body(index, lane) exactly once
+/// for every index in [0, n), partitioned into contiguous per-lane
+/// ranges that idle lanes steal from (largest remainder first, upper
+/// half per steal). Use when per-index cost is skewed — enumeration
+/// subtrees, matching-graph candidate scans — and a static partition
+/// would leave lanes idle. Which lane runs an index is nondeterministic;
+/// callers keep results deterministic by writing index-addressed slots.
+/// lanes <= 1 (or n <= 1) degrades to a serial loop on the caller.
+void ParallelForWorkStealing(
+    size_t n, size_t lanes,
+    const std::function<void(size_t, size_t)>& body);
+
+}  // namespace gtpq
+
+#endif  // GTPQ_RUNTIME_PARALLEL_H_

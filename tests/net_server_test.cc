@@ -116,6 +116,22 @@ TEST(WireCodecTest, PayloadCodecsRoundTrip) {
           .ok());
   EXPECT_EQ(query2.result_limit, 64u);
   EXPECT_EQ(query2.text, query.text);
+  EXPECT_EQ(query2.parallelism, 0u);
+
+  // The optional parallelism field round-trips, and a serial request
+  // encodes byte-identically to the pre-parallelism layout (the field
+  // is only appended when nonzero, keeping old decoders compatible).
+  net::QueryRequest parallel_query = query;
+  parallel_query.parallelism = 8;
+  net::QueryRequest parallel_query2;
+  ASSERT_TRUE(net::DecodeQueryRequest(
+                  net::EncodeQueryRequest(parallel_query),
+                  &parallel_query2)
+                  .ok());
+  EXPECT_EQ(parallel_query2.parallelism, 8u);
+  EXPECT_EQ(parallel_query2.text, query.text);
+  EXPECT_EQ(net::EncodeQueryRequest(parallel_query).size(),
+            net::EncodeQueryRequest(query).size() + 4);
 
   net::BatchRequest batch{0, {"a\n", "b\n"}};
   net::BatchRequest batch2;
@@ -123,6 +139,13 @@ TEST(WireCodecTest, PayloadCodecsRoundTrip) {
                                       &batch2)
                   .ok());
   EXPECT_EQ(batch2.texts, batch.texts);
+  EXPECT_EQ(batch2.parallelism, 0u);
+  batch.parallelism = 4;
+  ASSERT_TRUE(net::DecodeBatchRequest(net::EncodeBatchRequest(batch), {},
+                                      &batch2)
+                  .ok());
+  EXPECT_EQ(batch2.parallelism, 4u);
+  batch.parallelism = 0;
   // Batch count above the limit is an admission error, not a crash.
   net::WireLimits tiny;
   tiny.max_batch_queries = 1;

@@ -1,0 +1,159 @@
+// Parallel-vs-serial differential harness for intra-query parallelism
+// (fixed seeds): the same GTEA engine — one per reachability spec, over
+// random DAGs and cyclic digraphs — answers the same random query batch
+// at parallelism 0 (serial reference), 2, and 8, and every QueryResult
+// must be byte-identical, including under result_limit truncation
+// (lane-ordered concatenation and index-addressed memo slots make the
+// truncation deterministic, not merely the surviving set). Runs under
+// the TSan CI job, where any cross-lane race on shared summaries,
+// per-thread oracle stats, or memo slots becomes a report.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/gtea.h"
+#include "graph/generators.h"
+#include "query/query_generator.h"
+#include "reachability/factory.h"
+
+namespace gtpq {
+namespace {
+
+std::vector<Gtpq> FuzzBatch(const DataGraph& g, size_t count,
+                            uint64_t seed_base) {
+  std::vector<Gtpq> queries;
+  for (uint64_t seed = seed_base; queries.size() < count &&
+                                  seed < seed_base + 20 * count;
+       ++seed) {
+    QueryGenOptions qo;
+    qo.num_nodes = 4 + seed % 3;
+    qo.pc_probability = 0.25;
+    qo.predicate_fraction = 0.35;
+    qo.output_fraction = 0.75;
+    qo.disjunction_probability = 0.4;
+    qo.negation_probability = 0.15;
+    qo.seed = seed * 37 + 11;
+    auto q = GenerateRandomQueryWithRetry(g, qo);
+    if (q.has_value()) queries.push_back(std::move(*q));
+  }
+  return queries;
+}
+
+class ParallelEvalTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParallelEvalTest, ByteIdenticalAcrossParallelismLevels) {
+  const std::string& spec = GetParam();
+  struct FuzzCase {
+    bool cyclic;
+    uint64_t graph_seed;
+  };
+  for (const FuzzCase& fuzz : {FuzzCase{false, 23}, FuzzCase{true, 71}}) {
+    DataGraph g = fuzz.cyclic
+                      ? RandomDigraph({.num_nodes = 60,
+                                       .avg_degree = 2.0,
+                                       .num_labels = 6,
+                                       .seed = fuzz.graph_seed})
+                      : RandomDag({.num_nodes = 80,
+                                   .avg_degree = 2.2,
+                                   .num_labels = 6,
+                                   .locality = 1.0,
+                                   .seed = fuzz.graph_seed});
+    std::vector<Gtpq> queries = FuzzBatch(g, 12, fuzz.graph_seed * 131);
+    ASSERT_GE(queries.size(), 6u) << "generator starved";
+
+    std::shared_ptr<const ReachabilityOracle> idx(
+        MakeReachabilityIndex(spec, g.graph()));
+    ASSERT_NE(idx, nullptr) << spec;
+    GteaEngine engine(g, idx);
+
+    // result_limit 0 = full answers; 3 = the truncation path, where
+    // byte-identity is the strongest claim (which tuples survive the
+    // cap depends on enumeration order, which must not depend on
+    // lanes).
+    for (const size_t limit : {size_t{0}, size_t{3}}) {
+      for (const Gtpq& q : queries) {
+        GteaOptions serial;
+        serial.result_limit = limit;
+        serial.parallelism = 0;
+        const QueryResult expected = engine.Evaluate(q, serial);
+        const uint64_t expected_lookups = engine.stats().index_lookups;
+        for (const size_t lanes : {size_t{2}, size_t{8}}) {
+          GteaOptions parallel = serial;
+          parallel.parallelism = lanes;
+          const QueryResult got = engine.Evaluate(q, parallel);
+          ASSERT_EQ(got, expected)
+              << spec << " parallelism " << lanes << " limit " << limit
+              << " graph seed " << fuzz.graph_seed
+              << (fuzz.cyclic ? " (cyclic)" : " (dag)") << ":\n"
+              << q.ToString(*g.attr_names());
+          // Helper-lane oracle work must be folded back into the
+          // caller's counters. Chunking a batch probe can re-pay a
+          // backend's per-call setup, so the count may rise slightly
+          // with lanes — but it can never FALL below the serial count;
+          // a drop means a lane's deltas were dropped on the floor.
+          // (Cached decorators are exempt — their hit pattern
+          // legitimately shifts when probe order changes across
+          // lanes.)
+          if (spec.find("cached:") == std::string::npos) {
+            EXPECT_GE(engine.stats().index_lookups, expected_lookups)
+                << spec << " parallelism " << lanes;
+          }
+        }
+      }
+    }
+  }
+}
+
+// Regression for the skip_singleton_upward x partitioning interaction:
+// the singleton check must look at a query node's FULL candidate set,
+// never at a lane's chunk (a chunk of size 1 is common once candidates
+// are split 8 ways). If a lane chunk were skipped, upward refinement
+// would silently keep unreachable candidates at high parallelism and
+// answers would diverge from serial. The option must also stay a pure
+// optimization: answers match with it on and off.
+TEST(ParallelEvalSingletonSkipTest, GlobalSingletonDecisionUnderLanes) {
+  for (const uint64_t graph_seed : {uint64_t{29}, uint64_t{101}}) {
+    DataGraph g = RandomDag({.num_nodes = 80,
+                             .avg_degree = 2.2,
+                             .num_labels = 4,
+                             .locality = 1.0,
+                             .seed = graph_seed});
+    std::vector<Gtpq> queries = FuzzBatch(g, 10, graph_seed * 211);
+    ASSERT_GE(queries.size(), 5u) << "generator starved";
+    GteaEngine engine(g);
+
+    for (const Gtpq& q : queries) {
+      GteaOptions base;
+      base.skip_singleton_upward = false;
+      base.parallelism = 0;
+      const QueryResult expected = engine.Evaluate(q, base);
+      for (const bool skip : {false, true}) {
+        for (const size_t lanes : {size_t{0}, size_t{2}, size_t{8}}) {
+          GteaOptions options;
+          options.skip_singleton_upward = skip;
+          options.parallelism = lanes;
+          ASSERT_EQ(engine.Evaluate(q, options), expected)
+              << "skip=" << skip << " parallelism=" << lanes
+              << " graph seed " << graph_seed << ":\n"
+              << q.ToString(*g.attr_names());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, ParallelEvalTest,
+    ::testing::ValuesIn(AllReachabilitySpecs()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ':' || c == '+' || c == '*') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace gtpq

@@ -13,7 +13,7 @@
 //                   --engine=<spec>] [--port=<p>] [--bind=<addr>]
 //                   [--threads=<n>] [--coalesce=<n>] [--window-us=<x>]
 //   gteactl query   --connect=<host:port> (--file=<query-file> |
-//                   --text=<query>) [--limit=<n>]
+//                   --text=<query>) [--limit=<n>] [--parallelism=<n>]
 //   gteactl apply   --connect=<host:port> --updates=<file>
 //   gteactl stats   --connect=<host:port>
 //
@@ -94,7 +94,7 @@ int Usage() {
       "                  [--coalesce=<n>] [--window-us=<x>]\n"
       "  gteactl query   --connect=<host:port> (--file=<query-file> | "
       "--text=<query>)\n"
-      "                  [--limit=<n>]\n"
+      "                  [--limit=<n>] [--parallelism=<n>]\n"
       "  gteactl apply   --connect=<host:port> --updates=<file>\n"
       "  gteactl stats   --connect=<host:port>\n"
       "\n"
@@ -567,9 +567,14 @@ int RunRemoteQuery(int argc, char** argv) {
   if (auto flag = FlagValue(argc, argv, "--limit=")) {
     limit = std::strtoull(flag->c_str(), nullptr, 10);
   }
+  uint32_t parallelism = 0;
+  if (auto flag = FlagValue(argc, argv, "--parallelism=")) {
+    parallelism =
+        static_cast<uint32_t>(std::strtoul(flag->c_str(), nullptr, 10));
+  }
 
   Timer timer;
-  auto result = client->Query(text, limit);
+  auto result = client->Query(text, limit, parallelism);
   if (!result.ok()) {
     std::fprintf(stderr, "query: %s\n",
                  result.status().ToString().c_str());

@@ -26,8 +26,8 @@ import os
 import sys
 
 # Integer config fields that identify a row (as opposed to measured
-# metrics): pool sizes, schedule shape, and the BENCH_net client/
-# pipelining sweep axes.
+# metrics): pool sizes, schedule shape, the BENCH_net client/
+# pipelining sweep axes, and the intra-query parallelism sweep.
 KEY_INT_FIELDS = {
     "threads",
     "rounds",
@@ -36,6 +36,7 @@ KEY_INT_FIELDS = {
     "clients",
     "pipeline",
     "requests",
+    "parallelism",
 }
 THROUGHPUT_MARKERS = ("per_sec", "qps", "throughput")
 TIME_SUFFIXES = ("_ms", "_time")
