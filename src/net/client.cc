@@ -11,6 +11,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #define GTPQ_NET_CLIENT_POSIX 1
@@ -74,8 +75,28 @@ Status NetClient::Connect(const std::string& host, uint16_t port,
 
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Errno("socket");
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINTR) {
+    // An interrupted connect keeps establishing in the background;
+    // re-calling connect() yields EALREADY, not a retry. Wait for
+    // writability and read the final outcome from SO_ERROR instead.
+    pollfd pfd{fd_, POLLOUT, 0};
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, /*timeout=*/-1);
+    } while (pr < 0 && errno == EINTR);
+    if (pr > 0) {
+      int soerr = 0;
+      socklen_t len = sizeof(soerr);
+      if (getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len) == 0 &&
+          soerr == 0) {
+        rc = 0;
+      } else {
+        errno = soerr != 0 ? soerr : errno;
+      }
+    }
+  }
+  if (rc < 0) {
     const Status st = Errno("connect " + host + ":" + std::to_string(port));
     Close();
     return st;

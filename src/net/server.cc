@@ -22,6 +22,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -142,9 +143,14 @@ struct NetServer::Impl {
   void IoLoop();
   void Wake() {
     const char byte = 1;
-    // The pipe is only a doorbell; a full pipe already guarantees a
-    // pending wakeup, so short writes are fine to drop.
-    [[maybe_unused]] ssize_t n = ::write(wake_write_fd, &byte, 1);
+    // The pipe is only a doorbell; a full pipe (EAGAIN) already
+    // guarantees a pending wakeup, so that failure is fine to drop —
+    // but an EINTR'd write on an EMPTY pipe would lose the only
+    // doorbell, so retry it.
+    ssize_t n;
+    do {
+      n = ::write(wake_write_fd, &byte, 1);
+    } while (n < 0 && errno == EINTR);
   }
   void AcceptAll();
   void ReadConnection(Connection& conn);
@@ -261,8 +267,10 @@ void NetServer::Impl::IoLoop() {
       }
       if (tag == 1) {
         char buf[256];
-        while (::read(wake_read_fd, buf, sizeof(buf)) > 0) {
-        }
+        ssize_t drained;
+        do {
+          drained = ::read(wake_read_fd, buf, sizeof(buf));
+        } while (drained > 0 || (drained < 0 && errno == EINTR));
         DeliverResponses();
         continue;
       }
@@ -285,12 +293,27 @@ void NetServer::Impl::IoLoop() {
       // mid-iteration.
       DeliverResponses();
       for (auto& [id, conn] : conns) {
+        // The sockets are nonblocking: a signal or a momentarily full
+        // send buffer must not drop the tail responses, so retry EINTR
+        // and wait out EAGAIN with a bounded poll instead of bailing on
+        // the first short write.
+        int eagain_budget = 20;  // x 50ms: at most ~1s per connection
         while (conn->out_pos < conn->out.size()) {
           const ssize_t n =
               ::write(conn->fd, conn->out.data() + conn->out_pos,
                       conn->out.size() - conn->out_pos);
-          if (n <= 0) break;
-          conn->out_pos += static_cast<size_t>(n);
+          if (n > 0) {
+            conn->out_pos += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && errno == EINTR) continue;
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+              eagain_budget-- > 0) {
+            pollfd pfd{conn->fd, POLLOUT, 0};
+            ::poll(&pfd, 1, /*timeout_ms=*/50);
+            continue;
+          }
+          break;  // peer vanished or refuses to drain; drop the rest
         }
         ::close(conn->fd);
       }
@@ -469,10 +492,12 @@ void NetServer::Impl::FlushConnection(Connection& conn) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (n == 0 || (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))) {
       // Slow consumer: the socket will not drain and the backlog is
       // past the bound — disconnect rather than buffer without limit
-      // for a peer that sends but never reads.
+      // for a peer that sends but never reads. (A zero return from
+      // write() on a stream socket means nothing was accepted, not that
+      // the peer vanished — treat it like EAGAIN, not like an error.)
       if (conn.out.size() - conn.out_pos > OutputBacklogLimit()) {
         CloseConnection(conn.id);
         return;
@@ -780,6 +805,7 @@ NetServer::~NetServer() { Stop(); }
 
 Status NetServer::Start() {
   GTPQ_CHECK(!impl_->started.load()) << "NetServer started twice";
+  GTPQ_RETURN_NOT_OK(impl_->runtime->status());
   Status st = impl_->Start();
   if (!st.ok()) impl_->CloseFds();
   return st;

@@ -8,14 +8,14 @@
 namespace gtpq {
 
 ChainCoverIndex ChainCoverIndex::Build(const Digraph& g) {
-  ChainCoverIndex idx;
-  idx.scc_ = ComputeScc(g);
-  Digraph cond = BuildCondensation(g, idx.scc_);
-  idx.cover_ = BuildGreedyChainCover(cond);
+  SccResult scc = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, scc);
+  ChainCover cover = BuildGreedyChainCover(cond);
 
   const size_t n = cond.NumNodes();
-  const size_t k = idx.cover_.NumChains();
-  idx.first_.assign(n, std::vector<uint32_t>(k, kUnreachable));
+  const size_t k = cover.NumChains();
+  std::vector<std::vector<uint32_t>> first(
+      n, std::vector<uint32_t>(k, kUnreachable));
 
   // Reverse topological sweep: a node reaches whatever its successors
   // reach, plus the successors themselves (non-empty paths only, so a
@@ -24,17 +24,21 @@ ChainCoverIndex ChainCoverIndex::Build(const Digraph& g) {
   GTPQ_CHECK(order.size() == n);
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId c = *it;
-    auto& row = idx.first_[c];
+    auto& row = first[c];
     for (NodeId d : cond.OutNeighbors(c)) {
-      const uint32_t dcid = idx.cover_.cid_of[d];
-      const uint32_t dsid = idx.cover_.sid_of[d];
+      const uint32_t dcid = cover.cid_of[d];
+      const uint32_t dsid = cover.sid_of[d];
       row[dcid] = std::min(row[dcid], dsid);
-      const auto& drow = idx.first_[d];
+      const auto& drow = first[d];
       for (size_t i = 0; i < k; ++i) {
         row[i] = std::min(row[i], drow[i]);
       }
     }
   }
+  ChainCoverIndex idx;
+  idx.scc_ = SccView(std::move(scc));
+  idx.cover_ = ChainCoverView(std::move(cover));
+  idx.first_ = NestedPodArray<uint32_t>(std::move(first));
   for (const auto& row : idx.first_) {
     for (uint32_t cell : row) {
       if (cell != kUnreachable) ++idx.total_entries_;
@@ -54,15 +58,15 @@ bool ChainCoverIndex::Reaches(NodeId from, NodeId to) const {
 }
 
 void ChainCoverIndex::SaveBody(storage::Writer* w) const {
-  storage::SaveSccResult(scc_, w);
-  storage::SaveChainCover(cover_, w);
+  storage::SaveSccView(scc_, w);
+  storage::SaveChainCoverView(cover_, w);
   storage::WriteFields(w, first_, total_entries_);
 }
 
 Result<ChainCoverIndex> ChainCoverIndex::LoadBody(storage::Reader* r) {
   ChainCoverIndex idx;
-  GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
-  GTPQ_RETURN_NOT_OK(storage::LoadChainCover(r, &idx.cover_));
+  GTPQ_RETURN_NOT_OK(storage::LoadSccView(r, &idx.scc_));
+  GTPQ_RETURN_NOT_OK(storage::LoadChainCoverView(r, &idx.cover_));
   GTPQ_RETURN_NOT_OK(storage::ReadFields(r, &idx.first_,
                                          &idx.total_entries_));
   if (idx.first_.size() != idx.cover_.cid_of.size()) {

@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "graph/algorithms.h"
 #include "reachability/chain_cover.h"
+#include "reachability/index_view.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
@@ -44,11 +45,11 @@ class ChainCoverIndex : public ReachabilityOracle {
 
   static constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
 
-  SccResult scc_;
-  ChainCover cover_;  // over the condensation DAG
+  SccView scc_;
+  ChainCoverView cover_;  // over the condensation DAG
   /// first_[c][k]: smallest sid on chain k reachable from condensation
   /// node c by a non-empty path (kUnreachable when none).
-  std::vector<std::vector<uint32_t>> first_;
+  NestedPodArray<uint32_t> first_;
   size_t total_entries_ = 0;
 };
 

@@ -19,6 +19,7 @@ constexpr std::string_view kCachedPrefix = "cached:";
 constexpr std::string_view kShardedPrefix = "sharded:";
 constexpr std::string_view kDeltaPrefix = "delta:";
 constexpr std::string_view kFilePrefix = "file:";
+constexpr std::string_view kMmapPrefix = "mmap:";
 }  // namespace
 
 std::vector<ReachabilityBackend> AllReachabilityBackends() {
@@ -86,6 +87,16 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
     }
     return loaded.TakeValue();
   }
+  if (spec.rfind(kMmapPrefix, 0) == 0) {
+    const std::string path(spec.substr(kMmapPrefix.size()));
+    auto loaded = storage::LoadReachabilityIndexView(path, g);
+    if (!loaded.ok()) {
+      GTPQ_LOG(Warning) << "cannot mmap reachability index from '" << path
+                        << "': " << loaded.status().ToString();
+      return nullptr;
+    }
+    return loaded.TakeValue();
+  }
   if (spec.rfind(kCachedPrefix, 0) == 0) {
     auto inner = MakeReachabilityIndex(spec.substr(kCachedPrefix.size()), g);
     if (inner == nullptr) return nullptr;
@@ -144,6 +155,13 @@ bool IsValidReachabilitySpec(std::string_view spec) {
     if (file_forbidden) return false;
     return storage::InspectReachabilityIndex(
                std::string(spec.substr(kFilePrefix.size())))
+        .ok();
+  }
+  // mmap: is file: with a zero-copy loader; same composition rules.
+  if (spec.rfind(kMmapPrefix, 0) == 0) {
+    if (file_forbidden) return false;
+    return storage::InspectReachabilityIndex(
+               std::string(spec.substr(kMmapPrefix.size())))
         .ok();
   }
   return ParseReachabilityBackend(spec).has_value();

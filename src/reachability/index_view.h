@@ -1,0 +1,150 @@
+#ifndef GTPQ_REACHABILITY_INDEX_VIEW_H_
+#define GTPQ_REACHABILITY_INDEX_VIEW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "reachability/chain_cover.h"
+
+namespace gtpq {
+
+/// The IndexView seam: every reachability backend stores its built
+/// state (flat POD arrays, offsets, bitset rows) through the view types
+/// below instead of owning std::vectors directly. A view either OWNS a
+/// heap vector (indexes built in-process or heap-deserialized from a
+/// `file:` load) or BORROWS a span of immutable bytes it does not own
+/// (zero-copy `mmap:` loads, where the span points straight into
+/// read-only page-faulted mapped memory). Probe paths are identical in
+/// both modes — operator[], size(), range-for — so one backend
+/// implementation serves both.
+///
+/// Lifetime contract for borrowed views: the borrowed bytes must outlive
+/// the view. The mmap loader (storage/index_io.h,
+/// LoadReachabilityIndexView) guarantees this by pinning the mapping on
+/// the root oracle (ReachabilityOracle::RetainBuffer), which owns every
+/// nested backend the views live in.
+template <typename T>
+class PodArray {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "PodArray elements must be raw-byte serializable");
+
+ public:
+  PodArray() = default;
+  /// Owning view over a built vector (implicit: `view_ = std::move(v)`
+  /// keeps Build() code shaped like plain vector assignment).
+  PodArray(std::vector<T> owned)  // NOLINT implicit
+      : owned_(std::move(owned)), data_(owned_.data()),
+        size_(owned_.size()) {}
+  /// Borrowing view over immutable external memory (mmap loads).
+  static PodArray Borrowed(const T* data, size_t size) {
+    PodArray v;
+    v.data_ = data;
+    v.size_ = size;
+    return v;
+  }
+
+  // Moves transfer the heap buffer (vector moves are pointer-stable),
+  // so `data_` stays valid in both modes; copies are deleted because a
+  // member-wise copy would alias the source's heap buffer.
+  PodArray(PodArray&& other) noexcept
+      : owned_(std::move(other.owned_)), data_(other.data_),
+        size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  PodArray& operator=(PodArray&& other) noexcept {
+    if (this != &other) {
+      owned_ = std::move(other.owned_);
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  PodArray(const PodArray&) = delete;
+  PodArray& operator=(const PodArray&) = delete;
+
+  const T& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T* data() const { return data_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& back() const { return data_[size_ - 1]; }
+  /// True when the elements live in memory the view does not own.
+  bool borrowed() const { return size_ != 0 && owned_.empty(); }
+
+ private:
+  std::vector<T> owned_;
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Ragged counterpart: a fixed outer table of PodArray rows. Owned rows
+/// hold their own buffers; borrowed rows all point into one mapped
+/// payload, so only the O(#rows) row table itself is heap-allocated on
+/// an mmap load — the element data stays on disk until faulted.
+template <typename T>
+class NestedPodArray {
+ public:
+  NestedPodArray() = default;
+  NestedPodArray(std::vector<std::vector<T>> owned) {  // NOLINT implicit
+    rows_.reserve(owned.size());
+    for (auto& inner : owned) rows_.emplace_back(std::move(inner));
+  }
+  explicit NestedPodArray(std::vector<PodArray<T>> rows)
+      : rows_(std::move(rows)) {}
+
+  NestedPodArray(NestedPodArray&&) noexcept = default;
+  NestedPodArray& operator=(NestedPodArray&&) noexcept = default;
+  NestedPodArray(const NestedPodArray&) = delete;
+  NestedPodArray& operator=(const NestedPodArray&) = delete;
+
+  const PodArray<T>& operator[](size_t i) const { return rows_[i]; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  auto begin() const { return rows_.begin(); }
+  auto end() const { return rows_.end(); }
+
+ private:
+  std::vector<PodArray<T>> rows_;
+};
+
+/// View-typed mirror of graph/algorithms.h's SccResult, with identical
+/// field names so backend probe code compiles against either.
+struct SccView {
+  PodArray<NodeId> component_of;
+  size_t num_components = 0;
+  PodArray<uint32_t> component_size;
+  PodArray<char> cyclic;
+
+  SccView() = default;
+  explicit SccView(SccResult&& scc)
+      : component_of(std::move(scc.component_of)),
+        num_components(scc.num_components),
+        component_size(std::move(scc.component_size)),
+        cyclic(std::move(scc.cyclic)) {}
+};
+
+/// View-typed mirror of reachability/chain_cover.h's ChainCover.
+struct ChainCoverView {
+  PodArray<uint32_t> cid_of;
+  PodArray<uint32_t> sid_of;
+  NestedPodArray<NodeId> chains;
+
+  size_t NumChains() const { return chains.size(); }
+
+  ChainCoverView() = default;
+  explicit ChainCoverView(ChainCover&& cover)
+      : cid_of(std::move(cover.cid_of)), sid_of(std::move(cover.sid_of)),
+        chains(std::move(cover.chains)) {}
+};
+
+}  // namespace gtpq
+
+#endif  // GTPQ_REACHABILITY_INDEX_VIEW_H_

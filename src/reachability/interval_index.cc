@@ -30,12 +30,11 @@ void Compress(std::vector<IntervalIndex::Interval>* ivals) {
 }  // namespace
 
 IntervalIndex IntervalIndex::Build(const Digraph& g) {
-  IntervalIndex idx;
-  idx.scc_ = ComputeScc(g);
-  Digraph cond = BuildCondensation(g, idx.scc_);
+  SccResult scc = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, scc);
   const size_t m = cond.NumNodes();
-  idx.post_.assign(m, 0);
-  idx.intervals_.resize(m);
+  std::vector<uint32_t> post(m, 0);
+  std::vector<std::vector<Interval>> intervals(m);
 
   // Spanning forest: first in-neighbor in a topological pass claims each
   // node; roots are nodes without a claimed tree parent.
@@ -70,7 +69,7 @@ IntervalIndex IntervalIndex::Build(const Digraph& g) {
         stack.emplace_back(child, 0);
         continue;
       }
-      idx.post_[v] = counter++;
+      post[v] = counter++;
       stack.pop_back();
     }
   }
@@ -79,14 +78,18 @@ IntervalIndex IntervalIndex::Build(const Digraph& g) {
   // order, then compress.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     NodeId v = *it;
-    auto& ivals = idx.intervals_[v];
-    ivals.push_back(Interval{low[v], idx.post_[v]});
+    auto& ivals = intervals[v];
+    ivals.push_back(Interval{low[v], post[v]});
     for (NodeId w : cond.OutNeighbors(v)) {
-      const auto& wi = idx.intervals_[w];
+      const auto& wi = intervals[w];
       ivals.insert(ivals.end(), wi.begin(), wi.end());
     }
     Compress(&ivals);
   }
+  IntervalIndex idx;
+  idx.scc_ = SccView(std::move(scc));
+  idx.post_ = std::move(post);
+  idx.intervals_ = NestedPodArray<Interval>(std::move(intervals));
   for (const auto& iv : idx.intervals_) idx.total_intervals_ += iv.size();
   return idx;
 }
@@ -116,13 +119,13 @@ bool IntervalIndex::Reaches(NodeId from, NodeId to) const {
 }
 
 void IntervalIndex::SaveBody(storage::Writer* w) const {
-  storage::SaveSccResult(scc_, w);
+  storage::SaveSccView(scc_, w);
   storage::WriteFields(w, post_, intervals_, total_intervals_);
 }
 
 Result<IntervalIndex> IntervalIndex::LoadBody(storage::Reader* r) {
   IntervalIndex idx;
-  GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
+  GTPQ_RETURN_NOT_OK(storage::LoadSccView(r, &idx.scc_));
   GTPQ_RETURN_NOT_OK(storage::ReadFields(r, &idx.post_, &idx.intervals_,
                                          &idx.total_intervals_));
   if (idx.post_.size() != idx.intervals_.size()) {

@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "graph/algorithms.h"
+#include "reachability/index_view.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
@@ -38,7 +39,7 @@ class IntervalIndex : public ReachabilityOracle {
   uint32_t PostOf(NodeId v) const { return post_[scc_.component_of[v]]; }
 
   /// Interval list of a node (own tree interval last).
-  const std::vector<Interval>& IntervalsOf(NodeId v) const {
+  const PodArray<Interval>& IntervalsOf(NodeId v) const {
     return intervals_[scc_.component_of[v]];
   }
 
@@ -51,9 +52,9 @@ class IntervalIndex : public ReachabilityOracle {
  private:
   IntervalIndex() = default;
 
-  SccResult scc_;
-  std::vector<uint32_t> post_;                    // per condensation node
-  std::vector<std::vector<Interval>> intervals_;  // per condensation node
+  SccView scc_;
+  PodArray<uint32_t> post_;            // per condensation node
+  NestedPodArray<Interval> intervals_;  // per condensation node
   size_t total_intervals_ = 0;
 };
 

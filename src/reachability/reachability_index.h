@@ -117,8 +117,18 @@ class ReachabilityOracle {
   /// the hot path. Readers must aggregate on the thread that probed.
   IndexStats& stats() const { return stats_slot_.Local(); }
 
+  /// Pins an external buffer (e.g. a read-only file mapping) for this
+  /// oracle's lifetime. Zero-copy loaders call this on the root oracle
+  /// of a loaded index so that flat-array views borrowed from the
+  /// buffer outlive every probe; the root owns all nested sub-indexes,
+  /// so one pin covers the whole decorator chain.
+  void RetainBuffer(std::shared_ptr<const void> buffer) {
+    retained_buffers_.push_back(std::move(buffer));
+  }
+
  private:
   PerThread<IndexStats> stats_slot_;
+  std::vector<std::shared_ptr<const void>> retained_buffers_;
 };
 
 }  // namespace gtpq

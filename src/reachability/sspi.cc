@@ -8,54 +8,58 @@
 namespace gtpq {
 
 Sspi Sspi::Build(const Digraph& g) {
-  Sspi idx;
-  idx.scc_ = ComputeScc(g);
-  Digraph cond = BuildCondensation(g, idx.scc_);
+  SccResult scc = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, scc);
   const size_t m = cond.NumNodes();
 
   auto order = TopologicalSort(cond);
   GTPQ_CHECK(order.size() == m);
-  idx.tree_parent_.assign(m, kInvalidNode);
+  std::vector<NodeId> tree_parent(m, kInvalidNode);
   for (NodeId v : order) {
     for (NodeId w : cond.OutNeighbors(v)) {
-      if (idx.tree_parent_[w] == kInvalidNode) idx.tree_parent_[w] = v;
+      if (tree_parent[w] == kInvalidNode) tree_parent[w] = v;
     }
   }
   std::vector<std::vector<NodeId>> children(m);
   for (NodeId v = 0; v < m; ++v) {
-    if (idx.tree_parent_[v] != kInvalidNode) {
-      children[idx.tree_parent_[v]].push_back(v);
+    if (tree_parent[v] != kInvalidNode) {
+      children[tree_parent[v]].push_back(v);
     }
   }
   // Pre/post numbering of the spanning forest.
-  idx.pre_.assign(m, 0);
-  idx.post_.assign(m, 0);
+  std::vector<uint32_t> pre(m, 0), post(m, 0);
   uint32_t pre_counter = 0, post_counter = 0;
   std::vector<std::pair<NodeId, size_t>> stack;
   for (NodeId root = 0; root < m; ++root) {
-    if (idx.tree_parent_[root] != kInvalidNode) continue;
+    if (tree_parent[root] != kInvalidNode) continue;
     stack.emplace_back(root, 0);
     while (!stack.empty()) {
       auto& [v, cursor] = stack.back();
-      if (cursor == 0) idx.pre_[v] = pre_counter++;
+      if (cursor == 0) pre[v] = pre_counter++;
       if (cursor < children[v].size()) {
         stack.emplace_back(children[v][cursor++], 0);
         continue;
       }
-      idx.post_[v] = post_counter++;
+      post[v] = post_counter++;
       stack.pop_back();
     }
   }
   // Surplus predecessors: non-tree in-edges.
-  idx.surplus_.resize(m);
+  Sspi idx;
+  std::vector<std::vector<NodeId>> surplus(m);
   for (NodeId v = 0; v < m; ++v) {
     for (NodeId w : cond.OutNeighbors(v)) {
-      if (idx.tree_parent_[w] != v) {
-        idx.surplus_[w].push_back(v);
+      if (tree_parent[w] != v) {
+        surplus[w].push_back(v);
         ++idx.total_surplus_;
       }
     }
   }
+  idx.scc_ = SccView(std::move(scc));
+  idx.pre_ = std::move(pre);
+  idx.post_ = std::move(post);
+  idx.tree_parent_ = std::move(tree_parent);
+  idx.surplus_ = NestedPodArray<NodeId>(std::move(surplus));
   return idx;
 }
 
@@ -110,14 +114,14 @@ bool Sspi::Reaches(NodeId from, NodeId to) const {
 }
 
 void Sspi::SaveBody(storage::Writer* w) const {
-  storage::SaveSccResult(scc_, w);
+  storage::SaveSccView(scc_, w);
   storage::WriteFields(w, pre_, post_, tree_parent_, surplus_,
                        total_surplus_);
 }
 
 Result<Sspi> Sspi::LoadBody(storage::Reader* r) {
   Sspi idx;
-  GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
+  GTPQ_RETURN_NOT_OK(storage::LoadSccView(r, &idx.scc_));
   GTPQ_RETURN_NOT_OK(storage::ReadFields(r, &idx.pre_, &idx.post_,
                                          &idx.tree_parent_, &idx.surplus_,
                                          &idx.total_surplus_));

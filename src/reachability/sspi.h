@@ -6,6 +6,7 @@
 #include "common/per_thread.h"
 #include "common/status.h"
 #include "graph/algorithms.h"
+#include "reachability/index_view.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
@@ -47,10 +48,10 @@ class Sspi : public ReachabilityOracle {
     return pre_[anc] < pre_[desc] && post_[desc] <= post_[anc];
   }
 
-  SccResult scc_;
-  std::vector<uint32_t> pre_, post_;
-  std::vector<NodeId> tree_parent_;
-  std::vector<std::vector<NodeId>> surplus_;  // per condensation node
+  SccView scc_;
+  PodArray<uint32_t> pre_, post_;
+  PodArray<NodeId> tree_parent_;
+  NestedPodArray<NodeId> surplus_;  // per condensation node
   size_t total_surplus_ = 0;
   // Probe-expansion memoization. Thread-confined so one shared index
   // can serve concurrent probes from a whole query-serving pool.

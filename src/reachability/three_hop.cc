@@ -54,17 +54,17 @@ std::vector<ChainPos> DiffEntries(const std::vector<ChainPos>& mine,
 }  // namespace
 
 ThreeHopIndex ThreeHopIndex::Build(const Digraph& g) {
-  ThreeHopIndex idx;
-  idx.scc_ = ComputeScc(g);
-  Digraph cond = BuildCondensation(g, idx.scc_);
+  // Build into plain vectors; the view members wrap (and take ownership
+  // of) the finished arrays at the end.
+  SccResult scc = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, scc);
   const size_t m = cond.NumNodes();
-  idx.cover_ = BuildGreedyChainCover(cond);
-  idx.pos_.resize(m);
+  ChainCover cover = BuildGreedyChainCover(cond);
+  std::vector<ChainPos> pos(m);
   for (CondId c = 0; c < m; ++c) {
-    idx.pos_[c] = ChainPos{idx.cover_.cid_of[c], idx.cover_.sid_of[c]};
+    pos[c] = ChainPos{cover.cid_of[c], cover.sid_of[c]};
   }
-  idx.lout_.resize(m);
-  idx.lin_.resize(m);
+  std::vector<std::vector<ChainPos>> lout(m), lin(m);
 
   auto order = TopologicalSort(cond);
   GTPQ_CHECK(order.size() == m);
@@ -84,18 +84,18 @@ ThreeHopIndex ThreeHopIndex::Build(const Digraph& g) {
       CondId v = *it;
       scratch.clear();
       for (NodeId w : cond.OutNeighbors(v)) {
-        scratch.push_back(idx.pos_[w]);
+        scratch.push_back(pos[w]);
         scratch.insert(scratch.end(), X[w].begin(), X[w].end());
       }
-      X[v] = CompressEntries(&scratch, idx.pos_[v].cid, /*keep_min=*/true);
+      X[v] = CompressEntries(&scratch, pos[v].cid, /*keep_min=*/true);
 
-      const uint32_t cid = idx.pos_[v].cid;
-      const uint32_t sid = idx.pos_[v].sid;
-      if (sid + 1 < idx.cover_.chains[cid].size()) {
-        CondId succ = idx.cover_.chains[cid][sid + 1];
-        idx.lout_[v] = DiffEntries(X[v], X[succ], /*keep_min=*/true);
+      const uint32_t cid = pos[v].cid;
+      const uint32_t sid = pos[v].sid;
+      if (sid + 1 < cover.chains[cid].size()) {
+        CondId succ = cover.chains[cid][sid + 1];
+        lout[v] = DiffEntries(X[v], X[succ], /*keep_min=*/true);
       } else {
-        idx.lout_[v] = X[v];
+        lout[v] = X[v];
       }
       for (NodeId w : cond.OutNeighbors(v)) {
         if (--remaining_in[w] == 0) {
@@ -116,18 +116,18 @@ ThreeHopIndex ThreeHopIndex::Build(const Digraph& g) {
     for (CondId v : order) {
       scratch.clear();
       for (NodeId u : cond.InNeighbors(v)) {
-        scratch.push_back(idx.pos_[u]);
+        scratch.push_back(pos[u]);
         scratch.insert(scratch.end(), Y[u].begin(), Y[u].end());
       }
-      Y[v] = CompressEntries(&scratch, idx.pos_[v].cid, /*keep_min=*/false);
+      Y[v] = CompressEntries(&scratch, pos[v].cid, /*keep_min=*/false);
 
-      const uint32_t cid = idx.pos_[v].cid;
-      const uint32_t sid = idx.pos_[v].sid;
+      const uint32_t cid = pos[v].cid;
+      const uint32_t sid = pos[v].sid;
       if (sid > 0) {
-        CondId pred = idx.cover_.chains[cid][sid - 1];
-        idx.lin_[v] = DiffEntries(Y[v], Y[pred], /*keep_min=*/false);
+        CondId pred = cover.chains[cid][sid - 1];
+        lin[v] = DiffEntries(Y[v], Y[pred], /*keep_min=*/false);
       } else {
-        idx.lin_[v] = Y[v];
+        lin[v] = Y[v];
       }
       for (NodeId u : cond.InNeighbors(v)) {
         if (--remaining_out[u] == 0) {
@@ -138,22 +138,29 @@ ThreeHopIndex ThreeHopIndex::Build(const Digraph& g) {
   }
 
   // ---- Tracing pointers.
-  idx.next_with_lout_.assign(m, kNoCond);
-  idx.prev_with_lin_.assign(m, kNoCond);
-  for (const auto& chain : idx.cover_.chains) {
+  std::vector<CondId> next_with_lout(m, kNoCond), prev_with_lin(m, kNoCond);
+  for (const auto& chain : cover.chains) {
     CondId last_with_lout = kNoCond;
     for (size_t i = chain.size(); i-- > 0;) {
       CondId c = chain[i];
-      idx.next_with_lout_[c] = last_with_lout;
-      if (!idx.lout_[c].empty()) last_with_lout = c;
+      next_with_lout[c] = last_with_lout;
+      if (!lout[c].empty()) last_with_lout = c;
     }
     CondId last_with_lin = kNoCond;
     for (CondId c : chain) {
-      idx.prev_with_lin_[c] = last_with_lin;
-      if (!idx.lin_[c].empty()) last_with_lin = c;
+      prev_with_lin[c] = last_with_lin;
+      if (!lin[c].empty()) last_with_lin = c;
     }
   }
 
+  ThreeHopIndex idx;
+  idx.scc_ = SccView(std::move(scc));
+  idx.cover_ = ChainCoverView(std::move(cover));
+  idx.pos_ = std::move(pos);
+  idx.lout_ = NestedPodArray<ChainPos>(std::move(lout));
+  idx.lin_ = NestedPodArray<ChainPos>(std::move(lin));
+  idx.next_with_lout_ = std::move(next_with_lout);
+  idx.prev_with_lin_ = std::move(prev_with_lin);
   for (CondId c = 0; c < m; ++c) {
     idx.total_lout_ += idx.lout_[c].size();
     idx.total_lin_ += idx.lin_[c].size();
@@ -193,16 +200,16 @@ bool ThreeHopIndex::Reaches(NodeId from, NodeId to) const {
 }
 
 void ThreeHopIndex::SaveBody(storage::Writer* w) const {
-  storage::SaveSccResult(scc_, w);
-  storage::SaveChainCover(cover_, w);
+  storage::SaveSccView(scc_, w);
+  storage::SaveChainCoverView(cover_, w);
   storage::WriteFields(w, pos_, lout_, lin_, next_with_lout_,
                        prev_with_lin_, total_lout_, total_lin_);
 }
 
 Result<ThreeHopIndex> ThreeHopIndex::LoadBody(storage::Reader* r) {
   ThreeHopIndex idx;
-  GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &idx.scc_));
-  GTPQ_RETURN_NOT_OK(storage::LoadChainCover(r, &idx.cover_));
+  GTPQ_RETURN_NOT_OK(storage::LoadSccView(r, &idx.scc_));
+  GTPQ_RETURN_NOT_OK(storage::LoadChainCoverView(r, &idx.cover_));
   GTPQ_RETURN_NOT_OK(storage::ReadFields(
       r, &idx.pos_, &idx.lout_, &idx.lin_, &idx.next_with_lout_,
       &idx.prev_with_lin_, &idx.total_lout_, &idx.total_lin_));

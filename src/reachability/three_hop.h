@@ -6,6 +6,7 @@
 #include "common/status.h"
 #include "graph/algorithms.h"
 #include "reachability/chain_cover.h"
+#include "reachability/index_view.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
@@ -71,9 +72,9 @@ class ThreeHopIndex : public ReachabilityOracle {
 
   /// Entry positions (successor list) of condensation node c; entries
   /// lie on chains other than c's own.
-  const std::vector<ChainPos>& Lout(CondId c) const { return lout_[c]; }
+  const PodArray<ChainPos>& Lout(CondId c) const { return lout_[c]; }
   /// Exit positions (predecessor list) of c.
-  const std::vector<ChainPos>& Lin(CondId c) const { return lin_[c]; }
+  const PodArray<ChainPos>& Lin(CondId c) const { return lin_[c]; }
 
   /// Smallest strictly-larger same-chain node with non-empty Lout
   /// (forward tracing pointer); kNoCond at the chain top.
@@ -120,8 +121,8 @@ class ThreeHopIndex : public ReachabilityOracle {
     return false;
   }
 
-  const ChainCover& cover() const { return cover_; }
-  const SccResult& scc() const { return scc_; }
+  const ChainCoverView& cover() const { return cover_; }
+  const SccView& scc() const { return scc_; }
 
   /// Persistence hooks (storage/index_io.h): SaveBody appends the
   /// labeling to a payload writer; LoadBody parses it back without
@@ -133,11 +134,14 @@ class ThreeHopIndex : public ReachabilityOracle {
  private:
   ThreeHopIndex() = default;
 
-  SccResult scc_;
-  ChainCover cover_;        // over the condensation DAG
-  std::vector<ChainPos> pos_;  // condensation node -> position
-  std::vector<std::vector<ChainPos>> lout_, lin_;
-  std::vector<CondId> next_with_lout_, prev_with_lin_;
+  // Flat state lives behind the IndexView seam: each array either owns
+  // its elements (Build / heap loads) or borrows them from a pinned
+  // read-only file mapping (LoadBody under a zero-copy reader).
+  SccView scc_;
+  ChainCoverView cover_;      // over the condensation DAG
+  PodArray<ChainPos> pos_;    // condensation node -> position
+  NestedPodArray<ChainPos> lout_, lin_;
+  PodArray<CondId> next_with_lout_, prev_with_lin_;
   size_t total_lout_ = 0, total_lin_ = 0;
 };
 

@@ -7,24 +7,27 @@ namespace gtpq {
 
 TransitiveClosure TransitiveClosure::Build(const Digraph& g) {
   TransitiveClosure tc;
-  tc.scc_ = ComputeScc(g);
-  Digraph cond = BuildCondensation(g, tc.scc_);
+  SccResult scc = ComputeScc(g);
+  Digraph cond = BuildCondensation(g, scc);
   const size_t m = cond.NumNodes();
   tc.words_per_row_ = (m + 63) / 64;
-  tc.rows_.assign(m, std::vector<uint64_t>(tc.words_per_row_, 0));
+  std::vector<std::vector<uint64_t>> rows(
+      m, std::vector<uint64_t>(tc.words_per_row_, 0));
 
   auto order = TopologicalSort(cond);
   GTPQ_CHECK(order.size() == m) << "condensation must be acyclic";
   // Reverse topological: successors first.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     NodeId v = *it;
-    auto& row = tc.rows_[v];
+    auto& row = rows[v];
     for (NodeId w : cond.OutNeighbors(v)) {
       row[w >> 6] |= uint64_t{1} << (w & 63);
-      const auto& wrow = tc.rows_[w];
+      const auto& wrow = rows[w];
       for (size_t i = 0; i < tc.words_per_row_; ++i) row[i] |= wrow[i];
     }
   }
+  tc.scc_ = SccView(std::move(scc));
+  tc.rows_ = NestedPodArray<uint64_t>(std::move(rows));
   return tc;
 }
 
@@ -39,13 +42,13 @@ bool TransitiveClosure::Reaches(NodeId from, NodeId to) const {
 }
 
 void TransitiveClosure::SaveBody(storage::Writer* w) const {
-  storage::SaveSccResult(scc_, w);
+  storage::SaveSccView(scc_, w);
   storage::WriteFields(w, words_per_row_, rows_);
 }
 
 Result<TransitiveClosure> TransitiveClosure::LoadBody(storage::Reader* r) {
   TransitiveClosure tc;
-  GTPQ_RETURN_NOT_OK(storage::LoadSccResult(r, &tc.scc_));
+  GTPQ_RETURN_NOT_OK(storage::LoadSccView(r, &tc.scc_));
   GTPQ_RETURN_NOT_OK(storage::ReadFields(r, &tc.words_per_row_, &tc.rows_));
   // One row per condensation node, wide enough for every column bit —
   // Reaches() indexes rows_[cu][cv >> 6] without further checks.

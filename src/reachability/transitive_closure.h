@@ -5,6 +5,7 @@
 
 #include "common/status.h"
 #include "graph/algorithms.h"
+#include "reachability/index_view.h"
 #include "reachability/reachability_index.h"
 
 namespace gtpq {
@@ -40,9 +41,9 @@ class TransitiveClosure : public ReachabilityOracle {
     return (rows_[cu][cv >> 6] >> (cv & 63)) & 1;
   }
 
-  SccResult scc_;
+  SccView scc_;
   size_t words_per_row_ = 0;
-  std::vector<std::vector<uint64_t>> rows_;  // per condensation node
+  NestedPodArray<uint64_t> rows_;  // per condensation node
 };
 
 }  // namespace gtpq

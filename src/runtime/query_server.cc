@@ -14,7 +14,16 @@ QueryServer::QueryServer(const DataGraph& g, QueryServerOptions options)
   factory_ = SharedEngineFactory::Make(options_.engine_spec, g_,
                                        options_.cross_names,
                                        options_.delta_options);
-  GTPQ_CHECK(factory_ != nullptr);
+  if (factory_ == nullptr) {
+    // An unloadable index (missing file, wrong fingerprint, corrupt
+    // bytes) or an unknown spec must not abort a serving binary; the
+    // caller checks status() (NetServer::Start forwards it).
+    status_ = Status::InvalidArgument(
+        "engine spec '" + options_.engine_spec +
+        "' did not materialize (unknown spec, or its index failed to "
+        "load — see the warning above)");
+    return;
+  }
   const std::shared_ptr<const EngineSnapshot> initial =
       factory_->snapshot();
   workers_.reserve(options_.num_threads);

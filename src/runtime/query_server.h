@@ -80,11 +80,18 @@ struct QueryServerOptions {
 class QueryServer {
  public:
   /// `g` must outlive the server (it backs the epoch-0 snapshot and
-  /// remains the base graph of the incremental oracle overlay). Aborts
-  /// (GTPQ_CHECK) on unknown engine specs; validate with
-  /// SharedEngineFactory::Make first when the spec is untrusted.
+  /// remains the base graph of the incremental oracle overlay). An
+  /// unknown engine spec — or one whose artifacts cannot be
+  /// materialized, e.g. a file:/mmap: index that is missing, corrupt,
+  /// or fingerprinted for a different graph — leaves the server in a
+  /// failed state reported by status(); every other method requires
+  /// status().ok(). NetServer::Start surfaces the status, so serving
+  /// binaries get a one-line error instead of an abort.
   QueryServer(const DataGraph& g, QueryServerOptions options = {});
   ~QueryServer();
+
+  /// OK when the engine spec materialized and the pool is serving.
+  const Status& status() const { return status_; }
 
   size_t num_threads() const { return workers_.size(); }
   std::string_view engine_spec() const { return options_.engine_spec; }
@@ -171,6 +178,7 @@ class QueryServer {
 
   const DataGraph& g_;
   QueryServerOptions options_;
+  Status status_;
   std::unique_ptr<SharedEngineFactory> factory_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<ThreadPool> pool_;

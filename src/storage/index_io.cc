@@ -13,6 +13,7 @@
 #include "reachability/sspi.h"
 #include "reachability/three_hop.h"
 #include "reachability/transitive_closure.h"
+#include "storage/mmap_file.h"
 
 namespace gtpq {
 namespace storage {
@@ -40,7 +41,7 @@ Status ReadFile(const std::string& path, std::string* out) {
 /// Validates the fixed prologue and the checksum, leaving `r` positioned
 /// at the spec string. Fills every IndexFileInfo field except payload
 /// parsing side effects.
-Status OpenHeader(const std::string& bytes, const std::string& path,
+Status OpenHeader(std::string_view bytes, const std::string& path,
                   IndexFileInfo* info, Reader* r) {
   if (bytes.size() < kChecksummedOffset) {
     return Status::ParseError("index file too short (" +
@@ -68,7 +69,8 @@ Status OpenHeader(const std::string& bytes, const std::string& path,
         "index checksum mismatch (truncated or corrupted file): " + path);
   }
 
-  *r = Reader(std::string_view(bytes).substr(kChecksummedOffset));
+  *r = Reader(bytes.substr(kChecksummedOffset));
+  r->set_pod_align(true);
   info->format_version = version;
   info->file_bytes = bytes.size();
   GTPQ_RETURN_NOT_OK(r->ReadString(&info->spec));
@@ -76,6 +78,10 @@ Status OpenHeader(const std::string& bytes, const std::string& path,
   GTPQ_RETURN_NOT_OK(r->ReadU64(&info->num_nodes));
   GTPQ_RETURN_NOT_OK(r->ReadU64(&info->num_edges));
   GTPQ_RETURN_NOT_OK(r->ReadU64(&info->payload_bytes));
+  // The header is zero-padded to the next 8-byte boundary so the payload
+  // starts 8-aligned (offset 16 is itself 8-aligned, so file offsets and
+  // reader offsets agree mod 8).
+  GTPQ_RETURN_NOT_OK(r->AlignTo8());
   if (info->payload_bytes != r->remaining()) {
     return Status::ParseError(
         "index payload size mismatch: header says " +
@@ -107,6 +113,34 @@ Result<std::unique_ptr<ReachabilityOracle>> LoadImpl(
   return oracle;
 }
 
+Result<std::unique_ptr<ReachabilityOracle>> LoadViewImpl(
+    const std::string& path, const Digraph* expected_graph) {
+  auto mapping_r = MmapFile::Map(path);
+  GTPQ_RETURN_NOT_OK(mapping_r.status());
+  std::shared_ptr<MmapFile> mapping = mapping_r.TakeValue();
+  IndexFileInfo info;
+  Reader r{std::string_view()};
+  GTPQ_RETURN_NOT_OK(OpenHeader(mapping->bytes(), path, &info, &r));
+  if (expected_graph != nullptr) {
+    const uint64_t expected = GraphFingerprint(*expected_graph);
+    if (expected != info.graph_fingerprint) {
+      return Status::FailedPrecondition(
+          "index was built for a different graph (file fingerprint " +
+          std::to_string(info.graph_fingerprint) + ", serving graph " +
+          std::to_string(expected) + "): " + path);
+    }
+  }
+  // From here on POD arrays borrow the mapped pages instead of copying.
+  r.set_zero_copy(true);
+  auto oracle = LoadOracleBody(info.spec, &r);
+  GTPQ_RETURN_NOT_OK(oracle.status());
+  GTPQ_RETURN_NOT_OK(r.ExpectEnd());
+  // The root oracle owns every nested sub-index, so pinning the mapping
+  // here keeps all borrowed views valid for the oracle's whole life.
+  (*oracle)->RetainBuffer(std::move(mapping));
+  return oracle;
+}
+
 }  // namespace
 
 uint64_t GraphFingerprint(const Digraph& g) {
@@ -132,14 +166,19 @@ uint64_t GraphFingerprint(const Digraph& g) {
 Status SaveReachabilityIndex(const ReachabilityOracle& oracle,
                              const Digraph& g, const std::string& path) {
   Writer body;
+  body.set_pod_align(true);
   GTPQ_RETURN_NOT_OK(SaveOracleBody(oracle, &body));
 
   Writer header;
+  header.set_pod_align(true);
   header.WriteString(oracle.name());
   header.WriteU64(GraphFingerprint(g));
   header.WriteU64(g.NumNodes());
   header.WriteU64(g.NumEdges());
   header.WriteU64(body.buffer().size());
+  // Pad so the payload begins on an 8-byte file offset; the body writer
+  // placed its own pod pads assuming an 8-aligned start.
+  header.AlignTo8();
 
   // Chain the CRC across header and body so neither needs to be
   // concatenated into a third buffer — the payload (quadratic for
@@ -172,6 +211,16 @@ Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndex(
 Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndex(
     const std::string& path, const Digraph& expected_graph) {
   return LoadImpl(path, &expected_graph);
+}
+
+Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndexView(
+    const std::string& path) {
+  return LoadViewImpl(path, nullptr);
+}
+
+Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndexView(
+    const std::string& path, const Digraph& expected_graph) {
+  return LoadViewImpl(path, &expected_graph);
 }
 
 Result<IndexFileInfo> InspectReachabilityIndex(const std::string& path) {
@@ -305,20 +354,20 @@ Result<std::unique_ptr<ReachabilityOracle>> LoadOracleBody(
                                std::string(spec) + "'");
 }
 
-void SaveSccResult(const SccResult& scc, Writer* w) {
-  w->WritePodVec(scc.component_of);
+void SaveSccView(const SccView& scc, Writer* w) {
+  w->WritePodArray(scc.component_of);
   w->WriteU64(scc.num_components);
-  w->WritePodVec(scc.component_size);
-  w->WritePodVec(scc.cyclic);
+  w->WritePodArray(scc.component_size);
+  w->WritePodArray(scc.cyclic);
 }
 
-Status LoadSccResult(Reader* r, SccResult* out) {
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->component_of));
+Status LoadSccView(Reader* r, SccView* out) {
+  GTPQ_RETURN_NOT_OK(r->ReadPodArray(&out->component_of));
   uint64_t num_components = 0;
   GTPQ_RETURN_NOT_OK(r->ReadU64(&num_components));
   out->num_components = static_cast<size_t>(num_components);
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->component_size));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->cyclic));
+  GTPQ_RETURN_NOT_OK(r->ReadPodArray(&out->component_size));
+  GTPQ_RETURN_NOT_OK(r->ReadPodArray(&out->cyclic));
   if (out->component_size.size() != out->num_components ||
       out->cyclic.size() != out->num_components) {
     return Status::ParseError("inconsistent SCC section sizes");
@@ -349,6 +398,11 @@ Status LoadDigraph(Reader* r, Digraph* out) {
   uint64_t num_nodes = 0, num_edges = 0;
   GTPQ_RETURN_NOT_OK(r->ReadU64(&num_nodes));
   GTPQ_RETURN_NOT_OK(r->ReadU64(&num_edges));
+  if (num_nodes > 0xFFFFFFFFull) {
+    // NodeId is 32-bit; also bounds the Digraph allocation below before
+    // a corrupt count can be trusted.
+    return Status::ParseError("digraph section node count out of range");
+  }
   if (num_edges > r->remaining() / 8) {
     return Status::ParseError("digraph section edge count overruns payload");
   }
@@ -372,16 +426,16 @@ Status LoadDigraph(Reader* r, Digraph* out) {
   return Status::OK();
 }
 
-void SaveChainCover(const ChainCover& cover, Writer* w) {
-  w->WritePodVec(cover.cid_of);
-  w->WritePodVec(cover.sid_of);
-  w->WriteNestedVec(cover.chains);
+void SaveChainCoverView(const ChainCoverView& cover, Writer* w) {
+  w->WritePodArray(cover.cid_of);
+  w->WritePodArray(cover.sid_of);
+  w->WriteNestedPodArray(cover.chains);
 }
 
-Status LoadChainCover(Reader* r, ChainCover* out) {
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->cid_of));
-  GTPQ_RETURN_NOT_OK(r->ReadPodVec(&out->sid_of));
-  GTPQ_RETURN_NOT_OK(r->ReadNestedVec(&out->chains));
+Status LoadChainCoverView(Reader* r, ChainCoverView* out) {
+  GTPQ_RETURN_NOT_OK(r->ReadPodArray(&out->cid_of));
+  GTPQ_RETURN_NOT_OK(r->ReadPodArray(&out->sid_of));
+  GTPQ_RETURN_NOT_OK(r->ReadNestedPodArray(&out->chains));
   if (out->cid_of.size() != out->sid_of.size()) {
     return Status::ParseError("inconsistent chain cover section sizes");
   }

@@ -10,6 +10,7 @@
 #include "graph/algorithms.h"
 #include "graph/digraph.h"
 #include "reachability/chain_cover.h"
+#include "reachability/index_view.h"
 #include "reachability/reachability_index.h"
 #include "storage/serializer.h"
 
@@ -28,15 +29,24 @@ namespace storage {
 ///                       graph the index was built from)
 ///               u64     num nodes, u64 num edges of that graph
 ///               u64     payload size in bytes
+///               zero pad to the next 8-byte file offset
 ///             payload: backend-specific body (each backend's SaveBody;
 ///             decorators nest their inner oracle's section)
+///
+/// Format v2 is the pod_align layout (storage/serializer.h): the header
+/// is padded so the payload starts 8-aligned, and every POD vector in
+/// the payload pads after its count prefix so its element bytes sit on
+/// an 8-byte file offset. Since offset 16 is itself 8-aligned, file
+/// alignment equals mapped-memory alignment — which is what lets
+/// LoadReachabilityIndexView hand out element views pointing straight
+/// into read-only mmap'd pages instead of heap copies.
 ///
 /// Readers reject, with a clean Status and no crash: wrong magic,
 /// version mismatch, checksum mismatch (covers truncation and bit
 /// corruption), trailing bytes, and — when the caller supplies the
 /// graph being served — a fingerprint mismatch.
 inline constexpr std::string_view kIndexMagic = "GTPQIDX\n";
-inline constexpr uint32_t kIndexFormatVersion = 1;
+inline constexpr uint32_t kIndexFormatVersion = 2;
 inline constexpr std::string_view kIndexFileExtension = ".gtpqidx";
 
 /// Order-sensitive 64-bit digest of a finalized graph's structure
@@ -73,6 +83,19 @@ Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndex(
 Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndex(
     const std::string& path, const Digraph& expected_graph);
 
+/// Zero-copy load: validates the header/CRC/fingerprint over a
+/// read-only shared mapping of `path` and constructs backends whose
+/// flat-array views BORROW the mapped payload instead of copying it —
+/// probe paths then read page-faulted mapped memory shared with every
+/// other process mapping the same file. The mapping's lifetime is
+/// pinned on the returned root oracle (RetainBuffer), which owns all
+/// nested sub-indexes, so the views stay valid for the oracle's whole
+/// life. Served through the factory as "mmap:<path>".
+Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndexView(
+    const std::string& path);
+Result<std::unique_ptr<ReachabilityOracle>> LoadReachabilityIndexView(
+    const std::string& path, const Digraph& expected_graph);
+
 /// Reads and validates (magic, version, checksum) the header only.
 Result<IndexFileInfo> InspectReachabilityIndex(const std::string& path);
 
@@ -88,11 +111,16 @@ Result<std::unique_ptr<ReachabilityOracle>> LoadOracleBody(
     std::string_view spec, Reader* r);
 
 // --- Codecs for substructures shared across backends ------------------
+//
+// Backends hold these substructures through the IndexView seam
+// (reachability/index_view.h), so the codecs speak the view types:
+// saves read owned-or-borrowed arrays transparently, loads produce
+// borrowed views under a zero-copy reader and owned copies otherwise.
 
-void SaveSccResult(const SccResult& scc, Writer* w);
-Status LoadSccResult(Reader* r, SccResult* out);
-void SaveChainCover(const ChainCover& cover, Writer* w);
-Status LoadChainCover(Reader* r, ChainCover* out);
+void SaveSccView(const SccView& scc, Writer* w);
+Status LoadSccView(Reader* r, SccView* out);
+void SaveChainCoverView(const ChainCoverView& cover, Writer* w);
+Status LoadChainCoverView(Reader* r, ChainCoverView* out);
 /// Structure-only digraph codec (node count + edge list). Used by the
 /// delta-overlay section, whose immutable base graph travels inside the
 /// index file so a loaded snapshot can keep searching the overlay.

@@ -1,0 +1,66 @@
+#include "storage/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define GTPQ_MMAP_POSIX 1
+#endif
+
+namespace gtpq {
+namespace storage {
+
+#if defined(GTPQ_MMAP_POSIX)
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Map(const std::string& path) {
+  int fd;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    return Status::NotFound("cannot open index file: " + path + ": " +
+                            std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) < 0) {
+    const Status err =
+        Status::Internal("fstat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return err;
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::ParseError("index file is empty: " + path);
+  }
+  void* addr = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  // The mapping pins the inode; the descriptor is no longer needed.
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    return Status::Internal("mmap " + path + ": " + std::strerror(errno));
+  }
+  return std::shared_ptr<MmapFile>(new MmapFile(path, addr, size));
+}
+
+MmapFile::~MmapFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+#else  // !GTPQ_MMAP_POSIX
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Map(const std::string& path) {
+  (void)path;
+  return Status::Unimplemented("MmapFile requires POSIX mmap");
+}
+
+MmapFile::~MmapFile() = default;
+
+#endif  // GTPQ_MMAP_POSIX
+
+}  // namespace storage
+}  // namespace gtpq

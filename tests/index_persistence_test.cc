@@ -156,6 +156,9 @@ class PersistenceRejectionTest : public ::testing::Test {
         storage::SaveReachabilityIndex(*built, g_->graph(), path_).ok());
     bytes_ = ReadFileBytes(path_);
     ASSERT_GT(bytes_.size(), 32u);
+    auto info = storage::InspectReachabilityIndex(path_);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    payload_bytes_ = info->payload_bytes;
   }
 
   void TearDown() override { std::remove(path_.c_str()); }
@@ -171,9 +174,12 @@ class PersistenceRejectionTest : public ::testing::Test {
     ASSERT_FALSE(checked.ok());
   }
 
+  size_t PayloadBytes() const { return payload_bytes_; }
+
   std::unique_ptr<DataGraph> g_;
   std::string path_;
   std::string bytes_;
+  size_t payload_bytes_ = 0;
 };
 
 TEST_F(PersistenceRejectionTest, MissingFileIsNotFound) {
@@ -193,6 +199,43 @@ TEST_F(PersistenceRejectionTest, TruncationIsRejected) {
                       bytes_.size() / 2, bytes_.size() - 1}) {
     ExpectRejected(bytes_.substr(0, keep), StatusCode::kParseError);
   }
+}
+
+TEST_F(PersistenceRejectionTest, TruncationAtEveryByteIsRejected) {
+  // Exhaustive truncation fuzz over the whole saved file: every prefix
+  // must fail with a clean Status (the CRC covers all of them), and —
+  // more importantly under ASan — must never allocate from a parsed
+  // length that overruns the remaining bytes.
+  for (size_t keep = 0; keep < bytes_.size(); ++keep) {
+    WriteFileBytes(path_, bytes_.substr(0, keep));
+    auto loaded = storage::LoadReachabilityIndex(path_);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << keep << " bytes loaded";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kParseError)
+        << "prefix " << keep << ": " << loaded.status().ToString();
+  }
+}
+
+TEST_F(PersistenceRejectionTest, BodyTruncationAtEveryByteFailsCleanly) {
+  // The CRC normally rejects truncation before the body parser ever
+  // runs. Drive LoadOracleBody directly over every truncated body
+  // prefix to exercise the section bounds checks themselves: a length
+  // prefix must be validated against the remaining payload BEFORE any
+  // allocation, so a lying count can neither overrun the buffer nor
+  // OOM the process.
+  const size_t body_start = bytes_.size() - PayloadBytes();
+  const std::string_view body =
+      std::string_view(bytes_).substr(body_start);
+  for (size_t keep = 0; keep < body.size(); ++keep) {
+    storage::Reader r(body.substr(0, keep));
+    r.set_pod_align(true);
+    auto oracle = storage::LoadOracleBody("three_hop", &r);
+    ASSERT_FALSE(oracle.ok()) << "body prefix of " << keep << " bytes";
+  }
+  // The untruncated body still parses, proving the loop above fails
+  // for the right reason.
+  storage::Reader full(body);
+  full.set_pod_align(true);
+  ASSERT_TRUE(storage::LoadOracleBody("three_hop", &full).ok());
 }
 
 TEST_F(PersistenceRejectionTest, VersionMismatchIsRejected) {

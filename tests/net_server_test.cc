@@ -30,9 +30,14 @@
 #if defined(__linux__)
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 #endif
+
+#include <chrono>
+#include <optional>
 
 namespace gtpq {
 namespace {
@@ -736,6 +741,191 @@ TEST(NetServerTest, WireUpdatesAndQueriesSeeOneEpoch) {
   EXPECT_FALSE(rejected.ok());
   EXPECT_EQ(client.Stats()->epoch, stream.size());
 }
+
+#if defined(__linux__)
+
+// ------------------------------------- interrupted & partial syscalls
+
+std::atomic<int> g_sigusr1_count{0};
+void CountSigusr1(int) {
+  g_sigusr1_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+// A client thread peppered with non-SA_RESTART signals must still get
+// every answer: any read()/write()/connect() inside NetClient can
+// return EINTR at any point, and a lost retry shows up here as a
+// failed Connect, a short frame, or a CRC mismatch. Regression test
+// for the client-side EINTR handling (connect completes via
+// poll+SO_ERROR; IO loops resume mid-frame).
+TEST(NetServerTest, SignalPepperedClientGetsEveryAnswer) {
+  DataGraph g = RandomDag({.num_nodes = 60,
+                           .avg_degree = 2.2,
+                           .num_labels = 6,
+                           .locality = 1.0,
+                           .seed = 13});
+  const std::vector<Gtpq> queries = MakeQueries(g, 4, 500);
+  ASSERT_GE(queries.size(), 2u) << "generator starved";
+  const std::vector<std::string> texts = ToTexts(g, queries);
+
+  net::NetServerOptions options;
+  options.runtime.num_threads = 2;
+  net::NetServer server(g, options);
+  START_OR_SKIP(server);
+  const std::vector<QueryResult> expected =
+      server.runtime().EvaluateBatch(queries);
+
+  // SIGUSR1 without SA_RESTART: every blocking syscall in the peppered
+  // thread can fail with EINTR instead of resuming transparently.
+  g_sigusr1_count.store(0, std::memory_order_relaxed);
+  struct sigaction action, previous;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &CountSigusr1;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::thread victim([&]() {
+    // Fresh connection per round so ::connect() gets signal exposure
+    // too, then a pipelined burst over it.
+    for (int round = 0; round < 12; ++round) {
+      net::NetClient client;
+      const Status st = client.Connect("127.0.0.1", server.port());
+      if (!st.ok()) {
+        ++failures;
+        ADD_FAILURE() << "connect: " << st.ToString();
+        continue;
+      }
+      for (int rep = 0; rep < 4; ++rep) {
+        auto batch = client.QueryBatch(texts);
+        if (!batch.ok()) {
+          ++failures;
+          ADD_FAILURE() << "batch: " << batch.status().ToString();
+          break;
+        }
+        if (batch->results != expected) {
+          ++failures;
+          ADD_FAILURE() << "round " << round << " answers diverged";
+        }
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+
+  // Pepper until the victim finishes. pthread_kill on a joinable
+  // thread is valid until join(), even after its body returns.
+  while (!done.load(std::memory_order_acquire)) {
+    pthread_kill(victim.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+  victim.join();
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(g_sigusr1_count.load(std::memory_order_relaxed), 50)
+      << "pepper never landed; the test proved nothing";
+  server.Stop();
+}
+
+// A slow reader with a tiny receive window forces the server's writes
+// short: send() accepts partial frames (or 0 bytes / EAGAIN) and the
+// remainder must survive in the output backlog until the socket
+// drains. Regression test for the flush path treating a 0-byte write
+// as backpressure, not as a vanished peer.
+TEST(NetServerTest, SlowReaderWithTinyWindowGetsCompleteResponses) {
+  DataGraph g = RandomDag({.num_nodes = 60,
+                           .avg_degree = 2.2,
+                           .num_labels = 6,
+                           .locality = 1.0,
+                           .seed = 17});
+  const std::vector<Gtpq> queries = MakeQueries(g, 4, 700);
+  ASSERT_GE(queries.size(), 2u) << "generator starved";
+  std::vector<std::string> texts;
+  for (int rep = 0; rep < 64; ++rep) {
+    const auto batch = ToTexts(g, queries);
+    texts.insert(texts.end(), batch.begin(), batch.end());
+  }
+  std::vector<Gtpq> all_queries;
+  for (int rep = 0; rep < 64; ++rep) {
+    for (const Gtpq& q : queries) all_queries.push_back(q);
+  }
+
+  net::NetServerOptions options;
+  options.runtime.num_threads = 2;
+  net::NetServer server(g, options);
+  START_OR_SKIP(server);
+  const std::vector<QueryResult> expected =
+      server.runtime().EvaluateBatch(all_queries);
+
+  // Raw socket with the smallest receive buffer the kernel will give
+  // us, set before connect so the advertised window starts tiny.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 1024;
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                         sizeof(rcvbuf)),
+            0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  std::string bytes;
+  net::EncodeFrame(FrameType::kHello, 1, net::EncodeHello(), &bytes);
+  net::EncodeFrame(FrameType::kBatch, 2,
+                   net::EncodeBatchRequest({0, texts}), &bytes);
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+
+  // Let the server evaluate and slam into the tiny window before we
+  // start draining.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // Drain in 512-byte sips with pauses: the server flushes a little,
+  // hits a short write, re-arms, flushes again.
+  FrameDecoder decoder;
+  std::optional<Frame> hello_ok, batch_result;
+  char buf[512];
+  int sips = 0;
+  while (!batch_result.has_value()) {
+    auto frame = decoder.Next();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    if (frame->has_value()) {
+      if ((*frame)->type == FrameType::kHelloOk) {
+        hello_ok = std::move(**frame);
+      } else {
+        batch_result = std::move(**frame);
+      }
+      continue;
+    }
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ASSERT_GT(n, 0) << "server hung up mid-response";
+    decoder.Append(buf, static_cast<size_t>(n));
+    if (++sips % 16 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_TRUE(hello_ok.has_value());
+  ASSERT_EQ(batch_result->type, FrameType::kBatchResult);
+  EXPECT_EQ(batch_result->request_id, 2u);
+  net::WireBatchResult decoded;
+  ASSERT_TRUE(
+      net::DecodeBatchResult(batch_result->payload, &decoded).ok());
+  EXPECT_EQ(decoded.results, expected);
+  ::close(fd);
+  server.Stop();
+}
+
+#endif  // defined(__linux__)
 
 }  // namespace
 }  // namespace gtpq

@@ -44,6 +44,7 @@
 // `--connect=` subcommands (`query`, `apply`, `stats`) are thin
 // net/client.h wrappers, so a built index can be served from one shell
 // and queried/updated from another.
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -82,7 +83,7 @@ int Usage() {
       "usage:\n"
       "  gteactl build   (--graph=<file> | --gen=<spec>) [--index=<spec>] "
       "--out=<path>\n"
-      "  gteactl inspect <index-file>\n"
+      "  gteactl inspect <index-file> [--mmap]\n"
       "  gteactl verify  <index-file> (--graph=<file> | --gen=<spec>) "
       "[--probes=<n>] [--seed=<s>]\n"
       "  gteactl apply   <index-file> --updates=<file> (--graph=<file> | "
@@ -90,7 +91,8 @@ int Usage() {
       "                  --out=<path> [--graph-out=<path>] [--compact]\n"
       "  gteactl serve   (--graph=<file> | --gen=<spec>) [--index=<spec> | "
       "--engine=<spec>]\n"
-      "                  [--port=<p>] [--bind=<addr>] [--threads=<n>]\n"
+      "                  [--mmap] [--port=<p>] [--bind=<addr>] "
+      "[--threads=<n>]\n"
       "                  [--coalesce=<n>] [--window-us=<x>]\n"
       "  gteactl query   --connect=<host:port> (--file=<query-file> | "
       "--text=<query>)\n"
@@ -104,7 +106,9 @@ int Usage() {
       "index specs:     any MakeReachabilityIndex spec (contour, "
       "three_hop,\n"
       "                 interval, sspi, chain_cover, transitive_closure,\n"
-      "                 cached:<spec>, sharded:<spec>, delta:<spec>)\n");
+      "                 cached:<spec>, sharded:<spec>, delta:<spec>,\n"
+      "                 file:<path>, mmap:<path>; serve --mmap rewrites\n"
+      "                 a file: index to the zero-copy mmap: loader)\n");
   return 2;
 }
 
@@ -116,6 +120,31 @@ std::optional<std::string> FlagValue(int argc, char** argv,
     if (std::strncmp(argv[i], prefix, len) == 0) value = argv[i] + len;
   }
   return value;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Rewrites the trailing "file:<path>" loader of an oracle spec (bare or
+/// under decorators) to the zero-copy "mmap:<path>" loader. Returns
+/// false when the spec has no file: loader to rewrite.
+bool RewriteFileSpecToMmap(std::string* spec) {
+  if (spec->rfind("mmap:", 0) == 0 ||
+      spec->find(":mmap:") != std::string::npos) {
+    return true;  // already zero-copy
+  }
+  size_t pos = 0;
+  if (spec->rfind("file:", 0) != 0) {
+    const size_t mid = spec->find(":file:");
+    if (mid == std::string::npos) return false;
+    pos = mid + 1;
+  }
+  spec->replace(pos, 5, "mmap:");
+  return true;
 }
 
 Result<DataGraph> ResolveGraph(int argc, char** argv) {
@@ -200,7 +229,7 @@ int RunBuild(int argc, char** argv) {
 }
 
 int RunInspect(int argc, char** argv) {
-  if (argc < 3) return Usage();
+  if (argc < 3 || argv[2][0] == '-') return Usage();
   auto info = storage::InspectReachabilityIndex(argv[2]);
   if (!info.ok()) {
     std::fprintf(stderr, "inspect: %s\n",
@@ -208,6 +237,20 @@ int RunInspect(int argc, char** argv) {
     return 1;
   }
   PrintInfo(info.ValueOrDie());
+  if (HasFlag(argc, argv, "--mmap")) {
+    // Full zero-copy parse over a read-only mapping: proves the payload
+    // is servable through mmap:, not just that the header checks out.
+    Timer map_timer;
+    auto view = storage::LoadReachabilityIndexView(argv[2]);
+    if (!view.ok()) {
+      std::fprintf(stderr, "inspect: %s\n",
+                   view.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("mmap           : zero-copy parse OK (%s) in %.1f ms\n",
+                std::string((*view)->name()).c_str(),
+                map_timer.ElapsedMillis());
+  }
   return 0;
 }
 
@@ -371,10 +414,20 @@ int RunApply(int argc, char** argv) {
   const double apply_ms = apply_timer.ElapsedMillis();
 
   const DataGraph updated = view.MaterializeDataGraph(g);
+  // Write-temp + rename: a live server mapping (or re-reading) the old
+  // file under `out` keeps its pinned inode; the new index appears
+  // atomically — no reader ever sees a half-written file.
+  const std::string tmp = *out + ".tmp";
   const Status saved =
-      storage::SaveReachabilityIndex(*overlay, updated.graph(), *out);
+      storage::SaveReachabilityIndex(*overlay, updated.graph(), tmp);
   if (!saved.ok()) {
     std::fprintf(stderr, "apply: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  if (std::rename(tmp.c_str(), out->c_str()) != 0) {
+    std::fprintf(stderr, "apply: cannot rename %s over %s: %s\n",
+                 tmp.c_str(), out->c_str(), std::strerror(errno));
+    std::remove(tmp.c_str());
     return 1;
   }
   if (auto graph_out = FlagValue(argc, argv, "--graph-out=")) {
@@ -413,10 +466,16 @@ std::unique_ptr<net::NetClient> ConnectFlag(int argc, char** argv,
   const auto connect = FlagValue(argc, argv, "--connect=");
   std::string host;
   uint16_t port = 0;
-  if (!connect.has_value() ||
-      !net::ParseHostPort(*connect, &host, &port)) {
+  if (!connect.has_value()) {
     std::fprintf(stderr, "%s: --connect=<host:port> is required\n",
                  command);
+    return nullptr;
+  }
+  if (!net::ParseHostPort(*connect, &host, &port)) {
+    std::fprintf(stderr,
+                 "%s: malformed --connect address '%s' (want "
+                 "<host:port> with a numeric port in [1, 65535])\n",
+                 command, connect->c_str());
     return nullptr;
   }
   auto client = std::make_unique<net::NetClient>();
@@ -463,12 +522,23 @@ int RunServe(int argc, char** argv) {
   net::NetServerOptions options;
   // --engine= takes a full engine spec ("naive", "gtea:cached:contour");
   // --index= is the common shorthand for "gtea:<oracle spec>", which
-  // also serves prebuilt files via --index=file:<path>.
+  // also serves prebuilt files via --index=file:<path>. With --mmap the
+  // file: loader is rewritten to mmap:, so the index body is served
+  // from a read-only shared mapping instead of a heap copy.
+  std::string oracle_spec;
   if (auto engine = FlagValue(argc, argv, "--engine=")) {
     options.runtime.engine_spec = *engine;
   } else {
-    options.runtime.engine_spec =
-        "gtea:" + FlagValue(argc, argv, "--index=").value_or("contour");
+    oracle_spec = FlagValue(argc, argv, "--index=").value_or("contour");
+    if (HasFlag(argc, argv, "--mmap") &&
+        !RewriteFileSpecToMmap(&oracle_spec)) {
+      std::fprintf(stderr,
+                   "serve: --mmap needs a file:<path> (or mmap:<path>) "
+                   "index, got '%s'\n",
+                   oracle_spec.c_str());
+      return 1;
+    }
+    options.runtime.engine_spec = "gtea:" + oracle_spec;
   }
   unsigned long long port = options.port;
   unsigned long long threads = options.runtime.num_threads;

@@ -37,6 +37,7 @@ KEY_INT_FIELDS = {
     "pipeline",
     "requests",
     "parallelism",
+    "mmap",
 }
 THROUGHPUT_MARKERS = ("per_sec", "qps", "throughput")
 TIME_SUFFIXES = ("_ms", "_time")
@@ -74,10 +75,15 @@ def compare_reports(name, baseline, current, threshold):
     warnings = []
     base_rows = index_rows(baseline)
     for key, row in index_rows(current).items():
+        label = ", ".join(f"{k}={v}" for k, v in key[0]) or name
         base = base_rows.get(key)
         if base is None:
+            # A row key the baseline run never produced — a new sweep
+            # axis or bench variant (e.g. a fresh "parallelism" or
+            # "mmap" column), not a regression. Note it and move on so
+            # newly added benches never fail the diff.
+            print(f"perf-diff: {name}: new row (no baseline): {label}")
             continue
-        label = ", ".join(f"{k}={v}" for k, v in key[0]) or name
         for field, value in row.items():
             old = base.get(field)
             if (
