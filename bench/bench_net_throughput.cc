@@ -58,7 +58,10 @@ ClientStats RunClient(const std::string& host, uint16_t port,
                       size_t requests, size_t pipeline, uint64_t limit) {
   ClientStats out;
   net::NetClient client;
-  const Status connected = client.Connect(host, port);
+  // Retry ECONNREFUSED with bounded backoff: in CI the external server
+  // may still be binding when the bench launches, and a fixed sleep in
+  // the workflow is exactly the race this absorbs.
+  const Status connected = net::ConnectWithRetry(&client, host, port);
   if (!connected.ok()) {
     std::fprintf(stderr, "client: %s\n", connected.ToString().c_str());
     out.errors = requests;
@@ -301,7 +304,7 @@ int main(int argc, char** argv) {
   // counter is exactly the requests this process pushed (self-hosted
   // servers serve nobody else).
   net::NetClient stats_client;
-  if (stats_client.Connect(host, port).ok()) {
+  if (net::ConnectWithRetry(&stats_client, host, port).ok()) {
     auto stats = stats_client.Stats();
     if (stats.ok()) {
       std::printf("server stats: engine %s, epoch %llu, %llu queries in "

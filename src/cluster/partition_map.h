@@ -1,0 +1,105 @@
+#ifndef GTPQ_CLUSTER_PARTITION_MAP_H_
+#define GTPQ_CLUSTER_PARTITION_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/digraph.h"
+#include "reachability/transitive_closure.h"
+
+namespace gtpq {
+namespace cluster {
+
+/// On-disk layout of a ".gtpqmap" cluster partition map (all scalars
+/// little-endian, same prologue discipline as ".gtpqidx"):
+///
+///   [0..8)    magic "GTPQMAP\n"
+///   [8..12)   u32 format version (kMapFormatVersion)
+///   [12..16)  u32 CRC-32 over every byte from offset 16 to EOF
+///   [16..)    body (storage Writer/Reader, pod_align layout):
+///               u64     full-graph fingerprint (storage::GraphFingerprint)
+///               u64     num nodes, u64 num edges of that graph
+///               string  per-shard index spec ("interval", ...)
+///               u64     shard count S
+///               S x     u64 range begin, u64 range end  [begin, end)
+///               S x     string shard endpoint ("host:port")
+///               S x     u64 fingerprint of the shard's induced local
+///                       subgraph (what its .gtpqidx is stamped with)
+///               vec     boundary vertices (global NodeIds, ascending)
+///               vec     cross-shard edges (interleaved u32 global pairs)
+///               S x     vec per-shard overlay contribution (interleaved
+///                       u32 boundary-index pairs)
+///               ...     replicated boundary-overlay TransitiveClosure
+///                       (TransitiveClosure::SaveBody)
+///
+/// The map is everything a router needs to answer cross-shard
+/// reachability without touching a shard: range ownership for id
+/// translation, the boundary overlay closure for exit->entry hops, and
+/// the per-shard contributions + cross edges to REBUILD that closure
+/// after a routed update changes one shard's boundary connectivity.
+///
+/// Load rejects, with a clean Status: wrong magic, version mismatch,
+/// checksum mismatch, overlapping shard ranges, ranges that leave a
+/// vertex uncovered, and per-shard layout miscounts. Save writes the
+/// struct verbatim (no validation), so tests can author bad maps.
+inline constexpr std::string_view kMapMagic = "GTPQMAP\n";
+inline constexpr uint32_t kMapFormatVersion = 1;
+inline constexpr std::string_view kMapFileExtension = ".gtpqmap";
+
+/// One shard's contiguous global-vertex range [begin, end).
+struct ShardRange {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+struct PartitionMap {
+  uint64_t graph_fingerprint = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  /// Factory spec of every shard's index (the partitioner builds one
+  /// sub-index per shard from this).
+  std::string inner_spec = "interval";
+  std::vector<ShardRange> ranges;
+  /// Per-shard serving endpoint ("host:port"); may be overridden at
+  /// route time.
+  std::vector<std::string> endpoints;
+  /// GraphFingerprint of each shard's induced local subgraph — what the
+  /// shard's own .gtpqidx must be stamped with.
+  std::vector<uint64_t> shard_fingerprints;
+
+  // Boundary machinery (mirrors ShardedOracle; see its class comment).
+  std::vector<NodeId> boundary;
+  std::vector<std::pair<NodeId, NodeId>> cross_edges;
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> shard_overlay;
+  /// Closure of (cross edges + all contributions) over boundary ids.
+  std::shared_ptr<const TransitiveClosure> overlay_closure;
+
+  size_t num_shards() const { return ranges.size(); }
+  /// Owning shard of a global vertex; num_shards() when uncovered.
+  size_t ShardOf(NodeId v) const;
+
+  /// Structural consistency: >= 1 shard, ranges ascending and exactly
+  /// tiling [0, num_nodes), per-shard vector sizes agreeing, boundary/
+  /// overlay indices in range. Load runs this; builders may too.
+  Status Validate() const;
+};
+
+Status SavePartitionMap(const PartitionMap& map, const std::string& path);
+Result<PartitionMap> LoadPartitionMap(const std::string& path);
+
+/// Rejects (FailedPrecondition) when the shard's persisted index at
+/// `index_path` is stamped with a different subgraph fingerprint than
+/// the map expects — the map and the index were built from different
+/// partitionings or graphs and must not serve together.
+Status VerifyShardIndex(const PartitionMap& map, size_t shard,
+                        const std::string& index_path);
+
+}  // namespace cluster
+}  // namespace gtpq
+
+#endif  // GTPQ_CLUSTER_PARTITION_MAP_H_

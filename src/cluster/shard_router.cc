@@ -1,0 +1,409 @@
+#include "cluster/shard_router.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "dynamic/graph_delta.h"
+#include "graph/digraph.h"
+
+namespace gtpq {
+namespace cluster {
+
+ShardRouter::ShardRouter(PartitionMap map, ShardRouterOptions options)
+    : map_(std::move(map)),
+      endpoints_(options.endpoints.empty() ? map_.endpoints
+                                           : std::move(options.endpoints)),
+      limits_(options.limits),
+      name_("cluster:" + map_.inner_spec) {
+  boundary_id_.reserve(map_.boundary.size());
+  for (uint32_t b = 0; b < map_.boundary.size(); ++b) {
+    boundary_id_.emplace(map_.boundary[b], b);
+  }
+  shard_boundary_.resize(map_.num_shards());
+  for (uint32_t b = 0; b < map_.boundary.size(); ++b) {
+    shard_boundary_[map_.ShardOf(map_.boundary[b])].push_back(b);
+  }
+  cross_b_.reserve(map_.cross_edges.size());
+  for (const auto& [x, y] : map_.cross_edges) {
+    cross_b_.emplace_back(boundary_id_.at(x), boundary_id_.at(y));
+  }
+  contributions_ = map_.shard_overlay;
+  closure_ = map_.overlay_closure;
+  shard_epochs_.assign(map_.num_shards(), 0);
+}
+
+Result<std::unique_ptr<ShardRouter>> ShardRouter::Connect(
+    PartitionMap map, ShardRouterOptions options) {
+  GTPQ_RETURN_NOT_OK(map.Validate());
+  if (!options.endpoints.empty() &&
+      options.endpoints.size() != map.num_shards()) {
+    return Status::InvalidArgument(
+        "router got " + std::to_string(options.endpoints.size()) +
+        " endpoints for " + std::to_string(map.num_shards()) + " shards");
+  }
+  auto router = std::unique_ptr<ShardRouter>(
+      new ShardRouter(std::move(map), std::move(options)));
+  for (size_t s = 0; s < router->num_shards(); ++s) {
+    net::NetClient* client = router->Client(s);
+    if (client == nullptr) {
+      return Status::Internal(
+          "cannot bring up shard " + std::to_string(s) + " at " +
+          router->endpoints_[s] + " (see preceding warning)");
+    }
+    std::lock_guard<std::mutex> lock(router->epoch_mutex_);
+    router->shard_epochs_[s] = client->server_info().epoch;
+  }
+  return router;
+}
+
+net::NetClient* ShardRouter::Client(size_t shard) const {
+  auto& slots = clients_.Local();
+  if (slots.size() != num_shards()) slots.resize(num_shards());
+  if (slots[shard] != nullptr && slots[shard]->connected()) {
+    return slots[shard].get();
+  }
+  std::string host;
+  uint16_t port = 0;
+  if (!net::ParseHostPort(endpoints_[shard], &host, &port)) {
+    GTPQ_LOG(Warning) << "shard " << shard << " endpoint is not host:port: "
+                      << endpoints_[shard];
+    return nullptr;
+  }
+  auto client = std::make_unique<net::NetClient>();
+  const Status status = net::ConnectWithRetry(client.get(), host, port,
+                                              limits_);
+  if (!status.ok()) {
+    GTPQ_LOG(Warning) << "shard " << shard << " at " << endpoints_[shard]
+                      << " unreachable: " << status.ToString();
+    return nullptr;
+  }
+  const uint64_t expect =
+      map_.ranges[shard].end - map_.ranges[shard].begin;
+  if (client->server_info().graph_nodes != expect) {
+    GTPQ_LOG(Warning) << "shard " << shard << " at " << endpoints_[shard]
+                      << " serves " << client->server_info().graph_nodes
+                      << " nodes, map expects " << expect
+                      << " — wrong shard behind this endpoint?";
+    return nullptr;
+  }
+  slots[shard] = std::move(client);
+  return slots[shard].get();
+}
+
+void ShardRouter::DropClient(size_t shard) const {
+  auto& slots = clients_.Local();
+  if (shard < slots.size()) slots[shard].reset();
+}
+
+std::shared_ptr<const TransitiveClosure> ShardRouter::closure() const {
+  std::lock_guard<std::mutex> lock(closure_mutex_);
+  return closure_;
+}
+
+std::vector<uint64_t> ShardRouter::shard_epochs() const {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  return shard_epochs_;
+}
+
+Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
+                                       size_t sv) const {
+  const bool same = su == sv;
+  // A cross-shard path must leave through an exit of su and arrive
+  // through an entry of sv; a shard with no boundary admits neither.
+  if (!same &&
+      (shard_boundary_[su].empty() || shard_boundary_[sv].empty())) {
+    return false;
+  }
+
+  net::ProbeRequest fwd;
+  fwd.reverse = false;
+  fwd.pivot = LocalId(from, su);
+  if (same) fwd.ids.push_back(LocalId(to, sv));
+  for (uint32_t b : shard_boundary_[su]) {
+    fwd.ids.push_back(LocalId(map_.boundary[b], su));
+  }
+  net::ProbeRequest rev;
+  rev.reverse = true;
+  rev.pivot = LocalId(to, sv);
+  for (uint32_t b : shard_boundary_[sv]) {
+    rev.ids.push_back(LocalId(map_.boundary[b], sv));
+  }
+
+  net::NetClient* cu = Client(su);
+  if (cu == nullptr) return Status::Internal("no connection to shard " +
+                                                std::to_string(su));
+  net::NetClient* cv = same ? cu : Client(sv);
+  if (cv == nullptr) return Status::Internal("no connection to shard " +
+                                                std::to_string(sv));
+
+  // Scatter both probes before gathering either: in the cross-shard
+  // case they overlap on two connections; in the same-shard case they
+  // pipeline back to back on one.
+  auto fwd_id = cu->SendProbe(fwd);
+  if (!fwd_id.ok()) {
+    DropClient(su);
+    return fwd_id.status();
+  }
+  Result<uint64_t> rev_id = 0;
+  const bool want_rev = !rev.ids.empty();
+  if (want_rev) {
+    rev_id = cv->SendProbe(rev);
+    if (!rev_id.ok()) {
+      DropClient(sv);
+      DropClient(su);  // fwd response now orphaned; start clean
+      return rev_id.status();
+    }
+  }
+
+  auto decode = [](Result<std::string> payload, size_t want,
+                   net::ProbeResult* out) -> Status {
+    GTPQ_RETURN_NOT_OK(payload.status());
+    GTPQ_RETURN_NOT_OK(net::DecodeProbeResult(*payload, out));
+    if (out->count != want) {
+      return Status::ParseError("probe result count mismatch");
+    }
+    return Status::OK();
+  };
+  net::ProbeResult fr;
+  Status status = decode(
+      cu->WaitForResponse(*fwd_id, net::FrameType::kProbeResult),
+      fwd.ids.size(), &fr);
+  if (!status.ok()) {
+    DropClient(su);
+    if (want_rev) DropClient(sv);
+    return status;
+  }
+  net::ProbeResult rr;
+  if (want_rev) {
+    status = decode(cv->WaitForResponse(*rev_id, net::FrameType::kProbeResult),
+                    rev.ids.size(), &rr);
+    if (!status.ok()) {
+      DropClient(sv);
+      return status;
+    }
+  }
+
+  IndexStats& st = stats();
+  st.elements_looked_up += fwd.ids.size() + rev.ids.size();
+
+  const size_t off = same ? 1 : 0;
+  if (same && fr.Get(0)) return true;
+
+  // Exits of `from`: boundaries it reaches intra-shard, plus itself
+  // (zero-length exit) when it is one — Reaches(from, from) must not
+  // require a cycle here, mirroring ShardedOracle.
+  std::vector<uint32_t> exits;
+  for (size_t i = 0; i < shard_boundary_[su].size(); ++i) {
+    const uint32_t b = shard_boundary_[su][i];
+    if (map_.boundary[b] == from || fr.Get(off + i)) exits.push_back(b);
+  }
+  if (exits.empty()) return false;
+  std::vector<uint32_t> entries;
+  for (size_t i = 0; i < shard_boundary_[sv].size(); ++i) {
+    const uint32_t b = shard_boundary_[sv][i];
+    if (map_.boundary[b] == to || rr.Get(i)) entries.push_back(b);
+  }
+  if (entries.empty()) return false;
+
+  const std::shared_ptr<const TransitiveClosure> closure = this->closure();
+  for (uint32_t b1 : exits) {
+    for (uint32_t b2 : entries) {
+      if (closure->Reaches(b1, b2)) return true;
+    }
+  }
+  return false;
+}
+
+bool ShardRouter::Reaches(NodeId from, NodeId to) const {
+  IndexStats& st = stats();
+  ++st.queries;
+  const size_t su = map_.ShardOf(from);
+  const size_t sv = map_.ShardOf(to);
+  if (su >= num_shards() || sv >= num_shards()) return false;
+  auto result = ProbeCluster(from, to, su, sv);
+  if (!result.ok()) {
+    // bool has no error channel; a failed probe is a (loudly logged)
+    // miss, and the dropped connection reconnects on the next call.
+    GTPQ_LOG(Warning) << "cluster probe " << from << " -> " << to
+                      << " failed: " << result.status().ToString();
+    return false;
+  }
+  return *result;
+}
+
+namespace {
+
+Status RejectStructural(const std::string& what) {
+  return Status::FailedPrecondition(
+      "cluster router cannot apply " + what +
+      " natively: it would change the partition structure (repartition "
+      "with gteactl partition instead)");
+}
+
+}  // namespace
+
+Status ShardRouter::ApplyNativeUpdate(const UpdateBatch& batch) const {
+  std::lock_guard<std::mutex> update_lock(update_mutex_);
+
+  if (!batch.add_nodes.empty()) {
+    return RejectStructural("node additions");
+  }
+  constexpr size_t kNoOwner = static_cast<size_t>(-1);
+  size_t owner = kNoOwner;
+  auto claim = [&owner](size_t shard) -> Status {
+    if (owner == kNoOwner) owner = shard;
+    if (owner != shard) {
+      return Status::FailedPrecondition(
+          "cluster router applies one batch to one owning shard; split "
+          "multi-shard batches upstream");
+    }
+    return Status::OK();
+  };
+  auto check_edge = [&](const EdgeRef& e) -> Status {
+    const size_t sf = map_.ShardOf(e.from);
+    const size_t st = map_.ShardOf(e.to);
+    if (sf >= num_shards() || st >= num_shards()) {
+      return Status::InvalidArgument(
+          "update references vertex beyond the partitioned graph (" +
+          std::to_string(e.from) + " -> " + std::to_string(e.to) + ")");
+    }
+    if (sf != st) return RejectStructural("cross-shard edges");
+    return claim(sf);
+  };
+  for (const EdgeRef& e : batch.add_edges) GTPQ_RETURN_NOT_OK(check_edge(e));
+  for (const EdgeRef& e : batch.remove_edges) {
+    GTPQ_RETURN_NOT_OK(check_edge(e));
+  }
+  for (const NodeId v : batch.remove_nodes) {
+    if (map_.ShardOf(v) >= num_shards()) {
+      return Status::InvalidArgument("update removes unknown vertex " +
+                                     std::to_string(v));
+    }
+    if (boundary_id_.count(v) != 0) {
+      return RejectStructural("boundary-vertex removals");
+    }
+    GTPQ_RETURN_NOT_OK(claim(map_.ShardOf(v)));
+  }
+
+  std::vector<uint64_t> epochs(num_shards(), 0);
+  const UpdateBatch barrier;  // empty batch: epoch bump, no mutation
+
+  if (owner != kNoOwner) {
+    UpdateBatch local;
+    const auto local_edge = [&](const EdgeRef& e) {
+      return EdgeRef{LocalId(e.from, owner), LocalId(e.to, owner)};
+    };
+    for (const EdgeRef& e : batch.add_edges) {
+      local.add_edges.push_back(local_edge(e));
+    }
+    for (const EdgeRef& e : batch.remove_edges) {
+      local.remove_edges.push_back(local_edge(e));
+    }
+    for (const NodeId v : batch.remove_nodes) {
+      local.remove_nodes.push_back(LocalId(v, owner));
+    }
+
+    net::NetClient* client = Client(owner);
+    if (client == nullptr) {
+      return Status::Internal("owning shard " + std::to_string(owner) +
+                                 " is unreachable; nothing applied");
+    }
+    auto applied = client->ApplyUpdates({&local, 1});
+    if (!applied.ok()) {
+      DropClient(owner);
+      return applied.status();
+    }
+    epochs[owner] = applied->epoch;
+
+    // The shard's intra-shard reachability changed; re-probe its
+    // boundary-to-boundary contribution (pipelined, one probe per exit
+    // boundary) and rebuild the replicated closure before any other
+    // shard — or any later query — can observe the new epoch.
+    const std::vector<uint32_t>& bs = shard_boundary_[owner];
+    std::vector<NodeId> locals;
+    locals.reserve(bs.size());
+    for (uint32_t b : bs) {
+      locals.push_back(LocalId(map_.boundary[b], owner));
+    }
+    std::vector<uint64_t> request_ids;
+    request_ids.reserve(bs.size());
+    for (const NodeId pivot : locals) {
+      net::ProbeRequest request;
+      request.reverse = false;
+      request.pivot = pivot;
+      request.ids = locals;
+      auto id = client->SendProbe(request);
+      if (!id.ok()) {
+        DropClient(owner);
+        return id.status();
+      }
+      request_ids.push_back(*id);
+    }
+    std::vector<std::pair<uint32_t, uint32_t>> contribution;
+    for (size_t i = 0; i < bs.size(); ++i) {
+      net::ProbeResult result;
+      auto payload = client->WaitForResponse(request_ids[i],
+                                             net::FrameType::kProbeResult);
+      if (!payload.ok()) {
+        DropClient(owner);
+        return payload.status();
+      }
+      GTPQ_RETURN_NOT_OK(net::DecodeProbeResult(*payload, &result));
+      if (result.count != bs.size()) {
+        return Status::ParseError("contribution probe count mismatch");
+      }
+      for (size_t j = 0; j < bs.size(); ++j) {
+        if (result.Get(j)) contribution.emplace_back(bs[i], bs[j]);
+      }
+    }
+    contributions_[owner] = std::move(contribution);
+    RebuildClosure();
+  }
+
+  // Epoch barrier: every shard that did not apply the batch commits one
+  // empty batch, so all shard epochs advance together and a probe can
+  // never observe some shards before and some after this update.
+  for (size_t s = 0; s < num_shards(); ++s) {
+    if (s == owner) continue;
+    net::NetClient* client = Client(s);
+    if (client == nullptr) {
+      return Status::Internal("shard " + std::to_string(s) +
+                                 " unreachable during epoch barrier");
+    }
+    auto applied = client->ApplyUpdates({&barrier, 1});
+    if (!applied.ok()) {
+      DropClient(s);
+      return applied.status();
+    }
+    epochs[s] = applied->epoch;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(epoch_mutex_);
+    shard_epochs_ = epochs;
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(epochs.begin(), epochs.end());
+  if (*min_it != *max_it) {
+    GTPQ_LOG(Warning) << "cluster epochs diverged after update (min "
+                      << *min_it << ", max " << *max_it
+                      << "); did something update a shard directly?";
+  }
+  return Status::OK();
+}
+
+void ShardRouter::RebuildClosure() const {
+  Digraph overlay(map_.boundary.size());
+  for (const auto& [b1, b2] : cross_b_) overlay.AddEdge(b1, b2);
+  for (const auto& contribution : contributions_) {
+    for (const auto& [b1, b2] : contribution) overlay.AddEdge(b1, b2);
+  }
+  overlay.Finalize();
+  auto next = std::make_shared<const TransitiveClosure>(
+      TransitiveClosure::Build(overlay));
+  std::lock_guard<std::mutex> lock(closure_mutex_);
+  closure_ = std::move(next);
+}
+
+}  // namespace cluster
+}  // namespace gtpq

@@ -1,0 +1,137 @@
+#ifndef GTPQ_CLUSTER_SHARD_ROUTER_H_
+#define GTPQ_CLUSTER_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/partition_map.h"
+#include "common/per_thread.h"
+#include "common/status.h"
+#include "net/client.h"
+#include "reachability/reachability_index.h"
+#include "reachability/transitive_closure.h"
+
+namespace gtpq {
+namespace cluster {
+
+struct ShardRouterOptions {
+  /// Per-shard "host:port" endpoints; empty uses the ones baked into the
+  /// map, otherwise must be sized num_shards.
+  std::vector<std::string> endpoints;
+  net::WireLimits limits;
+};
+
+/// Scatter-gather reachability over a cluster of `gteactl serve`
+/// processes, one per contiguous vertex shard of a PartitionMap.
+///
+/// The router replicates only the map's boundary machinery (boundary
+/// vertex ids, cross edges, per-shard overlay contributions, and the
+/// overlay transitive closure); per-shard labelings live in the shard
+/// processes and are consulted through pipelined gtpq-wire PROBE
+/// frames. Reaches(u, v) mirrors ShardedOracle exactly:
+///
+///  * same shard — one forward probe answers "u reaches v intra-shard"
+///    and "u reaches each shard boundary" in a single round trip
+///    (ids = [v, boundaries...]), pipelined with the reverse entry
+///    probe on the same connection;
+///  * cross shard — a forward probe on u's shard (exits) and a reverse
+///    probe on v's shard (entries) fly concurrently on two
+///    connections, then exits x entries are folded through the local
+///    closure with zero further wire traffic.
+///
+/// Wire failures cannot be reported through the bool probe interface,
+/// so a failed probe logs a warning, drops the connection (the next
+/// call reconnects), and answers false.
+///
+/// Updates: SupportsNativeUpdates() is true, so the serving layer's
+/// SharedEngineFactory routes APPLY_UPDATES here instead of wrapping
+/// the router in a delta overlay. ApplyNativeUpdate applies the batch
+/// on the owning shard, re-probes that shard's boundary-to-boundary
+/// contribution, rebuilds the replicated closure, and then commits an
+/// epoch barrier: every other shard receives one empty batch so all
+/// shard epochs advance in lockstep and no later probe can observe
+/// mixed shard epochs. Batches that would change the partition
+/// structure (node additions, cross-shard edges, boundary-vertex
+/// removals, multi-shard batches) are rejected with FailedPrecondition
+/// before any shard is touched.
+///
+/// Thread safety: probes may run concurrently from any thread
+/// (connections are per-thread, the closure swap is a locked
+/// shared_ptr exchange); ApplyNativeUpdate serializes against itself
+/// and must not run concurrently with probes that require a stable
+/// epoch — the serving layer's serial update dispatcher provides
+/// exactly that barrier.
+class ShardRouter : public ReachabilityOracle {
+ public:
+  /// Validates endpoints, connects to every shard once (bounded
+  /// ECONNREFUSED backoff, so a cluster can come up in any order), and
+  /// checks each server's HELLO against the map: graph_nodes must equal
+  /// the shard's range size. Fails without a usable router on any
+  /// mismatch.
+  static Result<std::unique_ptr<ShardRouter>> Connect(
+      PartitionMap map, ShardRouterOptions options = {});
+
+  std::string_view name() const override { return name_; }
+  bool Reaches(NodeId from, NodeId to) const override;
+
+  bool SupportsNativeUpdates() const override { return true; }
+  Status ApplyNativeUpdate(const UpdateBatch& batch) const override;
+
+  size_t num_shards() const { return map_.num_shards(); }
+  const PartitionMap& map() const { return map_; }
+  /// Last epoch each shard committed (HELLO at connect, then every
+  /// routed update).
+  std::vector<uint64_t> shard_epochs() const;
+
+ private:
+  ShardRouter(PartitionMap map, ShardRouterOptions options);
+
+  /// The calling thread's connection to `shard`, connecting (and
+  /// HELLO-validating) on first use; nullptr after a warning when the
+  /// shard is unreachable or serves the wrong graph.
+  net::NetClient* Client(size_t shard) const;
+  /// Drops the calling thread's connection to `shard` after a wire
+  /// error so the next probe reconnects.
+  void DropClient(size_t shard) const;
+  NodeId LocalId(NodeId v, size_t shard) const {
+    return v - static_cast<NodeId>(map_.ranges[shard].begin);
+  }
+  Result<bool> ProbeCluster(NodeId from, NodeId to, size_t su,
+                            size_t sv) const;
+  std::shared_ptr<const TransitiveClosure> closure() const;
+  /// Rebuilds the replicated overlay closure from cross edges + the
+  /// (possibly just-updated) per-shard contributions.
+  void RebuildClosure() const;
+
+  PartitionMap map_;
+  std::vector<std::string> endpoints_;
+  net::WireLimits limits_;
+  std::string name_;
+
+  // Immutable probe-side structure derived from the map.
+  std::unordered_map<NodeId, uint32_t> boundary_id_;
+  std::vector<std::vector<uint32_t>> shard_boundary_;  // boundary ids
+  std::vector<std::pair<uint32_t, uint32_t>> cross_b_;  // boundary ids
+
+  // Mutable replica state (updates only; probes read the closure via a
+  // locked shared_ptr copy).
+  mutable std::mutex update_mutex_;
+  mutable std::vector<std::vector<std::pair<uint32_t, uint32_t>>>
+      contributions_;
+  mutable std::mutex closure_mutex_;
+  mutable std::shared_ptr<const TransitiveClosure> closure_;
+  mutable std::mutex epoch_mutex_;
+  mutable std::vector<uint64_t> shard_epochs_;
+
+  mutable PerThread<std::vector<std::unique_ptr<net::NetClient>>> clients_;
+};
+
+}  // namespace cluster
+}  // namespace gtpq
+
+#endif  // GTPQ_CLUSTER_SHARD_ROUTER_H_

@@ -1,7 +1,10 @@
 #include "net/client.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <sstream>
 #include <utility>
 
@@ -183,12 +186,9 @@ Result<Frame> NetClient::WaitFor(uint64_t request_id) {
   }
 }
 
-Result<std::string> NetClient::RoundTrip(FrameType type,
-                                         std::string_view payload,
-                                         FrameType expect) {
-  const uint64_t id = next_request_id_++;
-  GTPQ_RETURN_NOT_OK(SendFrame(type, id, payload));
-  auto frame = WaitFor(id);
+Result<std::string> NetClient::WaitForResponse(uint64_t request_id,
+                                               FrameType expect) {
+  auto frame = WaitFor(request_id);
   if (!frame.ok()) return frame.status();
   if (frame->type == FrameType::kError) {
     return DecodeError(frame->payload);
@@ -199,6 +199,14 @@ Result<std::string> NetClient::RoundTrip(FrameType type,
                             FrameTypeName(frame->type));
   }
   return std::move(frame->payload);
+}
+
+Result<std::string> NetClient::RoundTrip(FrameType type,
+                                         std::string_view payload,
+                                         FrameType expect) {
+  const uint64_t id = next_request_id_++;
+  GTPQ_RETURN_NOT_OK(SendFrame(type, id, payload));
+  return WaitForResponse(id, expect);
 }
 
 Result<WireResult> NetClient::Query(const std::string& text,
@@ -256,6 +264,20 @@ Result<ServingStats> NetClient::Stats() {
   return out;
 }
 
+Result<ProbeResult> NetClient::Probe(const ProbeRequest& request) {
+  auto payload = RoundTrip(FrameType::kProbe, EncodeProbeRequest(request),
+                           FrameType::kProbeResult);
+  if (!payload.ok()) return payload.status();
+  ProbeResult out;
+  GTPQ_RETURN_NOT_OK(DecodeProbeResult(*payload, &out));
+  if (out.count != request.ids.size()) {
+    return Status::Internal("probe answered " + std::to_string(out.count) +
+                            " targets, asked " +
+                            std::to_string(request.ids.size()));
+  }
+  return out;
+}
+
 Result<uint64_t> NetClient::SendQuery(const std::string& text,
                                       uint64_t result_limit,
                                       uint32_t parallelism) {
@@ -282,6 +304,38 @@ Result<uint64_t> NetClient::SendBatch(const std::vector<std::string>& texts,
   return id;
 }
 
+Result<uint64_t> NetClient::SendProbe(const ProbeRequest& request) {
+  const uint64_t id = next_request_id_++;
+  GTPQ_RETURN_NOT_OK(
+      SendFrame(FrameType::kProbe, id, EncodeProbeRequest(request)));
+  return id;
+}
+
+Status ConnectWithRetry(NetClient* client, const std::string& host,
+                        uint16_t port, WireLimits limits, int attempts,
+                        int backoff_ms) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      timespec ts;
+      ts.tv_sec = backoff_ms / 1000;
+      ts.tv_nsec = static_cast<long>(backoff_ms % 1000) * 1000000L;
+      ::nanosleep(&ts, nullptr);
+      if (backoff_ms < 500) backoff_ms = std::min(backoff_ms * 2, 500);
+    }
+    last = client->Connect(host, port, limits);
+    if (last.ok()) return last;
+    // Only a refused/timed-out connect means "the server is still
+    // binding"; anything else (bad host, handshake failure) is final.
+    const bool listening_race =
+        last.message().find(std::strerror(ECONNREFUSED)) !=
+            std::string::npos ||
+        last.message().find(std::strerror(ETIMEDOUT)) != std::string::npos;
+    if (!listening_race) return last;
+  }
+  return last;
+}
+
 #else  // !GTPQ_NET_CLIENT_POSIX
 
 NetClient::~NetClient() = default;
@@ -297,6 +351,9 @@ Result<Frame> NetClient::ReadFrame() {
 }
 Result<Frame> NetClient::Receive() { return ReadFrame(); }
 Result<Frame> NetClient::WaitFor(uint64_t) { return ReadFrame(); }
+Result<std::string> NetClient::WaitForResponse(uint64_t, FrameType) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
 Result<std::string> NetClient::RoundTrip(FrameType, std::string_view,
                                          FrameType) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
@@ -323,6 +380,16 @@ Result<uint64_t> NetClient::SendQuery(const std::string&, uint64_t,
 }
 Result<uint64_t> NetClient::SendBatch(const std::vector<std::string>&,
                                       uint64_t, uint32_t) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<ProbeResult> NetClient::Probe(const ProbeRequest&) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<uint64_t> NetClient::SendProbe(const ProbeRequest&) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Status ConnectWithRetry(NetClient*, const std::string&, uint16_t,
+                        WireLimits, int, int) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 

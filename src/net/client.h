@@ -64,6 +64,9 @@ class NetClient {
   Result<ApplyOk> ApplyUpdates(const std::string& updates_text);
   Result<ApplyOk> ApplyUpdates(std::span<const UpdateBatch> batches);
   Result<ServingStats> Stats();
+  /// Reachability scatter-gather probe (see ProbeRequest); node ids are
+  /// local to the server's graph.
+  Result<ProbeResult> Probe(const ProbeRequest& request);
 
   // --- Pipelined calls ------------------------------------------------
 
@@ -75,8 +78,17 @@ class NetClient {
   Result<uint64_t> SendBatch(const std::vector<std::string>& texts,
                              uint64_t result_limit = 0,
                              uint32_t parallelism = 0);
+  Result<uint64_t> SendProbe(const ProbeRequest& request);
   /// Next response frame: parked responses first, then a blocking read.
   Result<Frame> Receive();
+  /// Blocking wait for the response to one previously-sent request;
+  /// responses to other outstanding requests are parked for Receive().
+  /// An ERROR frame becomes its carried status, an unexpected response
+  /// type a protocol error — same unwrapping as the synchronous calls,
+  /// exposed so scatter-gather callers can pipeline several probes and
+  /// then collect them by id.
+  Result<std::string> WaitForResponse(uint64_t request_id,
+                                      FrameType expect);
 
  private:
   Status SendFrame(FrameType type, uint64_t request_id,
@@ -102,6 +114,16 @@ class NetClient {
 /// 127.0.0.1) — the shared syntax of every --connect= flag.
 bool ParseHostPort(const std::string& spec, std::string* host,
                    uint16_t* port);
+
+/// Connect() with bounded backoff while the server is still binding:
+/// ECONNREFUSED (and ETIMEDOUT) retries up to `attempts` times,
+/// sleeping `backoff_ms` then doubling (capped at 500 ms) between
+/// tries. Any other failure — bad host, handshake error — returns
+/// immediately. Shared by the benches and the cluster router so
+/// process-startup races need no external sleeps.
+Status ConnectWithRetry(NetClient* client, const std::string& host,
+                        uint16_t port, WireLimits limits = {},
+                        int attempts = 50, int backoff_ms = 10);
 
 }  // namespace net
 }  // namespace gtpq

@@ -114,6 +114,7 @@ struct NetServer::Impl {
   std::atomic<uint64_t> connections_accepted{0};
   std::atomic<uint64_t> frames_received{0};
   std::atomic<uint64_t> queries_served{0};
+  std::atomic<uint64_t> probes_served{0};
   std::atomic<uint64_t> batches_dispatched{0};
   std::atomic<uint64_t> rejected_overload{0};
   std::atomic<uint64_t> protocol_errors{0};
@@ -426,6 +427,34 @@ void NetServer::Impl::HandleFrame(Connection& conn, Frame frame) {
       SendOn(conn, FrameType::kStatsResult, frame.request_id,
              EncodeServingStats(runtime->serving_stats()));
       return;
+    case FrameType::kProbe: {
+      // Answered inline on the IO thread, like STATS: a probe is a
+      // handful of immutable-snapshot oracle lookups, and the cluster
+      // router's scatter-gather latency would otherwise eat a full
+      // dispatch + coalescing round trip per hop.
+      if (!conn.hello_done) break;
+      ProbeRequest request;
+      const Status st = DecodeProbeRequest(frame.payload, &request);
+      if (!st.ok()) {
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        conn.close_after_flush = true;
+        SendError(conn, frame.request_id, st);
+        return;
+      }
+      ProbeResult result;
+      result.count = static_cast<uint32_t>(request.ids.size());
+      const Status probed = runtime->ProbeReachability(
+          request.reverse, request.pivot, request.ids, &result.epoch,
+          &result.bits);
+      if (!probed.ok()) {
+        SendError(conn, frame.request_id, probed);
+        return;
+      }
+      probes_served.fetch_add(1, std::memory_order_relaxed);
+      SendOn(conn, FrameType::kProbeResult, frame.request_id,
+             EncodeProbeResult(result));
+      return;
+    }
     case FrameType::kQuery:
     case FrameType::kBatch:
     case FrameType::kApplyUpdates: {
@@ -828,6 +857,8 @@ NetServer::Counters NetServer::counters() const {
       impl_->frames_received.load(std::memory_order_relaxed);
   out.queries_served =
       impl_->queries_served.load(std::memory_order_relaxed);
+  out.probes_served =
+      impl_->probes_served.load(std::memory_order_relaxed);
   out.batches_dispatched =
       impl_->batches_dispatched.load(std::memory_order_relaxed);
   out.rejected_overload =

@@ -115,6 +115,8 @@ class NetServer {
     uint64_t connections_accepted = 0;
     uint64_t frames_received = 0;
     uint64_t queries_served = 0;
+    /// PROBE frames answered inline on the IO thread.
+    uint64_t probes_served = 0;
     /// EvaluateBatch dispatches (each = one coalesced group share).
     uint64_t batches_dispatched = 0;
     /// Requests answered with an admission-control ERROR.

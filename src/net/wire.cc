@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstring>
+#include <limits>
 
 #include "common/logging.h"
 #include "storage/serializer.h"
@@ -101,14 +102,14 @@ Status ExpectMagic(Reader* r) {
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kStats);
+         type <= static_cast<uint8_t>(FrameType::kProbe);
 }
 
 bool IsKnownType(uint8_t type) {
   if (IsRequestType(type)) return true;
   if (type == static_cast<uint8_t>(FrameType::kError)) return true;
   return type >= static_cast<uint8_t>(FrameType::kHelloOk) &&
-         type <= static_cast<uint8_t>(FrameType::kStatsResult);
+         type <= static_cast<uint8_t>(FrameType::kProbeResult);
 }
 
 const char* FrameTypeName(FrameType type) {
@@ -118,12 +119,14 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kBatch: return "BATCH";
     case FrameType::kApplyUpdates: return "APPLY_UPDATES";
     case FrameType::kStats: return "STATS";
+    case FrameType::kProbe: return "PROBE";
     case FrameType::kError: return "ERROR";
     case FrameType::kHelloOk: return "HELLO_OK";
     case FrameType::kResult: return "RESULT";
     case FrameType::kBatchResult: return "BATCH_RESULT";
     case FrameType::kApplyOk: return "APPLY_OK";
     case FrameType::kStatsResult: return "STATS_RESULT";
+    case FrameType::kProbeResult: return "PROBE_RESULT";
   }
   return "UNKNOWN";
 }
@@ -396,6 +399,66 @@ Status DecodeServingStats(std::string_view payload, ServingStats* out) {
         GTPQ_RETURN_NOT_OK(r->ReadU64(&stats->intermediate_size));
         GTPQ_RETURN_NOT_OK(r->ReadU64(&stats->join_ops));
         return ReadDouble(r, &stats->busy_ms);
+      },
+      out);
+}
+
+std::string EncodeProbeRequest(const ProbeRequest& request) {
+  Writer w;
+  w.WriteU8(request.reverse ? 1 : 0);
+  w.WriteU64(request.pivot);
+  w.WritePodVec(request.ids);
+  return w.buffer();
+}
+
+Status DecodeProbeRequest(std::string_view payload, ProbeRequest* out) {
+  return WrapReader(
+      payload, "PROBE",
+      [](Reader* r, void* opaque) -> Status {
+        auto* request = static_cast<ProbeRequest*>(opaque);
+        uint8_t direction = 0;
+        GTPQ_RETURN_NOT_OK(r->ReadU8(&direction));
+        if (direction > 1) {
+          return Status::ParseError("probe direction must be 0 or 1");
+        }
+        request->reverse = direction == 1;
+        uint64_t pivot = 0;
+        GTPQ_RETURN_NOT_OK(r->ReadU64(&pivot));
+        if (pivot > std::numeric_limits<NodeId>::max()) {
+          return Status::ParseError("probe pivot exceeds the node id range");
+        }
+        request->pivot = static_cast<NodeId>(pivot);
+        return r->ReadPodVec(&request->ids);
+      },
+      out);
+}
+
+std::string EncodeProbeResult(const ProbeResult& result) {
+  GTPQ_CHECK(result.bits.size() == (result.count + 7) / 8)
+      << "probe bitmask does not cover the declared target count";
+  Writer w;
+  w.WriteU64(result.epoch);
+  w.WriteU32(result.count);
+  w.WritePodVec(result.bits);
+  return w.buffer();
+}
+
+Status DecodeProbeResult(std::string_view payload, ProbeResult* out) {
+  return WrapReader(
+      payload, "PROBE_RESULT",
+      [](Reader* r, void* opaque) -> Status {
+        auto* result = static_cast<ProbeResult*>(opaque);
+        GTPQ_RETURN_NOT_OK(r->ReadU64(&result->epoch));
+        GTPQ_RETURN_NOT_OK(r->ReadU32(&result->count));
+        GTPQ_RETURN_NOT_OK(r->ReadPodVec(&result->bits));
+        // The bitmask must cover exactly the declared targets — a
+        // mismatch means corruption, not a shorter answer.
+        if (result->bits.size() !=
+            (static_cast<size_t>(result->count) + 7) / 8) {
+          return Status::ParseError(
+              "probe bitmask does not match the declared target count");
+        }
+        return Status::OK();
       },
       out);
 }

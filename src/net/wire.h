@@ -41,6 +41,11 @@ namespace net {
 ///                  then the same optional trailing u32 parallelism
 ///   APPLY_UPDATES  string "gtpq-updates v1" text (dynamic/update_io.h)
 ///   STATS          empty
+///   PROBE          u8 direction (0 = does pivot reach ids[i], 1 = does
+///                  ids[i] reach pivot), u64 pivot node id, then the
+///                  target ids as a NodeId POD vector — the reachability
+///                  scatter-gather primitive the cluster router fans out
+///                  to shard servers (src/cluster/shard_router.h)
 ///
 /// Response payloads (type = request type | 0x80, or ERROR):
 ///   HELLO_OK       u32 magic, u32 version, u64 epoch, u64 graph nodes,
@@ -49,6 +54,8 @@ namespace net {
 ///   BATCH_RESULT   u64 epoch, u32 count, count QueryResults
 ///   APPLY_OK       u64 epoch, u64 batches applied
 ///   STATS_RESULT   ServingStats (EncodeServingStats)
+///   PROBE_RESULT   u64 epoch, u32 count, packed answer bitmask as a
+///                  u8 POD vector of exactly (count + 7) / 8 bytes
 ///   ERROR          u8 StatusCode, string message
 inline constexpr uint32_t kWireMagic = 0x57505447;  // "GTPW" LE
 inline constexpr uint32_t kWireVersion = 1;
@@ -63,6 +70,7 @@ enum class FrameType : uint8_t {
   kBatch = 0x03,
   kApplyUpdates = 0x04,
   kStats = 0x05,
+  kProbe = 0x06,
 
   kError = 0x7f,
   kHelloOk = 0x81,
@@ -70,9 +78,10 @@ enum class FrameType : uint8_t {
   kBatchResult = 0x83,
   kApplyOk = 0x84,
   kStatsResult = 0x85,
+  kProbeResult = 0x86,
 };
 
-/// True for the five request (client -> server) frame types.
+/// True for the six request (client -> server) frame types.
 bool IsRequestType(uint8_t type);
 /// True for any frame type defined by gtpq-wire v1.
 bool IsKnownType(uint8_t type);
@@ -180,6 +189,31 @@ Status DecodeApplyOk(std::string_view payload, ApplyOk* out);
 
 std::string EncodeServingStats(const ServingStats& stats);
 Status DecodeServingStats(std::string_view payload, ServingStats* out);
+
+/// One scatter-gather reachability probe: `reverse == false` asks
+/// "does pivot reach ids[i]?", `reverse == true` asks "does ids[i]
+/// reach pivot?" for every target in order. Node ids are LOCAL to the
+/// server's graph; the cluster router translates global ids before
+/// fanning out.
+struct ProbeRequest {
+  bool reverse = false;
+  NodeId pivot = 0;
+  std::vector<NodeId> ids;
+};
+std::string EncodeProbeRequest(const ProbeRequest& request);
+Status DecodeProbeRequest(std::string_view payload, ProbeRequest* out);
+
+/// Per-target answers as a packed bitmask (bit i of bits[i / 8] answers
+/// ids[i]), stamped with the snapshot epoch that answered them.
+struct ProbeResult {
+  uint64_t epoch = 0;
+  uint32_t count = 0;
+  std::vector<uint8_t> bits;
+
+  bool Get(size_t i) const { return (bits[i / 8] >> (i % 8)) & 1; }
+};
+std::string EncodeProbeResult(const ProbeResult& result);
+Status DecodeProbeResult(std::string_view payload, ProbeResult* out);
 
 /// ERROR payload round trip; encoding an OK status is a programming
 /// error. DecodeError returns the CARRIED status on success (never OK)

@@ -1,5 +1,7 @@
 #include "reachability/factory.h"
 
+#include "cluster/partition_map.h"
+#include "cluster/shard_router.h"
 #include "common/logging.h"
 #include "dynamic/delta_overlay.h"
 #include "reachability/cached_oracle.h"
@@ -20,6 +22,27 @@ constexpr std::string_view kShardedPrefix = "sharded:";
 constexpr std::string_view kDeltaPrefix = "delta:";
 constexpr std::string_view kFilePrefix = "file:";
 constexpr std::string_view kMmapPrefix = "mmap:";
+constexpr std::string_view kClusterPrefix = "cluster:";
+
+// Splits "cluster:<map-path>[@<ep1,ep2,...>]" after the prefix. The
+// separator is the LAST '@' so map paths may contain one; endpoints
+// ("host:port") cannot.
+void SplitClusterSpec(std::string_view rest, std::string* map_path,
+                      std::vector<std::string>* endpoints) {
+  const size_t at = rest.rfind('@');
+  if (at == std::string_view::npos) {
+    *map_path = std::string(rest);
+    return;
+  }
+  *map_path = std::string(rest.substr(0, at));
+  std::string_view list = rest.substr(at + 1);
+  while (!list.empty()) {
+    const size_t comma = list.find(',');
+    endpoints->emplace_back(list.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    list = list.substr(comma + 1);
+  }
+}
 }  // namespace
 
 std::vector<ReachabilityBackend> AllReachabilityBackends() {
@@ -97,6 +120,32 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
     }
     return loaded.TakeValue();
   }
+  if (spec.rfind(kClusterPrefix, 0) == 0) {
+    std::string map_path;
+    cluster::ShardRouterOptions options;
+    SplitClusterSpec(spec.substr(kClusterPrefix.size()), &map_path,
+                     &options.endpoints);
+    auto map = cluster::LoadPartitionMap(map_path);
+    if (!map.ok()) {
+      GTPQ_LOG(Warning) << "cannot load partition map '" << map_path
+                        << "': " << map.status().ToString();
+      return nullptr;
+    }
+    if (map->graph_fingerprint != storage::GraphFingerprint(g) ||
+        map->num_nodes != g.NumNodes()) {
+      GTPQ_LOG(Warning) << "partition map '" << map_path
+                        << "' was built for a different graph";
+      return nullptr;
+    }
+    auto router = cluster::ShardRouter::Connect(map.TakeValue(),
+                                                std::move(options));
+    if (!router.ok()) {
+      GTPQ_LOG(Warning) << "cannot route cluster '" << map_path
+                        << "': " << router.status().ToString();
+      return nullptr;
+    }
+    return router.TakeValue();
+  }
   if (spec.rfind(kCachedPrefix, 0) == 0) {
     auto inner = MakeReachabilityIndex(spec.substr(kCachedPrefix.size()), g);
     if (inner == nullptr) return nullptr;
@@ -163,6 +212,18 @@ bool IsValidReachabilitySpec(std::string_view spec) {
     return storage::InspectReachabilityIndex(
                std::string(spec.substr(kMmapPrefix.size())))
         .ok();
+  }
+  // cluster: shares file:'s composition rules (a map is fingerprinted
+  // against the whole graph, not a shard subgraph, and cannot replay a
+  // delta's mutations). Validity here means the map parses — whether
+  // the shard servers are up is only knowable at build time.
+  if (spec.rfind(kClusterPrefix, 0) == 0) {
+    if (file_forbidden) return false;
+    std::string map_path;
+    std::vector<std::string> endpoints;
+    SplitClusterSpec(spec.substr(kClusterPrefix.size()), &map_path,
+                     &endpoints);
+    return cluster::LoadPartitionMap(map_path).ok();
   }
   return ParseReachabilityBackend(spec).has_value();
 }

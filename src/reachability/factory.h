@@ -64,9 +64,19 @@ std::unique_ptr<ReachabilityOracle> MakeReachabilityIndex(
 ///                     logged warning) unless its stored fingerprint
 ///                     matches `g`. The loaded oracle's name() is the
 ///                     spec it was saved under, not "file:...".
+///   cluster:<map>[@<ep1,ep2,...>]
+///                     scatter-gather router over live `gteactl serve`
+///                     shards (cluster/shard_router.h). <map> is a
+///                     .gtpqmap written by `gteactl partition`; the
+///                     optional @-list overrides the endpoints baked
+///                     into it. Rejected unless the map's fingerprint
+///                     matches `g` and every shard answers its HELLO.
+///                     Needs live servers, so it is not enrolled in
+///                     AllReachabilitySpecs().
 /// Decorators nest: "cached:sharded:interval" caches a partitioned
-/// oracle, "cached:file:idx.gtpqidx" caches a loaded index. file: is
-/// rejected beneath sharded: and delta: (see IsValidReachabilitySpec).
+/// oracle, "cached:file:idx.gtpqidx" caches a loaded index. file: and
+/// cluster: are rejected beneath sharded: and delta: (see
+/// IsValidReachabilitySpec).
 /// The built oracle's name() equals the spec (file: aside). Returns
 /// nullptr for malformed specs and unreadable or mismatched index
 /// files.

@@ -8,9 +8,12 @@
 #include <vector>
 
 #include "common/per_thread.h"
+#include "common/status.h"
 #include "graph/digraph.h"
 
 namespace gtpq {
+
+struct UpdateBatch;  // dynamic/graph_delta.h
 
 /// Counters kept by all reachability indexes, feeding the #index
 /// metric of the paper's I/O-cost experiment (Fig 10). Each thread
@@ -109,6 +112,28 @@ class ReachabilityOracle {
   /// prepared target list) with Reaches(from, targets[i]).
   virtual void SuccessorsAmong(NodeId from, const SetSummary& targets,
                                std::vector<uint32_t>* out) const;
+
+  // --- Native updates ---------------------------------------------------
+
+  /// True when this oracle can fold an UpdateBatch into itself without
+  /// being wrapped in a DeltaOverlayOracle. The epoch-snapshot update
+  /// path (SharedEngineFactory::ApplyUpdates) prefers this route: the
+  /// SAME oracle instance keeps serving across epochs, re-based onto
+  /// each snapshot's materialized graph. Stateless index backends stay
+  /// `false`; distributed front-ends (cluster ShardRouter) say `true`
+  /// because their authoritative state lives in remote shard processes.
+  virtual bool SupportsNativeUpdates() const { return false; }
+
+  /// Applies `batch` in place. Only called when SupportsNativeUpdates()
+  /// is true; `const` because oracles are shared as
+  /// shared_ptr<const> — implementations synchronize internally and
+  /// must keep concurrent Reaches() probes answering consistently
+  /// (before-state or after-state, never a mix).
+  virtual Status ApplyNativeUpdate(const UpdateBatch& batch) const {
+    (void)batch;
+    return Status::Unimplemented(std::string(name()) +
+                                 " does not support native updates");
+  }
 
   /// The calling thread's private counter slot for this oracle. Oracles
   /// are immutable once built and shared read-only across query-serving

@@ -16,9 +16,22 @@ ShardedOracle::ShardedOracle(const Digraph& g, ShardedOracleOptions options)
   num_shards_ = std::max<size_t>(
       1, std::min(options.num_shards, std::max<size_t>(n, 1)));
 
-  shard_start_.resize(num_shards_ + 1);
-  for (size_t s = 0; s <= num_shards_; ++s) {
-    shard_start_[s] = s * n / num_shards_;
+  if (!options.custom_starts.empty()) {
+    GTPQ_CHECK(options.custom_starts.size() == num_shards_ + 1)
+        << "custom_starts must carry num_shards + 1 cut points";
+    GTPQ_CHECK(options.custom_starts.front() == 0 &&
+               options.custom_starts.back() == n)
+        << "custom_starts must span [0, n)";
+    for (size_t s = 0; s < num_shards_; ++s) {
+      GTPQ_CHECK(options.custom_starts[s] <= options.custom_starts[s + 1])
+          << "custom_starts must be monotone";
+    }
+    shard_start_ = options.custom_starts;
+  } else {
+    shard_start_.resize(num_shards_ + 1);
+    for (size_t s = 0; s <= num_shards_; ++s) {
+      shard_start_[s] = s * n / num_shards_;
+    }
   }
 
   // Boundary vertices: endpoints of shard-crossing edges, in id order.

@@ -25,6 +25,12 @@ struct ShardedOracleOptions {
   /// Factory spec of the per-shard sub-index (any MakeReachabilityIndex
   /// spec, decorators included).
   std::string inner_spec = "interval";
+  /// Explicit contiguous cut points (num_shards + 1 values: first 0,
+  /// last the node count, strictly derived ranges must be monotone).
+  /// Empty = equal cuts s * n / num_shards. The cluster partitioner
+  /// passes degree-aware cuts here (cluster/partition.h) so the oracle
+  /// and the partition map agree on shard assignment.
+  std::vector<size_t> custom_starts;
 };
 
 /// Partitioned reachability: vertices are split into contiguous-range
@@ -66,6 +72,22 @@ class ShardedOracle : public ReachabilityOracle {
   size_t NumBoundaryVertices() const { return boundary_.size(); }
   const ReachabilityOracle& shard_index(size_t shard) const {
     return *sub_[shard];
+  }
+
+  // Boundary-machinery export (read-only) — the cluster partitioner
+  // serializes these into the .gtpqmap so a router can answer
+  // cross-shard probes from a replicated overlay without rebuilding it.
+  const std::vector<size_t>& shard_starts() const { return shard_start_; }
+  const std::vector<NodeId>& boundary_vertices() const { return boundary_; }
+  const std::vector<std::pair<NodeId, NodeId>>& cross_edges() const {
+    return cross_edges_;
+  }
+  const std::vector<std::vector<std::pair<uint32_t, uint32_t>>>&
+  shard_overlay_contributions() const {
+    return shard_overlay_;
+  }
+  const TransitiveClosure& overlay_closure() const {
+    return *overlay_closure_;
   }
 
   /// Rebuilds one shard's sub-index and the overlay rows it

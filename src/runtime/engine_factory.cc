@@ -150,6 +150,22 @@ Status SharedEngineFactory::ApplyUpdates(const UpdateBatch& batch) {
   next->graph_ = next_graph.get();
 
   if (spec_ == "gtea" || spec_.rfind("gtea:", 0) == 0) {
+    if (cur->oracle_ != nullptr && cur->oracle_->SupportsNativeUpdates()) {
+      // Native path (cluster routers): the oracle folds the batch into
+      // its own state — remote shard processes, in the router's case —
+      // and the SAME instance keeps serving, re-based onto the new
+      // materialized graph. No delta wrap, no rebuild.
+      GTPQ_RETURN_NOT_OK(cur->oracle_->ApplyNativeUpdate(batch));
+      next->oracle_ = cur->oracle_;
+      next->create_ = [graph = next_graph, oracle = cur->oracle_] {
+        return std::make_unique<GteaEngine>(*graph, oracle);
+      };
+      next->engine_name_ = cur->engine_name_;
+      tombstones_.insert(batch.remove_nodes.begin(),
+                         batch.remove_nodes.end());
+      Install(std::move(next));
+      return Status::OK();
+    }
     // Incremental oracle maintenance: the first update wraps the
     // immutable epoch-0 oracle in a delta overlay (its base digraph is
     // the caller's graph, which outlives the factory); later updates

@@ -34,6 +34,10 @@ class EngineSnapshot {
   /// Name the stamped engines report (e.g. "gtea[delta:contour]" once
   /// updates wrapped the oracle).
   std::string_view engine_name() const { return engine_name_; }
+  /// The snapshot's shared reachability oracle — set for gtea specs,
+  /// null otherwise (tuple baselines build no oracle). The network
+  /// tier answers PROBE frames from this without stamping an engine.
+  const ReachabilityOracle* oracle() const { return oracle_.get(); }
 
  private:
   friend class SharedEngineFactory;

@@ -134,6 +134,38 @@ std::future<QueryResult> QueryServer::Submit(Gtpq query) {
   return future;
 }
 
+Status QueryServer::ProbeReachability(bool reverse, NodeId pivot,
+                                      std::span<const NodeId> ids,
+                                      uint64_t* epoch,
+                                      std::vector<uint8_t>* bits) const {
+  const std::shared_ptr<const EngineSnapshot> snap = factory_->snapshot();
+  const ReachabilityOracle* oracle = snap->oracle();
+  if (oracle == nullptr) {
+    return Status::FailedPrecondition(
+        "engine spec '" + options_.engine_spec +
+        "' has no reachability oracle to probe");
+  }
+  const size_t n = snap->graph().NumNodes();
+  if (pivot >= n) {
+    return Status::InvalidArgument("probe pivot " + std::to_string(pivot) +
+                                   " is outside the " + std::to_string(n) +
+                                   "-node graph");
+  }
+  bits->assign((ids.size() + 7) / 8, 0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= n) {
+      return Status::InvalidArgument(
+          "probe target " + std::to_string(ids[i]) + " is outside the " +
+          std::to_string(n) + "-node graph");
+    }
+    const bool hit = reverse ? oracle->Reaches(ids[i], pivot)
+                             : oracle->Reaches(pivot, ids[i]);
+    if (hit) (*bits)[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  if (epoch != nullptr) *epoch = snap->epoch();
+  return Status::OK();
+}
+
 Status QueryServer::ApplyUpdates(const UpdateBatch& batch) {
   const Status st = factory_->ApplyUpdates(batch);
   if (st.ok()) updates_applied_.fetch_add(1, std::memory_order_relaxed);

@@ -135,6 +135,19 @@ class QueryServer {
   /// validation error (and changes nothing) for malformed batches.
   Status ApplyUpdates(const UpdateBatch& batch);
 
+  /// Point-reachability scatter-gather primitive (the PROBE wire
+  /// frame): answers "does pivot reach ids[i]?" (or the reverse when
+  /// `reverse`) for every target against ONE pinned snapshot, packing
+  /// the answers into a bitmask (bit i of (*bits)[i / 8]) and reporting
+  /// the pinned epoch. Answered inline on the calling thread straight
+  /// from the snapshot's immutable oracle — no pool dispatch.
+  /// FailedPrecondition when the engine spec has no oracle (tuple
+  /// baselines); InvalidArgument when pivot or a target id is outside
+  /// the snapshot graph.
+  Status ProbeReachability(bool reverse, NodeId pivot,
+                           std::span<const NodeId> ids, uint64_t* epoch,
+                           std::vector<uint8_t>* bits) const;
+
   /// Epoch of the snapshot new queries would see (0 before any update).
   uint64_t epoch() const { return factory_->epoch(); }
   /// The snapshot new queries would see; pin it to inspect graph().

@@ -1,0 +1,497 @@
+// Cluster serving tests: .gtpqmap round-trip + rejection suite (bad
+// magic, corruption, overlapping/uncovered ranges, shard-index
+// fingerprint mismatch), PROBE wire codec, degree-aware cut planning,
+// and the ShardRouter differential — a 3-shard in-process cluster must
+// answer every probe exactly like the in-process `sharded:` oracle and
+// the materialized closure, before and after a routed update with its
+// epoch barrier. Enrolled in the TSan CI job.
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/partition.h"
+#include "cluster/partition_map.h"
+#include "cluster/shard_router.h"
+#include "common/rng.h"
+#include "dynamic/graph_delta.h"
+#include "graph/graph_io.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "reachability/sharded_oracle.h"
+#include "reachability/transitive_closure.h"
+#include "storage/index_io.h"
+#include "tests/test_util.h"
+#include "workload/graph_gen_spec.h"
+
+namespace gtpq {
+namespace {
+
+using cluster::BuildPartition;
+using cluster::BuildPartitionOptions;
+using cluster::LoadPartitionMap;
+using cluster::PartitionMap;
+using cluster::PlanContiguousCuts;
+using cluster::SavePartitionMap;
+using cluster::ShardRange;
+using cluster::ShardRouter;
+using cluster::VerifyShardIndex;
+
+std::string TempDirFor(const std::string& name) {
+  return ::testing::TempDir() + "gtpq_cluster_" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// A minimal structurally-valid map over an 8-vertex path graph with no
+/// boundary machinery — the seed the rejection tests corrupt.
+PartitionMap TinyMap() {
+  PartitionMap map;
+  map.num_nodes = 8;
+  map.num_edges = 0;
+  map.ranges = {{0, 4}, {4, 8}};
+  map.endpoints = {"127.0.0.1:1", "127.0.0.1:2"};
+  map.shard_fingerprints = {1, 2};
+  map.shard_overlay.resize(2);
+  Digraph empty_overlay(0);
+  empty_overlay.Finalize();
+  map.overlay_closure = std::make_shared<const TransitiveClosure>(
+      TransitiveClosure::Build(empty_overlay));
+  return map;
+}
+
+// ------------------------------------------------------ map round trip
+
+TEST(PartitionMapTest, BuildRoundTripsThroughDisk) {
+  auto graph = workload::GenerateGraphFromSpec("digraph:200,11,3");
+  ASSERT_TRUE(graph.ok());
+  const std::string dir = TempDirFor("roundtrip");
+  std::filesystem::create_directories(dir);
+
+  BuildPartitionOptions options;
+  options.plan.num_shards = 3;
+  options.endpoints = {"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"};
+  auto built = BuildPartition(*graph, options, dir);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  auto loaded = LoadPartitionMap(built->map_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const PartitionMap& a = built->map;
+  const PartitionMap& b = *loaded;
+  EXPECT_EQ(a.graph_fingerprint, b.graph_fingerprint);
+  EXPECT_EQ(a.num_nodes, b.num_nodes);
+  EXPECT_EQ(a.num_edges, b.num_edges);
+  EXPECT_EQ(a.inner_spec, b.inner_spec);
+  ASSERT_EQ(a.num_shards(), b.num_shards());
+  for (size_t s = 0; s < a.num_shards(); ++s) {
+    EXPECT_EQ(a.ranges[s].begin, b.ranges[s].begin);
+    EXPECT_EQ(a.ranges[s].end, b.ranges[s].end);
+    EXPECT_EQ(a.endpoints[s], b.endpoints[s]);
+    EXPECT_EQ(a.shard_fingerprints[s], b.shard_fingerprints[s]);
+    EXPECT_EQ(a.shard_overlay[s], b.shard_overlay[s]);
+  }
+  EXPECT_EQ(a.boundary, b.boundary);
+  EXPECT_EQ(a.cross_edges, b.cross_edges);
+  ASSERT_NE(b.overlay_closure, nullptr);
+  EXPECT_EQ(a.overlay_closure->NumNodes(), b.overlay_closure->NumNodes());
+  for (uint32_t x = 0; x < a.boundary.size(); ++x) {
+    for (uint32_t y = 0; y < a.boundary.size(); ++y) {
+      EXPECT_EQ(a.overlay_closure->Reaches(x, y),
+                b.overlay_closure->Reaches(x, y));
+    }
+  }
+
+  // ShardOf agrees with the ranges, and uncovered ids are flagged.
+  for (NodeId v = 0; v < graph->NumNodes(); ++v) {
+    const size_t s = b.ShardOf(v);
+    ASSERT_LT(s, b.num_shards());
+    EXPECT_GE(v, b.ranges[s].begin);
+    EXPECT_LT(v, b.ranges[s].end);
+  }
+  EXPECT_EQ(b.ShardOf(static_cast<NodeId>(graph->NumNodes())),
+            b.num_shards());
+
+  // Every written shard index is stamped with the fingerprint the map
+  // expects; pairing a shard with another shard's index is rejected.
+  for (size_t s = 0; s < b.num_shards(); ++s) {
+    EXPECT_TRUE(VerifyShardIndex(b, s, built->index_paths[s]).ok());
+  }
+  const Status crossed = VerifyShardIndex(b, 0, built->index_paths[1]);
+  EXPECT_EQ(crossed.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(crossed.message().find("different subgraph"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ rejection suite
+
+TEST(PartitionMapTest, RejectsBadMagic) {
+  const std::string path = TempDirFor("badmagic.gtpqmap");
+  ASSERT_TRUE(SavePartitionMap(TinyMap(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[0] = 'X';
+  WriteFileBytes(path, bytes);
+  const Status st = LoadPartitionMap(path).status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("magic"), std::string::npos);
+}
+
+TEST(PartitionMapTest, RejectsCorruptedBody) {
+  const std::string path = TempDirFor("corrupt.gtpqmap");
+  ASSERT_TRUE(SavePartitionMap(TinyMap(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[bytes.size() / 2] ^= 0x40;
+  WriteFileBytes(path, bytes);
+  const Status st = LoadPartitionMap(path).status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("checksum"), std::string::npos);
+}
+
+TEST(PartitionMapTest, RejectsTruncation) {
+  const std::string path = TempDirFor("trunc.gtpqmap");
+  ASSERT_TRUE(SavePartitionMap(TinyMap(), path).ok());
+  std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 5));
+  EXPECT_EQ(LoadPartitionMap(path).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(PartitionMapTest, RejectsOverlappingRanges) {
+  PartitionMap map = TinyMap();
+  map.ranges = {{0, 5}, {4, 8}};  // vertex 4 owned twice
+  const std::string path = TempDirFor("overlap.gtpqmap");
+  ASSERT_TRUE(SavePartitionMap(map, path).ok());  // Save trusts callers
+  const Status st = LoadPartitionMap(path).status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("overlapping"), std::string::npos);
+}
+
+TEST(PartitionMapTest, RejectsUncoveredVertex) {
+  PartitionMap map = TinyMap();
+  map.ranges = {{0, 3}, {4, 8}};  // vertex 3 unowned
+  const std::string path = TempDirFor("gap.gtpqmap");
+  ASSERT_TRUE(SavePartitionMap(map, path).ok());
+  const Status st = LoadPartitionMap(path).status();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("uncovered"), std::string::npos);
+
+  map.ranges = {{1, 4}, {4, 8}};  // vertex 0 unowned
+  ASSERT_TRUE(SavePartitionMap(map, path).ok());
+  EXPECT_NE(LoadPartitionMap(path).status().message().find("uncovered"),
+            std::string::npos);
+
+  map.ranges = {{0, 4}, {4, 7}};  // vertex 7 unowned
+  ASSERT_TRUE(SavePartitionMap(map, path).ok());
+  EXPECT_FALSE(LoadPartitionMap(path).ok());
+}
+
+TEST(PartitionMapTest, RejectsShardCountDisagreement) {
+  PartitionMap map = TinyMap();
+  map.endpoints.pop_back();
+  EXPECT_EQ(map.Validate().code(), StatusCode::kParseError);
+}
+
+// ---------------------------------------------------------- wire codec
+
+TEST(ProbeCodecTest, RequestAndResultRoundTrip) {
+  net::ProbeRequest request;
+  request.reverse = true;
+  request.pivot = 41;
+  request.ids = {0, 7, 13, 41};
+  net::ProbeRequest request2;
+  ASSERT_TRUE(
+      net::DecodeProbeRequest(net::EncodeProbeRequest(request), &request2)
+          .ok());
+  EXPECT_EQ(request2.reverse, request.reverse);
+  EXPECT_EQ(request2.pivot, request.pivot);
+  EXPECT_EQ(request2.ids, request.ids);
+
+  net::ProbeResult result;
+  result.epoch = 9;
+  result.count = 4;
+  result.bits = {0b1010};
+  net::ProbeResult result2;
+  ASSERT_TRUE(
+      net::DecodeProbeResult(net::EncodeProbeResult(result), &result2)
+          .ok());
+  EXPECT_EQ(result2.epoch, 9u);
+  ASSERT_EQ(result2.count, 4u);
+  EXPECT_FALSE(result2.Get(0));
+  EXPECT_TRUE(result2.Get(1));
+  EXPECT_FALSE(result2.Get(2));
+  EXPECT_TRUE(result2.Get(3));
+}
+
+TEST(ProbeCodecTest, RejectsMalformedFrames) {
+  net::ProbeRequest request;
+  // Direction byte beyond {0, 1}.
+  std::string bad = net::EncodeProbeRequest({false, 3, {1}});
+  bad[0] = 2;
+  EXPECT_FALSE(net::DecodeProbeRequest(bad, &request).ok());
+  // Truncated payload.
+  const std::string good = net::EncodeProbeRequest({true, 5, {1, 2, 3}});
+  EXPECT_FALSE(
+      net::DecodeProbeRequest(good.substr(0, good.size() - 2), &request)
+          .ok());
+  // Result whose bitmask disagrees with its count.
+  net::ProbeResult result;
+  result.epoch = 1;
+  result.count = 9;  // needs 2 bytes
+  result.bits = {0xff, 0x01};
+  std::string payload = net::EncodeProbeResult(result);
+  net::ProbeResult out;
+  ASSERT_TRUE(net::DecodeProbeResult(payload, &out).ok());
+  EXPECT_FALSE(net::DecodeProbeResult(payload.substr(0, payload.size() - 1),
+                                      &out)
+                   .ok());
+}
+
+// ------------------------------------------------------------ planning
+
+TEST(PartitionPlanTest, CutsAreMonotoneAndCheaper) {
+  auto graph = workload::GenerateGraphFromSpec("dag:400,9,4");
+  ASSERT_TRUE(graph.ok());
+  const Digraph& g = graph->graph();
+
+  cluster::PartitionPlanOptions equal;
+  equal.num_shards = 4;
+  equal.degree_aware = false;
+  cluster::PartitionPlanOptions aware = equal;
+  aware.degree_aware = true;
+
+  const auto cost_of = [&](const std::vector<size_t>& cuts) {
+    size_t crossing = 0;
+    const auto shard_of = [&](NodeId v) {
+      return static_cast<size_t>(
+                 std::upper_bound(cuts.begin(), cuts.end(),
+                                  static_cast<size_t>(v)) -
+                 cuts.begin()) -
+             1;
+    };
+    for (NodeId u = 0; u < g.NumNodes(); ++u) {
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (shard_of(u) != shard_of(v)) ++crossing;
+      }
+    }
+    return crossing;
+  };
+
+  for (const auto& plan : {equal, aware}) {
+    const std::vector<size_t> cuts = PlanContiguousCuts(g, plan);
+    ASSERT_EQ(cuts.size(), plan.num_shards + 1);
+    EXPECT_EQ(cuts.front(), 0u);
+    EXPECT_EQ(cuts.back(), g.NumNodes());
+    EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+  }
+  EXPECT_LE(cost_of(PlanContiguousCuts(g, aware)),
+            cost_of(PlanContiguousCuts(g, equal)));
+}
+
+// ----------------------------------------------------- router fixture
+
+#define START_OR_SKIP(server)                                   \
+  do {                                                          \
+    const Status _st = (server).Start();                        \
+    if (_st.code() == StatusCode::kUnimplemented) {             \
+      GTEST_SKIP() << _st.ToString();                           \
+    }                                                           \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+/// A full in-process cluster: partition artifacts on disk, one
+/// NetServer per shard serving "gtea:file:<shard idx>", and a
+/// connected router.
+struct TestCluster {
+  DataGraph g;
+  cluster::PartitionArtifacts art;
+  std::vector<DataGraph> shard_graphs;
+  std::vector<std::unique_ptr<net::NetServer>> servers;
+  std::unique_ptr<ShardRouter> router;
+};
+
+void BringUp(const std::string& gen_spec, const std::string& name,
+             TestCluster* cluster) {
+  auto graph = workload::GenerateGraphFromSpec(gen_spec);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  cluster->g = graph.TakeValue();
+  const std::string dir = TempDirFor(name);
+  std::filesystem::create_directories(dir);
+
+  BuildPartitionOptions options;
+  options.plan.num_shards = 3;
+  auto built = BuildPartition(cluster->g, options, dir);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  cluster->art = built.TakeValue();
+
+  const size_t shards = cluster->art.map.num_shards();
+  cluster->shard_graphs.reserve(shards);
+  std::vector<std::string> endpoints;
+  for (size_t s = 0; s < shards; ++s) {
+    auto local = LoadDataGraphFromFile(cluster->art.graph_paths[s]);
+    ASSERT_TRUE(local.ok()) << local.status().ToString();
+    cluster->shard_graphs.push_back(local.TakeValue());
+    net::NetServerOptions server_options;
+    server_options.runtime.num_threads = 2;
+    server_options.runtime.engine_spec =
+        "gtea:file:" + cluster->art.index_paths[s];
+    cluster->servers.push_back(std::make_unique<net::NetServer>(
+        cluster->shard_graphs[s], server_options));
+    START_OR_SKIP(*cluster->servers[s]);
+    endpoints.push_back("127.0.0.1:" +
+                        std::to_string(cluster->servers[s]->port()));
+  }
+
+  cluster::ShardRouterOptions router_options;
+  router_options.endpoints = std::move(endpoints);
+  auto router = ShardRouter::Connect(cluster->art.map, router_options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  cluster->router = router.TakeValue();
+}
+
+void ExpectDifferential(const TestCluster& cluster, uint64_t seed,
+                        size_t samples) {
+  // Ground truths: the in-process sharded oracle over the SAME cuts,
+  // and the materialized closure.
+  ShardedOracleOptions sharded_options;
+  sharded_options.num_shards = cluster.art.map.num_shards();
+  sharded_options.inner_spec = cluster.art.map.inner_spec;
+  for (const ShardRange& r : cluster.art.map.ranges) {
+    sharded_options.custom_starts.push_back(static_cast<size_t>(r.begin));
+  }
+  sharded_options.custom_starts.push_back(cluster.g.NumNodes());
+  ShardedOracle sharded(cluster.g.graph(), sharded_options);
+  const TransitiveClosure closure =
+      TransitiveClosure::Build(cluster.g.graph());
+
+  Rng rng(seed);
+  const size_t n = cluster.g.NumNodes();
+  for (size_t i = 0; i < samples; ++i) {
+    const NodeId from = static_cast<NodeId>(rng.NextBounded(n));
+    // Bias toward self-probes occasionally: cyclic self-reachability is
+    // the subtlest semantic the overlay has to preserve.
+    const NodeId to = (i % 7 == 0)
+                          ? from
+                          : static_cast<NodeId>(rng.NextBounded(n));
+    const bool expected = closure.Reaches(from, to);
+    ASSERT_EQ(sharded.Reaches(from, to), expected)
+        << "sharded oracle disagrees at (" << from << ", " << to << ")";
+    ASSERT_EQ(cluster.router->Reaches(from, to), expected)
+        << "router disagrees at (" << from << ", " << to << ")";
+  }
+}
+
+TEST(ShardRouterTest, DifferentialAcrossGeneratorSpecs) {
+  const struct {
+    const char* gen;
+    const char* name;
+  } specs[] = {
+      {"dag:120,3,3", "dag"},
+      {"digraph:140,5,4", "digraph"},
+      {"tree:100,2", "tree"},
+  };
+  for (const auto& spec : specs) {
+    SCOPED_TRACE(spec.gen);
+    TestCluster cluster;
+    BringUp(spec.gen, std::string("diff_") + spec.name, &cluster);
+    if (cluster.router == nullptr) return;  // skipped platform
+    ExpectDifferential(cluster, 0xc1057e4, 600);
+  }
+}
+
+TEST(ShardRouterTest, NativeUpdateCommitsEpochBarrier) {
+  TestCluster cluster;
+  BringUp("digraph:150,7,3", "update", &cluster);
+  if (cluster.router == nullptr) return;  // skipped platform
+
+  const PartitionMap& map = cluster.art.map;
+  ASSERT_TRUE(cluster.router->SupportsNativeUpdates());
+  const std::vector<uint64_t> before = cluster.router->shard_epochs();
+  EXPECT_EQ(*std::max_element(before.begin(), before.end()), 0u);
+
+  // A fresh intra-shard edge inside shard 1 between two non-adjacent
+  // vertices.
+  const NodeId lo = static_cast<NodeId>(map.ranges[1].begin);
+  const NodeId hi = static_cast<NodeId>(map.ranges[1].end);
+  NodeId from = lo, to = lo;
+  bool found = false;
+  for (NodeId u = lo; u < hi && !found; ++u) {
+    for (NodeId v = lo; v < hi && !found; ++v) {
+      if (u != v && !cluster.g.HasEdge(u, v)) {
+        from = u;
+        to = v;
+        found = true;
+      }
+    }
+  }
+  ASSERT_TRUE(found);
+
+  UpdateBatch batch;
+  batch.add_edges.push_back({from, to});
+  ASSERT_TRUE(cluster.router->ApplyNativeUpdate(batch).ok());
+
+  // Every shard moved to the same epoch — the barrier holds even for
+  // shards that only saw the empty commit.
+  const std::vector<uint64_t> after = cluster.router->shard_epochs();
+  for (const uint64_t e : after) EXPECT_EQ(e, 1u);
+
+  // The routed cluster now answers like a sharded oracle rebuilt over
+  // the updated graph.
+  DataGraph updated(0);
+  for (NodeId v = 0; v < cluster.g.NumNodes(); ++v) {
+    updated.AddNode(cluster.g.LabelOf(v));
+  }
+  for (NodeId u = 0; u < cluster.g.NumNodes(); ++u) {
+    for (NodeId v : cluster.g.OutNeighbors(u)) updated.AddEdge(u, v);
+  }
+  updated.AddEdge(from, to);
+  updated.Finalize();
+  TestCluster updated_view;
+  updated_view.g = std::move(updated);
+  updated_view.art.map = cluster.art.map;
+  updated_view.router = std::move(cluster.router);
+  ExpectDifferential(updated_view, 77, 500);
+  cluster.router = std::move(updated_view.router);
+
+  // Structural mutations are rejected before any shard is touched.
+  UpdateBatch add_nodes;
+  add_nodes.add_nodes.push_back(5);
+  EXPECT_EQ(cluster.router->ApplyNativeUpdate(add_nodes).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_FALSE(map.cross_edges.empty());
+  UpdateBatch cross;
+  cross.add_edges.push_back(
+      {map.cross_edges[0].second, map.cross_edges[0].first});
+  EXPECT_EQ(cluster.router->ApplyNativeUpdate(cross).code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_FALSE(map.boundary.empty());
+  UpdateBatch remove_boundary;
+  remove_boundary.remove_nodes.push_back(map.boundary[0]);
+  EXPECT_EQ(cluster.router->ApplyNativeUpdate(remove_boundary).code(),
+            StatusCode::kFailedPrecondition);
+
+  // And the epochs did not move under any rejected batch.
+  const std::vector<uint64_t> still = cluster.router->shard_epochs();
+  for (const uint64_t e : still) EXPECT_EQ(e, 1u);
+}
+
+}  // namespace
+}  // namespace gtpq

@@ -16,6 +16,13 @@
 //                   --text=<query>) [--limit=<n>] [--parallelism=<n>]
 //   gteactl apply   --connect=<host:port> --updates=<file>
 //   gteactl stats   --connect=<host:port>
+//   gteactl partition (--graph=<file> | --gen=<spec>) --out=<dir>
+//                   [--shards=<n>] [--inner=<spec>]
+//                   [--endpoints=<ep1,ep2,...>] [--no-degree-aware]
+//   gteactl route   --map=<file.gtpqmap> (--graph=<file> | --gen=<spec>)
+//                   [--endpoints=<ep1,ep2,...>] [--port=<p>]
+//                   [--bind=<addr>] [--threads=<n>] [--coalesce=<n>]
+//                   [--window-us=<x>]
 //
 // Graph sources:
 //   --graph=<file>  a "gtpq-graph v1" text file (graph/graph_io.h)
@@ -44,6 +51,14 @@
 // `--connect=` subcommands (`query`, `apply`, `stats`) are thin
 // net/client.h wrappers, so a built index can be served from one shell
 // and queried/updated from another.
+//
+// `partition` splits a graph into contiguous vertex shards
+// (degree-aware cuts by default), writing per-shard graphs + indexes
+// and a ".gtpqmap" (cluster/partition_map.h). Each shard is then a
+// plain `gteactl serve --graph=shardK.graph --index=file:shardK
+// .gtpqidx`; `route` runs the scatter-gather front-end
+// (cluster/shard_router.h) over those servers, speaking the same
+// gtpq-wire protocol so existing clients and benches work unchanged.
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -58,6 +73,8 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/partition.h"
+#include "cluster/partition_map.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -99,6 +116,15 @@ int Usage() {
       "                  [--limit=<n>] [--parallelism=<n>]\n"
       "  gteactl apply   --connect=<host:port> --updates=<file>\n"
       "  gteactl stats   --connect=<host:port>\n"
+      "  gteactl partition (--graph=<file> | --gen=<spec>) --out=<dir>\n"
+      "                  [--shards=<n>] [--inner=<spec>]\n"
+      "                  [--endpoints=<ep1,ep2,...>] [--no-degree-aware]\n"
+      "  gteactl route   --map=<file.gtpqmap> (--graph=<file> | "
+      "--gen=<spec>)\n"
+      "                  [--endpoints=<ep1,ep2,...>] [--port=<p>] "
+      "[--bind=<addr>]\n"
+      "                  [--threads=<n>] [--coalesce=<n>] "
+      "[--window-us=<x>]\n"
       "\n"
       "generator specs: xmark:<scale> | dag:<nodes>[,<seed>[,<deg>]] |\n"
       "                 digraph:<nodes>[,<seed>[,<deg>]] | "
@@ -228,8 +254,52 @@ int RunBuild(int argc, char** argv) {
   return 0;
 }
 
+bool HasPartitionMapMagic(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  char magic[8] = {};
+  in.read(magic, sizeof(magic));
+  return in.gcount() == sizeof(magic) &&
+         std::string_view(magic, sizeof(magic)) == cluster::kMapMagic;
+}
+
+int InspectPartitionMap(const std::string& path) {
+  auto map = cluster::LoadPartitionMap(path);
+  if (!map.ok()) {
+    std::fprintf(stderr, "inspect: %s\n", map.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("partition map  : v%u, %zu shard(s), inner spec %s\n",
+              cluster::kMapFormatVersion, map->num_shards(),
+              map->inner_spec.c_str());
+  std::printf("fingerprint    : %016llx\n",
+              static_cast<unsigned long long>(map->graph_fingerprint));
+  std::printf("graph          : %s nodes, %s edges\n",
+              FormatWithCommas(static_cast<long long>(map->num_nodes))
+                  .c_str(),
+              FormatWithCommas(static_cast<long long>(map->num_edges))
+                  .c_str());
+  std::printf("boundary       : %zu vertex(es), %zu cross edge(s)\n",
+              map->boundary.size(), map->cross_edges.size());
+  for (size_t s = 0; s < map->num_shards(); ++s) {
+    std::printf("shard %-2zu       : [%llu, %llu) %s nodes, endpoint %s, "
+                "index fingerprint %016llx\n",
+                s, static_cast<unsigned long long>(map->ranges[s].begin),
+                static_cast<unsigned long long>(map->ranges[s].end),
+                FormatWithCommas(static_cast<long long>(
+                                     map->ranges[s].end -
+                                     map->ranges[s].begin))
+                    .c_str(),
+                map->endpoints[s].empty() ? "(unset)"
+                                          : map->endpoints[s].c_str(),
+                static_cast<unsigned long long>(
+                    map->shard_fingerprints[s]));
+  }
+  return 0;
+}
+
 int RunInspect(int argc, char** argv) {
   if (argc < 3 || argv[2][0] == '-') return Usage();
+  if (HasPartitionMapMagic(argv[2])) return InspectPartitionMap(argv[2]);
   auto info = storage::InspectReachabilityIndex(argv[2]);
   if (!info.ok()) {
     std::fprintf(stderr, "inspect: %s\n",
@@ -511,69 +581,49 @@ bool ParseBoundedFlag(const std::optional<std::string>& value,
   return true;
 }
 
-int RunServe(int argc, char** argv) {
-  auto graph = ResolveGraph(argc, argv);
-  if (!graph.ok()) {
-    std::fprintf(stderr, "serve: %s\n", graph.status().ToString().c_str());
-    return 1;
-  }
-  const DataGraph& g = graph.ValueOrDie();
-
-  net::NetServerOptions options;
-  // --engine= takes a full engine spec ("naive", "gtea:cached:contour");
-  // --index= is the common shorthand for "gtea:<oracle spec>", which
-  // also serves prebuilt files via --index=file:<path>. With --mmap the
-  // file: loader is rewritten to mmap:, so the index body is served
-  // from a read-only shared mapping instead of a heap copy.
-  std::string oracle_spec;
-  if (auto engine = FlagValue(argc, argv, "--engine=")) {
-    options.runtime.engine_spec = *engine;
-  } else {
-    oracle_spec = FlagValue(argc, argv, "--index=").value_or("contour");
-    if (HasFlag(argc, argv, "--mmap") &&
-        !RewriteFileSpecToMmap(&oracle_spec)) {
-      std::fprintf(stderr,
-                   "serve: --mmap needs a file:<path> (or mmap:<path>) "
-                   "index, got '%s'\n",
-                   oracle_spec.c_str());
-      return 1;
-    }
-    options.runtime.engine_spec = "gtea:" + oracle_spec;
-  }
-  unsigned long long port = options.port;
-  unsigned long long threads = options.runtime.num_threads;
-  unsigned long long coalesce = options.coalesce_max_queries;
+/// Parses the serve/route-shared listener flags into `options`; false
+/// (after a complaint) on junk.
+bool ParseServeOptions(int argc, char** argv,
+                       net::NetServerOptions* options) {
+  unsigned long long port = options->port;
+  unsigned long long threads = options->runtime.num_threads;
+  unsigned long long coalesce = options->coalesce_max_queries;
   if (!ParseBoundedFlag(FlagValue(argc, argv, "--port="), "--port=", 0,
                         65535, &port) ||
       !ParseBoundedFlag(FlagValue(argc, argv, "--threads="), "--threads=",
                         1, 1024, &threads) ||
       !ParseBoundedFlag(FlagValue(argc, argv, "--coalesce="),
                         "--coalesce=", 1, 1u << 20, &coalesce)) {
-    return Usage();
+    return false;
   }
-  options.port = static_cast<uint16_t>(port);
-  options.runtime.num_threads = static_cast<size_t>(threads);
-  options.coalesce_max_queries = static_cast<size_t>(coalesce);
+  options->port = static_cast<uint16_t>(port);
+  options->runtime.num_threads = static_cast<size_t>(threads);
+  options->coalesce_max_queries = static_cast<size_t>(coalesce);
   if (auto bind = FlagValue(argc, argv, "--bind=")) {
-    options.bind_address = *bind;
+    options->bind_address = *bind;
   }
   if (auto window = FlagValue(argc, argv, "--window-us=")) {
     char* end = nullptr;
-    options.coalesce_window_us = std::strtod(window->c_str(), &end);
+    options->coalesce_window_us = std::strtod(window->c_str(), &end);
     if (window->empty() || end != window->c_str() + window->size() ||
-        options.coalesce_window_us < 0) {
+        options->coalesce_window_us < 0) {
       std::fprintf(stderr, "serve: --window-us= wants a number >= 0, "
                            "got '%s'\n",
                    window->c_str());
-      return Usage();
+      return false;
     }
   }
+  return true;
+}
 
-  std::printf("graph: %zu nodes, %zu edges\n", g.NumNodes(), g.NumEdges());
+/// Start + signal-wait + stop + stat line — the tail every wire
+/// front-end (serve, route) shares.
+int ServeLoop(const DataGraph& g, const net::NetServerOptions& options,
+              const char* command) {
   net::NetServer server(g, options);
   const Status started = server.Start();
   if (!started.ok()) {
-    std::fprintf(stderr, "serve: %s\n", started.ToString().c_str());
+    std::fprintf(stderr, "%s: %s\n", command, started.ToString().c_str());
     return 1;
   }
   std::printf("gtpq-wire v1 serving on %s:%u — engine %s, %zu worker "
@@ -604,6 +654,124 @@ int RunServe(int argc, char** argv) {
               static_cast<unsigned long long>(counters.rejected_overload),
               static_cast<unsigned long long>(counters.protocol_errors));
   return 0;
+}
+
+int RunServe(int argc, char** argv) {
+  auto graph = ResolveGraph(argc, argv);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "serve: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const DataGraph& g = graph.ValueOrDie();
+
+  net::NetServerOptions options;
+  // --engine= takes a full engine spec ("naive", "gtea:cached:contour");
+  // --index= is the common shorthand for "gtea:<oracle spec>", which
+  // also serves prebuilt files via --index=file:<path>. With --mmap the
+  // file: loader is rewritten to mmap:, so the index body is served
+  // from a read-only shared mapping instead of a heap copy.
+  std::string oracle_spec;
+  if (auto engine = FlagValue(argc, argv, "--engine=")) {
+    options.runtime.engine_spec = *engine;
+  } else {
+    oracle_spec = FlagValue(argc, argv, "--index=").value_or("contour");
+    if (HasFlag(argc, argv, "--mmap") &&
+        !RewriteFileSpecToMmap(&oracle_spec)) {
+      std::fprintf(stderr,
+                   "serve: --mmap needs a file:<path> (or mmap:<path>) "
+                   "index, got '%s'\n",
+                   oracle_spec.c_str());
+      return 1;
+    }
+    options.runtime.engine_spec = "gtea:" + oracle_spec;
+  }
+  if (!ParseServeOptions(argc, argv, &options)) return Usage();
+
+  std::printf("graph: %zu nodes, %zu edges\n", g.NumNodes(), g.NumEdges());
+  return ServeLoop(g, options, "serve");
+}
+
+int RunPartition(int argc, char** argv) {
+  const auto out = FlagValue(argc, argv, "--out=");
+  if (!out.has_value() || out->empty()) {
+    std::fprintf(stderr, "partition: --out=<dir> is required\n");
+    return Usage();
+  }
+  auto graph = ResolveGraph(argc, argv);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "partition: %s\n",
+                 graph.status().ToString().c_str());
+    return 1;
+  }
+  const DataGraph& g = graph.ValueOrDie();
+
+  cluster::BuildPartitionOptions options;
+  unsigned long long shards = options.plan.num_shards;
+  if (!ParseBoundedFlag(FlagValue(argc, argv, "--shards="), "--shards=", 1,
+                        4096, &shards)) {
+    return Usage();
+  }
+  options.plan.num_shards = static_cast<size_t>(shards);
+  options.plan.degree_aware = !HasFlag(argc, argv, "--no-degree-aware");
+  options.inner_spec =
+      FlagValue(argc, argv, "--inner=").value_or("interval");
+  if (auto endpoints = FlagValue(argc, argv, "--endpoints=")) {
+    options.endpoints = Split(*endpoints, ',');
+  }
+
+  std::printf("graph: %zu nodes, %zu edges\n", g.NumNodes(), g.NumEdges());
+  Timer timer;
+  auto built = cluster::BuildPartition(g, options, *out);
+  if (!built.ok()) {
+    std::fprintf(stderr, "partition: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  const double ms = timer.ElapsedMillis();
+  const cluster::PartitionMap& map = built->map;
+  std::printf("%zu shard(s), %zu boundary vertex(es), %zu cross "
+              "edge(s), %s cuts, in %.1f ms\n",
+              map.num_shards(), map.boundary.size(),
+              map.cross_edges.size(),
+              options.plan.degree_aware ? "degree-aware" : "equal", ms);
+  for (size_t s = 0; s < map.num_shards(); ++s) {
+    std::printf("shard %-2zu: [%llu, %llu) -> %s + %s\n", s,
+                static_cast<unsigned long long>(map.ranges[s].begin),
+                static_cast<unsigned long long>(map.ranges[s].end),
+                built->graph_paths[s].c_str(),
+                built->index_paths[s].c_str());
+  }
+  std::printf("wrote %s\n", built->map_path.c_str());
+  return 0;
+}
+
+int RunRoute(int argc, char** argv) {
+  const auto map_path = FlagValue(argc, argv, "--map=");
+  if (!map_path.has_value() || map_path->empty()) {
+    std::fprintf(stderr, "route: --map=<file.gtpqmap> is required\n");
+    return Usage();
+  }
+  auto graph = ResolveGraph(argc, argv);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "route: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const DataGraph& g = graph.ValueOrDie();
+
+  // The router is just a reachability oracle, so the whole serving
+  // stack (coalescing, pipelining, updates) is the regular one over
+  // "gtea:cluster:<map>[@endpoints]".
+  std::string spec = "cluster:" + *map_path;
+  if (auto endpoints = FlagValue(argc, argv, "--endpoints=")) {
+    spec += "@" + *endpoints;
+  }
+  net::NetServerOptions options;
+  options.runtime.engine_spec = "gtea:" + spec;
+  if (!ParseServeOptions(argc, argv, &options)) return Usage();
+
+  std::printf("graph: %zu nodes, %zu edges; routing via %s\n",
+              g.NumNodes(), g.NumEdges(), map_path->c_str());
+  return ServeLoop(g, options, "route");
 }
 
 int RunRemoteQuery(int argc, char** argv) {
@@ -728,6 +896,8 @@ int Run(int argc, char** argv) {
     return remote ? RunRemoteApply(argc, argv) : RunApply(argc, argv);
   }
   if (command == "serve") return RunServe(argc, argv);
+  if (command == "partition") return RunPartition(argc, argv);
+  if (command == "route") return RunRoute(argc, argv);
   if (command == "query") return RunRemoteQuery(argc, argv);
   if (command == "stats") return RunRemoteStats(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
