@@ -21,6 +21,7 @@
 //                              from --gen=, which must match; rows are
 //                              labeled with the first --shards= value)
 //   --json=<path>              machine-readable rows (CI perf tracking)
+//   --quiet                    suppress log output below error level
 //
 // Defaults are deliberately small: unlike bench_net_throughput, every
 // reachability probe inside a routed query is a loopback RTT to a
@@ -38,6 +39,7 @@
 
 #include "bench/harness.h"
 #include "cluster/partition.h"
+#include "common/logging.h"
 #include "common/timer.h"
 #include "graph/graph_io.h"
 #include "net/client.h"
@@ -231,6 +233,11 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--connect=", 10) == 0) connect = argv[i] + 10;
     if (std::strncmp(argv[i], "--gen=", 6) == 0) gen_spec = argv[i] + 6;
+    // Router wire-failure warnings (expected during teardown races)
+    // otherwise interleave with the result table.
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      SetLogLevel(LogLevel::kError);
+    }
   }
   if (gen_spec.empty()) {
     // Deterministic default sized by the global scale knob; the graph

@@ -21,6 +21,7 @@
 //                              self-hosted mode scales with
 //                              GTPQ_BENCH_SCALE like the other benches)
 //   --json=<path>              machine-readable rows (CI perf tracking)
+//   --quiet                    suppress log output below error level
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "common/logging.h"
 #include "common/timer.h"
 #include "graph/generators.h"
 #include "net/client.h"
@@ -152,6 +154,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--connect=", 10) == 0) connect = argv[i] + 10;
     if (std::strncmp(argv[i], "--gen=", 6) == 0) gen_spec = argv[i] + 6;
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      SetLogLevel(LogLevel::kError);
+    }
   }
   if (pipeline == 0 || num_queries == 0 || requests == 0) {
     std::fprintf(stderr, "--pipeline/--queries/--requests must be > 0\n");

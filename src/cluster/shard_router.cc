@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "dynamic/graph_delta.h"
 #include "graph/digraph.h"
+#include "obs/trace.h"
 
 namespace gtpq {
 namespace cluster {
@@ -30,6 +31,19 @@ ShardRouter::ShardRouter(PartitionMap map, ShardRouterOptions options)
   contributions_ = map_.shard_overlay;
   closure_ = map_.overlay_closure;
   shard_epochs_.assign(map_.num_shards(), 0);
+
+  obs::Registry& reg = obs::Registry::Global();
+  shard_probes_.reserve(map_.num_shards());
+  shard_probe_latency_us_.reserve(map_.num_shards());
+  for (size_t s = 0; s < map_.num_shards(); ++s) {
+    const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
+    shard_probes_.push_back(
+        reg.GetCounter("gtpq_shard_probes_total" + label));
+    shard_probe_latency_us_.push_back(
+        reg.GetHistogram("gtpq_shard_probe_latency_us" + label));
+  }
+  reconnects_ = reg.GetCounter("gtpq_shard_reconnects_total");
+  closure_hits_ = reg.GetCounter("gtpq_overlay_closure_hits_total");
 }
 
 Result<std::unique_ptr<ShardRouter>> ShardRouter::Connect(
@@ -92,7 +106,11 @@ net::NetClient* ShardRouter::Client(size_t shard) const {
 
 void ShardRouter::DropClient(size_t shard) const {
   auto& slots = clients_.Local();
-  if (shard < slots.size()) slots[shard].reset();
+  if (shard < slots.size() && slots[shard] != nullptr) {
+    // Every drop forces the next probe on this thread to reconnect.
+    reconnects_->Add();
+    slots[shard].reset();
+  }
 }
 
 std::shared_ptr<const TransitiveClosure> ShardRouter::closure() const {
@@ -115,9 +133,16 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
     return false;
   }
 
+  // The ambient trace was installed thread-locally by the query worker
+  // (QueryServer::EvaluateOnWorker): probes fanned out on its behalf
+  // carry the trace on the wire and record child spans here.
+  const obs::TraceContext trace = obs::CurrentTrace();
+
   net::ProbeRequest fwd;
   fwd.reverse = false;
   fwd.pivot = LocalId(from, su);
+  fwd.trace_id = trace.trace_id;
+  fwd.parent_span = trace.parent_span;
   if (same) fwd.ids.push_back(LocalId(to, sv));
   for (uint32_t b : shard_boundary_[su]) {
     fwd.ids.push_back(LocalId(map_.boundary[b], su));
@@ -125,6 +150,8 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
   net::ProbeRequest rev;
   rev.reverse = true;
   rev.pivot = LocalId(to, sv);
+  rev.trace_id = trace.trace_id;
+  rev.parent_span = trace.parent_span;
   for (uint32_t b : shard_boundary_[sv]) {
     rev.ids.push_back(LocalId(map_.boundary[b], sv));
   }
@@ -139,6 +166,7 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
   // Scatter both probes before gathering either: in the cross-shard
   // case they overlap on two connections; in the same-shard case they
   // pipeline back to back on one.
+  const double fwd_start_us = obs::NowMicros();
   auto fwd_id = cu->SendProbe(fwd);
   if (!fwd_id.ok()) {
     DropClient(su);
@@ -146,7 +174,9 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
   }
   Result<uint64_t> rev_id = 0;
   const bool want_rev = !rev.ids.empty();
+  double rev_start_us = 0;
   if (want_rev) {
+    rev_start_us = obs::NowMicros();
     rev_id = cv->SendProbe(rev);
     if (!rev_id.ok()) {
       DropClient(sv);
@@ -164,6 +194,17 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
     }
     return Status::OK();
   };
+  auto finish_probe = [&trace, this](size_t shard, double start_us) {
+    const double dur_us = obs::NowMicros() - start_us;
+    shard_probes_[shard]->Add();
+    shard_probe_latency_us_[shard]->Record(static_cast<uint64_t>(dur_us));
+    if (trace.active()) {
+      obs::TraceRecorder::Global().Record(
+          trace.trace_id, trace.parent_span,
+          "probe shard=" + std::to_string(shard), start_us, dur_us);
+    }
+  };
+
   net::ProbeResult fr;
   Status status = decode(
       cu->WaitForResponse(*fwd_id, net::FrameType::kProbeResult),
@@ -173,6 +214,7 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
     if (want_rev) DropClient(sv);
     return status;
   }
+  finish_probe(su, fwd_start_us);
   net::ProbeResult rr;
   if (want_rev) {
     status = decode(cv->WaitForResponse(*rev_id, net::FrameType::kProbeResult),
@@ -181,6 +223,7 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
       DropClient(sv);
       return status;
     }
+    finish_probe(sv, rev_start_us);
   }
 
   IndexStats& st = stats();
@@ -208,7 +251,12 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
   const std::shared_ptr<const TransitiveClosure> closure = this->closure();
   for (uint32_t b1 : exits) {
     for (uint32_t b2 : entries) {
-      if (closure->Reaches(b1, b2)) return true;
+      if (closure->Reaches(b1, b2)) {
+        // Answered by the replicated overlay closure — no further wire
+        // traffic needed.
+        closure_hits_->Add();
+        return true;
+      }
     }
   }
   return false;

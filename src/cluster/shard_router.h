@@ -13,6 +13,7 @@
 #include "common/per_thread.h"
 #include "common/status.h"
 #include "net/client.h"
+#include "obs/metrics.h"
 #include "reachability/reachability_index.h"
 #include "reachability/transitive_closure.h"
 
@@ -129,6 +130,13 @@ class ShardRouter : public ReachabilityOracle {
   mutable std::vector<uint64_t> shard_epochs_;
 
   mutable PerThread<std::vector<std::unique_ptr<net::NetClient>>> clients_;
+
+  // Observability handles (registry-owned, stable pointers; one
+  // counter/histogram per shard, labeled shard="N").
+  std::vector<obs::Counter*> shard_probes_;
+  std::vector<obs::Histogram*> shard_probe_latency_us_;
+  obs::Counter* reconnects_ = nullptr;
+  obs::Counter* closure_hits_ = nullptr;
 };
 
 }  // namespace cluster

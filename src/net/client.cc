@@ -211,11 +211,15 @@ Result<std::string> NetClient::RoundTrip(FrameType type,
 
 Result<WireResult> NetClient::Query(const std::string& text,
                                     uint64_t result_limit,
-                                    uint32_t parallelism) {
+                                    uint32_t parallelism,
+                                    uint64_t trace_id,
+                                    uint64_t parent_span) {
   QueryRequest request;
   request.result_limit = result_limit;
   request.text = text;
   request.parallelism = parallelism;
+  request.trace_id = trace_id;
+  request.parent_span = parent_span;
   auto payload = RoundTrip(FrameType::kQuery,
                            EncodeQueryRequest(request), FrameType::kResult);
   if (!payload.ok()) return payload.status();
@@ -226,11 +230,13 @@ Result<WireResult> NetClient::Query(const std::string& text,
 
 Result<WireBatchResult> NetClient::QueryBatch(
     const std::vector<std::string>& texts, uint64_t result_limit,
-    uint32_t parallelism) {
+    uint32_t parallelism, uint64_t trace_id, uint64_t parent_span) {
   BatchRequest request;
   request.result_limit = result_limit;
   request.texts = texts;
   request.parallelism = parallelism;
+  request.trace_id = trace_id;
+  request.parent_span = parent_span;
   auto payload =
       RoundTrip(FrameType::kBatch, EncodeBatchRequest(request),
                 FrameType::kBatchResult);
@@ -278,13 +284,26 @@ Result<ProbeResult> NetClient::Probe(const ProbeRequest& request) {
   return out;
 }
 
+Result<std::string> NetClient::Observe(ObserveKind kind) {
+  auto payload = RoundTrip(FrameType::kObserve, EncodeObserveRequest(kind),
+                           FrameType::kObserveResult);
+  if (!payload.ok()) return payload.status();
+  std::string out;
+  GTPQ_RETURN_NOT_OK(DecodeObserveResult(*payload, &out));
+  return out;
+}
+
 Result<uint64_t> NetClient::SendQuery(const std::string& text,
                                       uint64_t result_limit,
-                                      uint32_t parallelism) {
+                                      uint32_t parallelism,
+                                      uint64_t trace_id,
+                                      uint64_t parent_span) {
   QueryRequest request;
   request.result_limit = result_limit;
   request.text = text;
   request.parallelism = parallelism;
+  request.trace_id = trace_id;
+  request.parent_span = parent_span;
   const uint64_t id = next_request_id_++;
   GTPQ_RETURN_NOT_OK(
       SendFrame(FrameType::kQuery, id, EncodeQueryRequest(request)));
@@ -293,11 +312,15 @@ Result<uint64_t> NetClient::SendQuery(const std::string& text,
 
 Result<uint64_t> NetClient::SendBatch(const std::vector<std::string>& texts,
                                       uint64_t result_limit,
-                                      uint32_t parallelism) {
+                                      uint32_t parallelism,
+                                      uint64_t trace_id,
+                                      uint64_t parent_span) {
   BatchRequest request;
   request.result_limit = result_limit;
   request.texts = texts;
   request.parallelism = parallelism;
+  request.trace_id = trace_id;
+  request.parent_span = parent_span;
   const uint64_t id = next_request_id_++;
   GTPQ_RETURN_NOT_OK(
       SendFrame(FrameType::kBatch, id, EncodeBatchRequest(request)));
@@ -358,11 +381,13 @@ Result<std::string> NetClient::RoundTrip(FrameType, std::string_view,
                                          FrameType) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
-Result<WireResult> NetClient::Query(const std::string&, uint64_t, uint32_t) {
+Result<WireResult> NetClient::Query(const std::string&, uint64_t, uint32_t,
+                                    uint64_t, uint64_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<WireBatchResult> NetClient::QueryBatch(
-    const std::vector<std::string>&, uint64_t, uint32_t) {
+    const std::vector<std::string>&, uint64_t, uint32_t, uint64_t,
+    uint64_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<ApplyOk> NetClient::ApplyUpdates(const std::string&) {
@@ -374,12 +399,16 @@ Result<ApplyOk> NetClient::ApplyUpdates(std::span<const UpdateBatch>) {
 Result<ServingStats> NetClient::Stats() {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
+Result<std::string> NetClient::Observe(ObserveKind) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
 Result<uint64_t> NetClient::SendQuery(const std::string&, uint64_t,
-                                      uint32_t) {
+                                      uint32_t, uint64_t, uint64_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<uint64_t> NetClient::SendBatch(const std::vector<std::string>&,
-                                      uint64_t, uint32_t) {
+                                      uint64_t, uint32_t, uint64_t,
+                                      uint64_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<ProbeResult> NetClient::Probe(const ProbeRequest&) {

@@ -52,13 +52,18 @@ class NetClient {
   /// defers to the server's configured cap. `parallelism` requests
   /// intra-query lanes (0 = serial); the server grants it — clamped by
   /// its max_query_parallelism — only when the query is dispatched
-  /// alone, and answers are byte-identical either way.
+  /// alone, and answers are byte-identical either way. A non-zero
+  /// `trace_id` (obs::NewTraceId) rides the wire and correlates the
+  /// server-side spans; `parent_span` parents them under a caller span.
   Result<WireResult> Query(const std::string& text,
                            uint64_t result_limit = 0,
-                           uint32_t parallelism = 0);
+                           uint32_t parallelism = 0,
+                           uint64_t trace_id = 0, uint64_t parent_span = 0);
   Result<WireBatchResult> QueryBatch(const std::vector<std::string>& texts,
                                      uint64_t result_limit = 0,
-                                     uint32_t parallelism = 0);
+                                     uint32_t parallelism = 0,
+                                     uint64_t trace_id = 0,
+                                     uint64_t parent_span = 0);
   /// Applies "gtpq-updates v1" text (dynamic/update_io.h) atomically
   /// batch by batch on the server's live snapshot chain.
   Result<ApplyOk> ApplyUpdates(const std::string& updates_text);
@@ -67,6 +72,9 @@ class NetClient {
   /// Reachability scatter-gather probe (see ProbeRequest); node ids are
   /// local to the server's graph.
   Result<ProbeResult> Probe(const ProbeRequest& request);
+  /// One observability export (OBSERVE frame): Prometheus metrics,
+  /// Chrome trace JSON, or the slow-query log, rendered server-side.
+  Result<std::string> Observe(ObserveKind kind);
 
   // --- Pipelined calls ------------------------------------------------
 
@@ -74,10 +82,14 @@ class NetClient {
   /// eventual response.
   Result<uint64_t> SendQuery(const std::string& text,
                              uint64_t result_limit = 0,
-                             uint32_t parallelism = 0);
+                             uint32_t parallelism = 0,
+                             uint64_t trace_id = 0,
+                             uint64_t parent_span = 0);
   Result<uint64_t> SendBatch(const std::vector<std::string>& texts,
                              uint64_t result_limit = 0,
-                             uint32_t parallelism = 0);
+                             uint32_t parallelism = 0,
+                             uint64_t trace_id = 0,
+                             uint64_t parent_span = 0);
   Result<uint64_t> SendProbe(const ProbeRequest& request);
   /// Next response frame: parked responses first, then a blocking read.
   Result<Frame> Receive();

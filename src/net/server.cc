@@ -15,6 +15,9 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "dynamic/update_io.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 #include "query/query_parser.h"
 
 #if defined(__linux__)
@@ -53,6 +56,30 @@ struct PendingRequest {
   uint64_t request_id = 0;
   FrameType type = FrameType::kQuery;
   std::string payload;
+};
+
+/// Registry handles for the network hot paths, resolved once.
+struct NetMetrics {
+  obs::Counter* connections_total;
+  obs::Counter* bytes_received_total;
+  obs::Counter* bytes_sent_total;
+  obs::Counter* admission_rejected_total;
+  obs::Gauge* dispatch_queue_depth;
+  obs::Histogram* coalesced_batch_size;
+
+  static const NetMetrics& Get() {
+    static const NetMetrics m = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      return NetMetrics{
+          reg.GetCounter("gtpq_connections_total"),
+          reg.GetCounter("gtpq_net_bytes_received_total"),
+          reg.GetCounter("gtpq_net_bytes_sent_total"),
+          reg.GetCounter("gtpq_admission_rejected_total"),
+          reg.GetGauge("gtpq_dispatch_queue_depth"),
+          reg.GetHistogram("gtpq_coalesced_batch_size")};
+    }();
+    return m;
+  }
 };
 
 /// One encoded response frame headed back to a connection. Each
@@ -353,6 +380,7 @@ void NetServer::Impl::AcceptAll() {
       continue;
     }
     connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::Get().connections_total->Add();
     conns.emplace(conn->id, std::move(conn));
   }
 }
@@ -365,6 +393,7 @@ void NetServer::Impl::ReadConnection(Connection& conn) {
   while (true) {
     const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
     if (n > 0) {
+      NetMetrics::Get().bytes_received_total->Add(static_cast<uint64_t>(n));
       conn.decoder.Append(buf, static_cast<size_t>(n));
       continue;
     }
@@ -455,12 +484,41 @@ void NetServer::Impl::HandleFrame(Connection& conn, Frame frame) {
              EncodeProbeResult(result));
       return;
     }
+    case FrameType::kObserve: {
+      // Also inline, like STATS: rendering an export touches no serving
+      // state that needs the dispatcher.
+      if (!conn.hello_done) break;
+      ObserveKind kind = ObserveKind::kMetrics;
+      const Status st = DecodeObserveRequest(frame.payload, &kind);
+      if (!st.ok()) {
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        conn.close_after_flush = true;
+        SendError(conn, frame.request_id, st);
+        return;
+      }
+      std::string body;
+      switch (kind) {
+        case ObserveKind::kMetrics:
+          body = obs::Registry::Global().RenderPrometheus();
+          break;
+        case ObserveKind::kTrace:
+          body = obs::TraceRecorder::Global().RenderChromeTrace();
+          break;
+        case ObserveKind::kSlowlog:
+          body = obs::SlowQueryLog::Global().Render();
+          break;
+      }
+      SendOn(conn, FrameType::kObserveResult, frame.request_id,
+             EncodeObserveResult(body));
+      return;
+    }
     case FrameType::kQuery:
     case FrameType::kBatch:
     case FrameType::kApplyUpdates: {
       if (!conn.hello_done) break;
       if (conn.inflight >= options.max_inflight_per_conn) {
         rejected_overload.fetch_add(1, std::memory_order_relaxed);
+        NetMetrics::Get().admission_rejected_total->Add();
         SendError(conn, frame.request_id,
                   Status::FailedPrecondition(
                       "too many in-flight requests on this connection "
@@ -474,6 +532,7 @@ void NetServer::Impl::HandleFrame(Connection& conn, Frame frame) {
         if (queue.size() >= options.max_pending_requests ||
             stop_dispatch.load()) {
           rejected_overload.fetch_add(1, std::memory_order_relaxed);
+          NetMetrics::Get().admission_rejected_total->Add();
           SendError(conn, frame.request_id,
                     Status::FailedPrecondition(
                         stop_dispatch.load()
@@ -490,6 +549,8 @@ void NetServer::Impl::HandleFrame(Connection& conn, Frame frame) {
         request.type = frame.type;
         request.payload = std::move(frame.payload);
         queue.push_back(std::move(request));
+        NetMetrics::Get().dispatch_queue_depth->Set(
+            static_cast<int64_t>(queue.size()));
       }
       ++conn.inflight;
       queue_cv.notify_one();
@@ -517,6 +578,7 @@ void NetServer::Impl::FlushConnection(Connection& conn) {
     const ssize_t n = ::write(conn.fd, conn.out.data() + conn.out_pos,
                               conn.out.size() - conn.out_pos);
     if (n > 0) {
+      NetMetrics::Get().bytes_sent_total->Add(static_cast<uint64_t>(n));
       conn.out_pos += static_cast<size_t>(n);
       continue;
     }
@@ -624,7 +686,10 @@ void NetServer::Impl::DispatchLoop() {
           [this] { return !queue.empty() || stop_dispatch.load(); });
       if (queue.empty()) break;  // timeout or spurious + stop
     }
+    NetMetrics::Get().dispatch_queue_depth->Set(
+        static_cast<int64_t>(queue.size()));
     lock.unlock();
+    NetMetrics::Get().coalesced_batch_size->Record(group.size());
     ProcessQueryGroup(std::move(group));
   }
 }
@@ -639,6 +704,13 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
     std::vector<Gtpq> queries;
     std::vector<QueryResult> results;
     uint64_t epoch = 0;
+    // Trace correlation carried on the wire; the dispatch span covers
+    // this request from decode to response and parents the per-query
+    // evaluate spans.
+    uint64_t trace_id = 0;
+    uint64_t dispatch_span = 0;
+    uint64_t parent_span = 0;
+    double dispatch_start_us = 0;
   };
   std::vector<Parsed> parsed;
   parsed.reserve(group.size());
@@ -665,6 +737,8 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
       }
       p.result_limit = decoded.result_limit;
       p.parallelism = decoded.parallelism;
+      p.trace_id = decoded.trace_id;
+      p.parent_span = decoded.parent_span;
       texts.push_back(std::move(decoded.text));
     } else {
       BatchRequest decoded;
@@ -677,7 +751,13 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
       p.is_batch = true;
       p.result_limit = decoded.result_limit;
       p.parallelism = decoded.parallelism;
+      p.trace_id = decoded.trace_id;
+      p.parent_span = decoded.parent_span;
       texts = std::move(decoded.texts);
+    }
+    if (p.trace_id != 0) {
+      p.dispatch_span = obs::TraceRecorder::Global().NewSpanId();
+      p.dispatch_start_us = obs::NowMicros();
     }
 
     bool bad = false;
@@ -702,6 +782,7 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
   // still rides the pool. Each dispatch pins one snapshot; its
   // BatchInfo epoch stamps the responses.
   std::vector<Gtpq> queries;
+  std::vector<obs::TraceContext> traces;  // aligned with `queries`
   std::vector<std::pair<size_t, size_t>> origin;  // (parsed idx, query idx)
   std::vector<size_t> members;                    // parsed idxs this round
   std::vector<char> done(parsed.size(), 0);
@@ -710,6 +791,7 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
     const uint64_t limit = parsed[anchor].result_limit;
     const uint32_t requested_lanes = parsed[anchor].parallelism;
     queries.clear();
+    traces.clear();
     origin.clear();
     members.clear();
     for (size_t i = anchor; i < parsed.size(); ++i) {
@@ -721,6 +803,8 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
       members.push_back(i);
       for (size_t q = 0; q < parsed[i].queries.size(); ++q) {
         queries.push_back(std::move(parsed[i].queries[q]));
+        traces.push_back(
+            obs::TraceContext{parsed[i].trace_id, parsed[i].dispatch_span});
         origin.emplace_back(i, q);
       }
       parsed[i].results.resize(parsed[i].queries.size());
@@ -737,7 +821,7 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
     }
     QueryServer::BatchInfo info;
     std::vector<QueryResult> results =
-        runtime->EvaluateBatch(queries, &info, eval);
+        runtime->EvaluateBatch(queries, &info, eval, traces);
     batches_dispatched.fetch_add(1, std::memory_order_relaxed);
     queries_served.fetch_add(queries.size(), std::memory_order_relaxed);
     // Every member gets the pinned epoch — including zero-query BATCH
@@ -750,6 +834,11 @@ void NetServer::Impl::ProcessQueryGroup(std::vector<PendingRequest> group) {
   }
 
   for (Parsed& p : parsed) {
+    if (p.trace_id != 0) {
+      obs::TraceRecorder::Global().Record(
+          p.trace_id, p.dispatch_span, p.parent_span, "dispatch",
+          p.dispatch_start_us, obs::NowMicros() - p.dispatch_start_us);
+    }
     if (p.is_batch) {
       WireBatchResult result;
       result.epoch = p.epoch;

@@ -102,14 +102,14 @@ Status ExpectMagic(Reader* r) {
 
 bool IsRequestType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kHello) &&
-         type <= static_cast<uint8_t>(FrameType::kProbe);
+         type <= static_cast<uint8_t>(FrameType::kObserve);
 }
 
 bool IsKnownType(uint8_t type) {
   if (IsRequestType(type)) return true;
   if (type == static_cast<uint8_t>(FrameType::kError)) return true;
   return type >= static_cast<uint8_t>(FrameType::kHelloOk) &&
-         type <= static_cast<uint8_t>(FrameType::kProbeResult);
+         type <= static_cast<uint8_t>(FrameType::kObserveResult);
 }
 
 const char* FrameTypeName(FrameType type) {
@@ -120,6 +120,7 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kApplyUpdates: return "APPLY_UPDATES";
     case FrameType::kStats: return "STATS";
     case FrameType::kProbe: return "PROBE";
+    case FrameType::kObserve: return "OBSERVE";
     case FrameType::kError: return "ERROR";
     case FrameType::kHelloOk: return "HELLO_OK";
     case FrameType::kResult: return "RESULT";
@@ -127,6 +128,7 @@ const char* FrameTypeName(FrameType type) {
     case FrameType::kApplyOk: return "APPLY_OK";
     case FrameType::kStatsResult: return "STATS_RESULT";
     case FrameType::kProbeResult: return "PROBE_RESULT";
+    case FrameType::kObserveResult: return "OBSERVE_RESULT";
   }
   return "UNKNOWN";
 }
@@ -239,9 +241,16 @@ std::string EncodeQueryRequest(const QueryRequest& request) {
   Writer w;
   w.WriteU64(request.result_limit);
   w.WriteString(request.text);
-  // Optional trailing field: a serial request stays byte-identical to
-  // the original v1 layout.
-  if (request.parallelism != 0) w.WriteU32(request.parallelism);
+  // Optional trailing fields: a serial, untraced request stays
+  // byte-identical to the original v1 layout. A traced request encodes
+  // parallelism even when 0 so the trace pair keeps its position.
+  if (request.parallelism != 0 || request.trace_id != 0) {
+    w.WriteU32(request.parallelism);
+  }
+  if (request.trace_id != 0) {
+    w.WriteU64(request.trace_id);
+    w.WriteU64(request.parent_span);
+  }
   return w.buffer();
 }
 
@@ -251,10 +260,16 @@ Status DecodeQueryRequest(std::string_view payload, QueryRequest* out) {
       [](Reader* r, void* opaque) -> Status {
         auto* request = static_cast<QueryRequest*>(opaque);
         request->parallelism = 0;
+        request->trace_id = 0;
+        request->parent_span = 0;
         GTPQ_RETURN_NOT_OK(r->ReadU64(&request->result_limit));
         GTPQ_RETURN_NOT_OK(r->ReadString(&request->text));
         if (r->remaining() > 0) {
           GTPQ_RETURN_NOT_OK(r->ReadU32(&request->parallelism));
+        }
+        if (r->remaining() > 0) {
+          GTPQ_RETURN_NOT_OK(r->ReadU64(&request->trace_id));
+          GTPQ_RETURN_NOT_OK(r->ReadU64(&request->parent_span));
         }
         return Status::OK();
       },
@@ -266,7 +281,13 @@ std::string EncodeBatchRequest(const BatchRequest& request) {
   w.WriteU64(request.result_limit);
   w.WriteU32(static_cast<uint32_t>(request.texts.size()));
   for (const std::string& text : request.texts) w.WriteString(text);
-  if (request.parallelism != 0) w.WriteU32(request.parallelism);
+  if (request.parallelism != 0 || request.trace_id != 0) {
+    w.WriteU32(request.parallelism);
+  }
+  if (request.trace_id != 0) {
+    w.WriteU64(request.trace_id);
+    w.WriteU64(request.parent_span);
+  }
   return w.buffer();
 }
 
@@ -275,6 +296,8 @@ Status DecodeBatchRequest(std::string_view payload,
   Reader r(payload);
   out->texts.clear();
   out->parallelism = 0;
+  out->trace_id = 0;
+  out->parent_span = 0;
   Status st = [&]() -> Status {
     GTPQ_RETURN_NOT_OK(r.ReadU64(&out->result_limit));
     uint32_t count = 0;
@@ -292,6 +315,10 @@ Status DecodeBatchRequest(std::string_view payload,
     }
     if (r.remaining() > 0) {
       GTPQ_RETURN_NOT_OK(r.ReadU32(&out->parallelism));
+    }
+    if (r.remaining() > 0) {
+      GTPQ_RETURN_NOT_OK(r.ReadU64(&out->trace_id));
+      GTPQ_RETURN_NOT_OK(r.ReadU64(&out->parent_span));
     }
     return r.ExpectEnd();
   }();
@@ -380,6 +407,15 @@ std::string EncodeServingStats(const ServingStats& stats) {
   w.WriteU64(stats.intermediate_size);
   w.WriteU64(stats.join_ops);
   WriteDouble(&w, stats.busy_ms);
+  // Per-stage engine timings (PR-6 fields). Always encoded; old peers
+  // simply never ask new servers, and new clients decode them as 0 when
+  // talking to an old server that stops at busy_ms.
+  WriteDouble(&w, stats.match_ms);
+  WriteDouble(&w, stats.prune_down_ms);
+  WriteDouble(&w, stats.prime_ms);
+  WriteDouble(&w, stats.prune_up_ms);
+  WriteDouble(&w, stats.matching_graph_ms);
+  WriteDouble(&w, stats.enumerate_ms);
   return w.buffer();
 }
 
@@ -398,7 +434,19 @@ Status DecodeServingStats(std::string_view payload, ServingStats* out) {
         GTPQ_RETURN_NOT_OK(r->ReadU64(&stats->index_lookups));
         GTPQ_RETURN_NOT_OK(r->ReadU64(&stats->intermediate_size));
         GTPQ_RETURN_NOT_OK(r->ReadU64(&stats->join_ops));
-        return ReadDouble(r, &stats->busy_ms);
+        GTPQ_RETURN_NOT_OK(ReadDouble(r, &stats->busy_ms));
+        stats->match_ms = stats->prune_down_ms = stats->prime_ms = 0;
+        stats->prune_up_ms = stats->matching_graph_ms = 0;
+        stats->enumerate_ms = 0;
+        if (r->remaining() > 0) {
+          GTPQ_RETURN_NOT_OK(ReadDouble(r, &stats->match_ms));
+          GTPQ_RETURN_NOT_OK(ReadDouble(r, &stats->prune_down_ms));
+          GTPQ_RETURN_NOT_OK(ReadDouble(r, &stats->prime_ms));
+          GTPQ_RETURN_NOT_OK(ReadDouble(r, &stats->prune_up_ms));
+          GTPQ_RETURN_NOT_OK(ReadDouble(r, &stats->matching_graph_ms));
+          GTPQ_RETURN_NOT_OK(ReadDouble(r, &stats->enumerate_ms));
+        }
+        return Status::OK();
       },
       out);
 }
@@ -408,6 +456,10 @@ std::string EncodeProbeRequest(const ProbeRequest& request) {
   w.WriteU8(request.reverse ? 1 : 0);
   w.WriteU64(request.pivot);
   w.WritePodVec(request.ids);
+  if (request.trace_id != 0) {
+    w.WriteU64(request.trace_id);
+    w.WriteU64(request.parent_span);
+  }
   return w.buffer();
 }
 
@@ -428,7 +480,14 @@ Status DecodeProbeRequest(std::string_view payload, ProbeRequest* out) {
           return Status::ParseError("probe pivot exceeds the node id range");
         }
         request->pivot = static_cast<NodeId>(pivot);
-        return r->ReadPodVec(&request->ids);
+        request->trace_id = 0;
+        request->parent_span = 0;
+        GTPQ_RETURN_NOT_OK(r->ReadPodVec(&request->ids));
+        if (r->remaining() > 0) {
+          GTPQ_RETURN_NOT_OK(r->ReadU64(&request->trace_id));
+          GTPQ_RETURN_NOT_OK(r->ReadU64(&request->parent_span));
+        }
+        return Status::OK();
       },
       out);
 }
@@ -459,6 +518,44 @@ Status DecodeProbeResult(std::string_view payload, ProbeResult* out) {
               "probe bitmask does not match the declared target count");
         }
         return Status::OK();
+      },
+      out);
+}
+
+std::string EncodeObserveRequest(ObserveKind kind) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(kind));
+  return w.buffer();
+}
+
+Status DecodeObserveRequest(std::string_view payload, ObserveKind* out) {
+  return WrapReader(
+      payload, "OBSERVE",
+      [](Reader* r, void* opaque) -> Status {
+        auto* kind = static_cast<ObserveKind*>(opaque);
+        uint8_t raw = 0;
+        GTPQ_RETURN_NOT_OK(r->ReadU8(&raw));
+        if (raw > static_cast<uint8_t>(ObserveKind::kSlowlog)) {
+          return Status::ParseError("unknown observe kind " +
+                                    std::to_string(raw));
+        }
+        *kind = static_cast<ObserveKind>(raw);
+        return Status::OK();
+      },
+      out);
+}
+
+std::string EncodeObserveResult(std::string_view body) {
+  Writer w;
+  w.WriteString(std::string(body));
+  return w.buffer();
+}
+
+Status DecodeObserveResult(std::string_view payload, std::string* out) {
+  return WrapReader(
+      payload, "OBSERVE_RESULT",
+      [](Reader* r, void* opaque) -> Status {
+        return r->ReadString(static_cast<std::string*>(opaque));
       },
       out);
 }

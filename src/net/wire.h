@@ -36,16 +36,24 @@ namespace net {
 ///                  (query/query_parser.h line format), then an
 ///                  OPTIONAL u32 parallelism budget (0 when absent) —
 ///                  emitted only when non-zero so v1 peers that stop at
-///                  the query text still interoperate
+///                  the query text still interoperate — then an OPTIONAL
+///                  u64 trace id + u64 parent span id pair, emitted only
+///                  when the request is traced (parallelism is encoded
+///                  whenever the trace fields are, keeping the layout
+///                  positional)
 ///   BATCH          u64 result_limit, u32 count, count query strings,
-///                  then the same optional trailing u32 parallelism
+///                  then the same optional trailing u32 parallelism and
+///                  optional u64 trace id + u64 parent span pair
 ///   APPLY_UPDATES  string "gtpq-updates v1" text (dynamic/update_io.h)
 ///   STATS          empty
 ///   PROBE          u8 direction (0 = does pivot reach ids[i], 1 = does
 ///                  ids[i] reach pivot), u64 pivot node id, then the
 ///                  target ids as a NodeId POD vector — the reachability
 ///                  scatter-gather primitive the cluster router fans out
-///                  to shard servers (src/cluster/shard_router.h)
+///                  to shard servers (src/cluster/shard_router.h) — then
+///                  the same optional u64 trace id + u64 parent span
+///   OBSERVE        u8 kind (0 = Prometheus metrics, 1 = Chrome trace
+///                  JSON, 2 = slow-query log)
 ///
 /// Response payloads (type = request type | 0x80, or ERROR):
 ///   HELLO_OK       u32 magic, u32 version, u64 epoch, u64 graph nodes,
@@ -56,6 +64,7 @@ namespace net {
 ///   STATS_RESULT   ServingStats (EncodeServingStats)
 ///   PROBE_RESULT   u64 epoch, u32 count, packed answer bitmask as a
 ///                  u8 POD vector of exactly (count + 7) / 8 bytes
+///   OBSERVE_RESULT string body (text exposition / JSON / log dump)
 ///   ERROR          u8 StatusCode, string message
 inline constexpr uint32_t kWireMagic = 0x57505447;  // "GTPW" LE
 inline constexpr uint32_t kWireVersion = 1;
@@ -71,6 +80,7 @@ enum class FrameType : uint8_t {
   kApplyUpdates = 0x04,
   kStats = 0x05,
   kProbe = 0x06,
+  kObserve = 0x07,
 
   kError = 0x7f,
   kHelloOk = 0x81,
@@ -79,9 +89,10 @@ enum class FrameType : uint8_t {
   kApplyOk = 0x84,
   kStatsResult = 0x85,
   kProbeResult = 0x86,
+  kObserveResult = 0x87,
 };
 
-/// True for the six request (client -> server) frame types.
+/// True for the seven request (client -> server) frame types.
 bool IsRequestType(uint8_t type);
 /// True for any frame type defined by gtpq-wire v1.
 bool IsKnownType(uint8_t type);
@@ -152,6 +163,13 @@ struct QueryRequest {
   /// Optional on the wire: encoded only when non-zero, decoded as 0
   /// when the trailing field is absent.
   uint32_t parallelism = 0;
+  /// Optional distributed-trace correlation (obs/trace.h): encoded as a
+  /// trailing u64 pair only when trace_id is non-zero (parallelism is
+  /// then encoded too, even when 0, so positional decoding holds);
+  /// decoded as 0 when absent. Untraced requests stay byte-identical to
+  /// the original v1 layout.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 std::string EncodeQueryRequest(const QueryRequest& request);
 Status DecodeQueryRequest(std::string_view payload, QueryRequest* out);
@@ -159,8 +177,10 @@ Status DecodeQueryRequest(std::string_view payload, QueryRequest* out);
 struct BatchRequest {
   uint64_t result_limit = 0;
   std::vector<std::string> texts;
-  /// Same optional trailing field as QueryRequest::parallelism.
+  /// Same optional trailing fields as QueryRequest.
   uint32_t parallelism = 0;
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 std::string EncodeBatchRequest(const BatchRequest& request);
 Status DecodeBatchRequest(std::string_view payload, const WireLimits& limits,
@@ -199,6 +219,11 @@ struct ProbeRequest {
   bool reverse = false;
   NodeId pivot = 0;
   std::vector<NodeId> ids;
+  /// Optional trailing trace correlation, as on QueryRequest: a u64
+  /// pair appended only when trace_id is non-zero, decoded as 0 when
+  /// absent.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
 };
 std::string EncodeProbeRequest(const ProbeRequest& request);
 Status DecodeProbeRequest(std::string_view payload, ProbeRequest* out);
@@ -214,6 +239,19 @@ struct ProbeResult {
 };
 std::string EncodeProbeResult(const ProbeResult& result);
 Status DecodeProbeResult(std::string_view payload, ProbeResult* out);
+
+/// What an OBSERVE frame asks the server to export.
+enum class ObserveKind : uint8_t {
+  kMetrics = 0,  // Prometheus text exposition
+  kTrace = 1,    // Chrome trace-event JSON
+  kSlowlog = 2,  // slow-query log dump
+};
+std::string EncodeObserveRequest(ObserveKind kind);
+Status DecodeObserveRequest(std::string_view payload, ObserveKind* out);
+
+/// OBSERVE_RESULT carries the rendered export verbatim.
+std::string EncodeObserveResult(std::string_view body);
+Status DecodeObserveResult(std::string_view payload, std::string* out);
 
 /// ERROR payload round trip; encoding an OK status is a programming
 /// error. DecodeError returns the CARRIED status on success (never OK)

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gtpq {
+namespace obs {
+
+size_t Counter::StripeIndex() {
+  // Threads are assigned stripes round-robin on first use; a stable
+  // per-thread stripe keeps the hot fetch_add on a line no other
+  // long-lived writer shares (modulo kStripes-way collisions).
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return index;
+}
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) return static_cast<size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int shift = msb - 4;
+  return kSubBuckets * static_cast<size_t>(msb - 3) +
+         static_cast<size_t>((value >> shift) & 15);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < 16) return index;
+  const size_t major = index / kSubBuckets;  // 1..60
+  const int shift = static_cast<int>(major) - 1;
+  const uint64_t lower = (16 + static_cast<uint64_t>(index % kSubBuckets))
+                         << shift;
+  return lower + ((uint64_t{1} << shift) - 1);
+}
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot out;
+  out.counts.resize(kNumBuckets);
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    out.counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out.sum = sum_.load(std::memory_order_relaxed);
+  return out;
+}
+
+uint64_t Histogram::Snapshot::TotalCount() const {
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  return total;
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  if (counts.size() < other.counts.size()) {
+    counts.resize(other.counts.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts.size(); ++i) {
+    counts[i] += other.counts[i];
+  }
+  sum += other.sum;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the q-quantile sample (nearest-rank on [0, total-1]).
+  const uint64_t rank =
+      static_cast<uint64_t>(q * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      return static_cast<double>(Histogram::BucketUpperBound(i));
+    }
+  }
+  return static_cast<double>(
+      Histogram::BucketUpperBound(counts.size() - 1));
+}
+
+Registry& Registry::Global() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+namespace {
+
+/// Splits "base{a=\"b\"}" into base and the inner label list ("" when
+/// the series has no label block).
+void SplitSeries(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+std::string WithLabels(const std::string& base, const std::string& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return base;
+  std::string out = base + "{" + labels;
+  if (!labels.empty() && !extra.empty()) out += ",";
+  out += extra + "}";
+  return out;
+}
+
+/// Samples grouped under one "# TYPE" line; the map key (family base
+/// name) keeps related labeled series adjacent and the output stable.
+struct Family {
+  std::string type;
+  std::vector<std::string> lines;
+};
+
+void Append(std::string* out, const std::map<std::string, Family>& fams) {
+  for (const auto& [base, fam] : fams) {
+    out->append("# TYPE " + base + " " + fam.type + "\n");
+    for (const std::string& line : fam.lines) {
+      out->append(line);
+      out->push_back('\n');
+    }
+  }
+}
+
+}  // namespace
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Family> fams;
+  char buf[160];
+
+  for (const auto& [name, counter] : counters_) {
+    std::string base, labels;
+    SplitSeries(name, &base, &labels);
+    Family& fam = fams[base];
+    fam.type = "counter";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64, name.c_str(),
+                  counter->Value());
+    fam.lines.push_back(buf);
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    std::string base, labels;
+    SplitSeries(name, &base, &labels);
+    Family& fam = fams[base];
+    fam.type = "gauge";
+    std::snprintf(buf, sizeof(buf), "%s %" PRId64, name.c_str(),
+                  gauge->Value());
+    fam.lines.push_back(buf);
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    std::string base, labels;
+    SplitSeries(name, &base, &labels);
+    const Histogram::Snapshot snap = histogram->Snap();
+    Family& fam = fams[base];
+    fam.type = "histogram";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      if (snap.counts[i] == 0) continue;  // cumulative edges stay exact
+      cumulative += snap.counts[i];
+      std::snprintf(
+          buf, sizeof(buf), "%s %" PRIu64,
+          WithLabels(base + "_bucket", labels,
+                     "le=\"" + std::to_string(
+                                   Histogram::BucketUpperBound(i)) +
+                         "\"")
+              .c_str(),
+          cumulative);
+      fam.lines.push_back(buf);
+    }
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64,
+                  WithLabels(base + "_bucket", labels, "le=\"+Inf\"")
+                      .c_str(),
+                  cumulative);
+    fam.lines.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64,
+                  WithLabels(base + "_sum", labels).c_str(), snap.sum);
+    fam.lines.push_back(buf);
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64,
+                  WithLabels(base + "_count", labels).c_str(), cumulative);
+    fam.lines.push_back(buf);
+
+    // Scrape-time quantiles as sibling gauge families (a histogram
+    // family may not mix sample suffixes, so _p50 is its own family).
+    const struct {
+      const char* suffix;
+      double q;
+    } quantiles[] = {{"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99}};
+    for (const auto& [suffix, q] : quantiles) {
+      Family& qf = fams[base + suffix];
+      qf.type = "gauge";
+      std::snprintf(buf, sizeof(buf), "%s %.0f",
+                    WithLabels(base + suffix, labels).c_str(),
+                    snap.Quantile(q));
+      qf.lines.push_back(buf);
+    }
+  }
+
+  std::string out;
+  Append(&out, fams);
+  return out;
+}
+
+}  // namespace obs
+}  // namespace gtpq

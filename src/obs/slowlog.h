@@ -1,0 +1,65 @@
+#ifndef GTPQ_OBS_SLOWLOG_H_
+#define GTPQ_OBS_SLOWLOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/eval_types.h"
+
+namespace gtpq {
+namespace obs {
+
+/// One admitted slow query: everything needed to diagnose it after the
+/// fact without re-running it.
+struct SlowQueryEntry {
+  std::string query;  // line format, best-effort attr names
+  uint64_t trace_id = 0;
+  uint64_t epoch = 0;
+  double wall_ms = 0;
+  EngineStats stats;
+};
+
+/// Bounded log of the N worst queries by wall time the process has
+/// served. Admission is a lock-free threshold check (the current
+/// minimum once full), so the fast path for ordinary queries is one
+/// relaxed load — building the entry (query text included) happens
+/// only for queries that would actually displace one.
+class SlowQueryLog {
+ public:
+  static SlowQueryLog& Global();
+
+  static constexpr size_t kCapacity = 32;
+
+  /// Cheap pre-check: would a query this slow enter the log right now?
+  /// May race with concurrent inserts; Record re-checks under the lock.
+  bool WouldAdmit(double wall_ms) const {
+    return wall_ms > admit_floor_.load(std::memory_order_relaxed);
+  }
+
+  void Record(SlowQueryEntry entry);
+
+  /// Current entries, worst first.
+  std::vector<SlowQueryEntry> Entries() const;
+  void Clear();
+
+  /// Human-readable dump (the OBSERVE slowlog surface): one block per
+  /// entry with the per-stage EngineStats breakdown, plus — when the
+  /// query was traced — its shard-probe timeline pulled from the trace
+  /// recorder by trace id.
+  std::string Render() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> entries_;  // unordered while filling
+  /// Fastest wall time still in a full log; -1 admits everything while
+  /// the log has room.
+  std::atomic<double> admit_floor_{-1.0};
+};
+
+}  // namespace obs
+}  // namespace gtpq
+
+#endif  // GTPQ_OBS_SLOWLOG_H_

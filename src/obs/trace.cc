@@ -1,0 +1,147 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace gtpq {
+namespace obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Touch the epoch at static-init time so NowMicros is measured from
+// (roughly) process start even when the first span is recorded late.
+[[maybe_unused]] const auto kEpochInit = ProcessEpoch();
+
+thread_local TraceContext g_current_trace;
+
+uint32_t ThreadOrdinal() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - ProcessEpoch())
+      .count();
+}
+
+uint64_t NewTraceId() {
+  static std::atomic<uint64_t> counter{1};
+  const uint64_t mix =
+      static_cast<uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count()) ^
+      (counter.fetch_add(1, std::memory_order_relaxed) << 48);
+  // SplitMix64 finalizer: spreads the clock bits so concurrent minters
+  // do not collide on low-resolution clocks; never returns 0.
+  uint64_t z = mix + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+TraceContext CurrentTrace() { return g_current_trace; }
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context)
+    : saved_(g_current_trace) {
+  g_current_trace = context;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { g_current_trace = saved_; }
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* instance = new TraceRecorder();
+  return *instance;
+}
+
+void TraceRecorder::Record(uint64_t trace_id, uint64_t span_id,
+                           uint64_t parent_span, std::string_view name,
+                           double start_us, double dur_us) {
+  if (trace_id == 0) return;
+  Span span;
+  span.trace_id = trace_id;
+  span.span_id = span_id;
+  span.parent_span = parent_span;
+  span.name.assign(name);
+  span.start_us = start_us;
+  span.dur_us = dur_us;
+  span.tid = ThreadOrdinal();
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_] = std::move(span);
+    next_ = (next_ + 1) % kCapacity;
+  }
+}
+
+uint64_t TraceRecorder::Record(uint64_t trace_id, uint64_t parent_span,
+                               std::string_view name, double start_us,
+                               double dur_us) {
+  if (trace_id == 0) return 0;
+  const uint64_t span_id = NewSpanId();
+  Record(trace_id, span_id, parent_span, name, start_us, dur_us);
+  return span_id;
+}
+
+std::vector<Span> TraceRecorder::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  // Oldest first: [next_, end) then [0, next_) once the ring wrapped.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<Span> TraceRecorder::SpansForTrace(uint64_t trace_id) const {
+  std::vector<Span> out;
+  for (Span& span : Spans()) {
+    if (span.trace_id == trace_id) out.push_back(std::move(span));
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+std::string TraceRecorder::RenderChromeTrace() const {
+  const std::vector<Span> spans = Spans();
+  std::string out = "{\"traceEvents\":[";
+  char buf[320];
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    // Span names are internal constants ("dispatch", "probe shard=2"),
+    // never user input, so plain %s is JSON-safe here.
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":\"%016" PRIx64
+        "\",\"span_id\":\"%" PRIx64 "\",\"parent_span\":\"%" PRIx64
+        "\"}}",
+        i == 0 ? "" : ",", span.name.c_str(), span.tid, span.start_us,
+        span.dur_us, span.trace_id, span.span_id, span.parent_span);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace gtpq

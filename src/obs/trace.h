@@ -1,0 +1,117 @@
+#ifndef GTPQ_OBS_TRACE_H_
+#define GTPQ_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gtpq {
+namespace obs {
+
+/// Request tracing across the serving stack. A trace id is minted by
+/// the first hop (gteactl query --trace, or a test), carried as
+/// optional trailing wire fields on QUERY/BATCH/PROBE frames, and
+/// installed thread-locally while a request is being served — so code
+/// deep in the engine (the cluster router's probes, most importantly)
+/// can attach child spans without any parameter plumbing. Completed
+/// spans land in a fixed-size recorder ring and export as Chrome
+/// trace-event JSON (chrome://tracing, Perfetto).
+
+/// Microseconds since process start on the steady clock — the shared
+/// timebase every span's ts/dur is expressed in.
+double NowMicros();
+
+/// Non-zero, process-unique-enough trace id (clock + counter mix).
+uint64_t NewTraceId();
+
+/// The ambient trace of the work this thread is doing right now.
+/// trace_id == 0 means "not traced" and makes every span call a no-op.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  /// Span id the next child span should parent under.
+  uint64_t parent_span = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+TraceContext CurrentTrace();
+
+/// Installs `context` for the current thread and restores the previous
+/// context on destruction; worker-pool tasks wrap each unit of work so
+/// contexts never leak across queued tasks.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext context);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+/// One completed span.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span = 0;
+  std::string name;
+  double start_us = 0;  // NowMicros() timebase
+  double dur_us = 0;
+  uint32_t tid = 0;  // small per-thread ordinal, for trace-row grouping
+};
+
+/// Process-wide ring of the most recent completed spans. Writers take
+/// one short mutex-protected append (tracing is opt-in per request, so
+/// the lock is cold on untraced traffic); readers copy the ring.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  /// Allocates a span id to hand to children before the span itself
+  /// completes (the evaluate span must parent probe spans recorded
+  /// mid-flight).
+  uint64_t NewSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records a completed span under a pre-allocated id. No-op when
+  /// trace_id is 0.
+  void Record(uint64_t trace_id, uint64_t span_id, uint64_t parent_span,
+              std::string_view name, double start_us, double dur_us);
+  /// Same, allocating the span id; returns it (0 when untraced).
+  uint64_t Record(uint64_t trace_id, uint64_t parent_span,
+                  std::string_view name, double start_us, double dur_us);
+
+  /// Most recent spans, oldest first.
+  std::vector<Span> Spans() const;
+  /// Spans of one trace, oldest first.
+  std::vector<Span> SpansForTrace(uint64_t trace_id) const;
+  /// Spans recorded since process start (ring overwrites do not reset
+  /// this).
+  uint64_t total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  /// Chrome trace-event JSON ("X" complete events; ts/dur in
+  /// microseconds, trace/span/parent ids in args).
+  std::string RenderChromeTrace() const;
+
+  static constexpr size_t kCapacity = 4096;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Span> ring_;
+  size_t next_ = 0;  // ring cursor once full
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> next_span_id_{1};
+};
+
+}  // namespace obs
+}  // namespace gtpq
+
+#endif  // GTPQ_OBS_TRACE_H_

@@ -7,9 +7,27 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace gtpq {
 
 namespace {
+
+/// Process-wide fold of every CachedOracle's hit/miss counters into the
+/// metrics registry (the per-instance IndexStats stay thread-confined).
+struct CacheMetrics {
+  obs::Counter* hits;
+  obs::Counter* misses;
+
+  static const CacheMetrics& Get() {
+    static const CacheMetrics m = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      return CacheMetrics{reg.GetCounter("gtpq_oracle_cache_hits_total"),
+                          reg.GetCounter("gtpq_oracle_cache_misses_total")};
+    }();
+    return m;
+  }
+};
 
 // splitmix64 finalizer: spreads packed (from, to) keys across shards.
 inline uint64_t MixKey(uint64_t x) {
@@ -141,9 +159,11 @@ bool CachedOracle::Reaches(NodeId from, NodeId to) const {
   const uint64_t key = PointKey(from, to);
   if (auto hit = point_cache_.Lookup(key)) {
     ++st.cache_hits;
+    CacheMetrics::Get().hits->Add();
     return *hit;
   }
   ++st.cache_misses;
+  CacheMetrics::Get().misses->Add();
   const uint64_t before = inner_->stats().elements_looked_up;
   const bool reaches = inner_->Reaches(from, to);
   st.elements_looked_up += inner_->stats().elements_looked_up - before;
@@ -170,10 +190,12 @@ bool CachedOracle::ReachesSet(NodeId from, const SetSummary& targets) const {
   if (cacheable) {
     if (auto hit = set_cache_.Lookup(key)) {
       ++st.cache_hits;
+      CacheMetrics::Get().hits->Add();
       return *hit;
     }
   }
   ++st.cache_misses;
+  CacheMetrics::Get().misses->Add();
   const uint64_t before = inner_->stats().elements_looked_up;
   const bool reaches = inner_->ReachesSet(from, summary.inner());
   st.elements_looked_up += inner_->stats().elements_looked_up - before;
@@ -190,10 +212,12 @@ bool CachedOracle::SetReaches(const SetSummary& sources, NodeId to) const {
   if (cacheable) {
     if (auto hit = set_cache_.Lookup(key)) {
       ++st.cache_hits;
+      CacheMetrics::Get().hits->Add();
       return *hit;
     }
   }
   ++st.cache_misses;
+  CacheMetrics::Get().misses->Add();
   const uint64_t before = inner_->stats().elements_looked_up;
   const bool reaches = inner_->SetReaches(summary.inner(), to);
   st.elements_looked_up += inner_->stats().elements_looked_up - before;

@@ -5,8 +5,35 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
 
 namespace gtpq {
+
+namespace {
+
+/// Registry handles for the per-query hot path, resolved once.
+struct QueryMetrics {
+  obs::Counter* queries_total;
+  obs::Histogram* query_latency_us;
+  obs::Histogram* batch_latency_us;
+  obs::Histogram* snapshot_pin_us;
+  obs::Gauge* epoch;
+
+  static const QueryMetrics& Get() {
+    static const QueryMetrics m = [] {
+      obs::Registry& reg = obs::Registry::Global();
+      return QueryMetrics{reg.GetCounter("gtpq_queries_total"),
+                          reg.GetHistogram("gtpq_query_latency_us"),
+                          reg.GetHistogram("gtpq_batch_latency_us"),
+                          reg.GetHistogram("gtpq_snapshot_pin_us"),
+                          reg.GetGauge("gtpq_epoch")};
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 QueryServer::QueryServer(const DataGraph& g, QueryServerOptions options)
     : g_(g), options_(std::move(options)) {
@@ -36,6 +63,7 @@ QueryServer::QueryServer(const DataGraph& g, QueryServerOptions options)
   // The pool starts after the workers so a task can never observe a
   // half-initialized slot.
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  QueryMetrics::Get().epoch->Set(static_cast<int64_t>(factory_->epoch()));
 }
 
 QueryServer::~QueryServer() {
@@ -46,7 +74,7 @@ QueryServer::~QueryServer() {
 QueryResult QueryServer::EvaluateOnWorker(
     const Gtpq& query,
     const std::shared_ptr<const EngineSnapshot>& snap,
-    const GteaOptions& options) {
+    const GteaOptions& options, const obs::TraceContext& trace) {
   const int index = ThreadPool::CurrentWorkerIndex();
   GTPQ_CHECK(index >= 0 &&
              static_cast<size_t>(index) < workers_.size());
@@ -58,10 +86,61 @@ QueryResult QueryServer::EvaluateOnWorker(
     worker.engine = snap->CreateEngine();
     worker.snap = snap;
   }
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  // The evaluate span id is allocated up front so probe spans recorded
+  // mid-evaluation (the cluster router's shard fan-out) parent under it.
+  const uint64_t eval_span = trace.active() ? recorder.NewSpanId() : 0;
+  const double start_us = obs::NowMicros();
   Timer timer;
-  QueryResult result = worker.engine->Evaluate(query, options);
+  QueryResult result;
+  {
+    obs::ScopedTraceContext scope(
+        obs::TraceContext{trace.trace_id, eval_span});
+    result = worker.engine->Evaluate(query, options);
+  }
   const double elapsed_ms = timer.ElapsedMillis();
   const EngineStats& stats = worker.engine->stats();
+  if (trace.active()) {
+    recorder.Record(trace.trace_id, eval_span, trace.parent_span,
+                    "evaluate", start_us, elapsed_ms * 1000.0);
+    // Stage children rendered as a sequential timeline (the engine runs
+    // its stages back to back); zero-duration stages — tuple baselines
+    // fill only a few fields — are skipped.
+    const struct {
+      const char* name;
+      double ms;
+    } stages[] = {{"match", stats.match_ms},
+                  {"prune_down", stats.prune_down_ms},
+                  {"prime", stats.prime_ms},
+                  {"prune_up", stats.prune_up_ms},
+                  {"matching_graph", stats.matching_graph_ms},
+                  {"enumerate", stats.enumerate_ms}};
+    double cursor_us = start_us;
+    for (const auto& stage : stages) {
+      if (stage.ms <= 0) continue;
+      recorder.Record(trace.trace_id, eval_span, stage.name, cursor_us,
+                      stage.ms * 1000.0);
+      cursor_us += stage.ms * 1000.0;
+    }
+  }
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.queries_total->Add();
+  metrics.query_latency_us->Record(
+      static_cast<uint64_t>(elapsed_ms * 1000.0));
+  obs::SlowQueryLog& slowlog = obs::SlowQueryLog::Global();
+  if (slowlog.WouldAdmit(elapsed_ms)) {
+    obs::SlowQueryEntry entry;
+    entry.query = query.ToString(*query.attr_names());
+    // The diagnostic rendering is multi-line; flatten for the log.
+    for (char& c : entry.query) {
+      if (c == '\n') c = ';';
+    }
+    entry.trace_id = trace.trace_id;
+    entry.epoch = snap->epoch();
+    entry.wall_ms = elapsed_ms;
+    entry.stats = stats;
+    slowlog.Record(std::move(entry));
+  }
   {
     std::lock_guard<std::mutex> lock(worker.mu);
     ++worker.served.queries;
@@ -70,18 +149,33 @@ QueryResult QueryServer::EvaluateOnWorker(
     worker.served.intermediate_size += stats.intermediate_size;
     worker.served.join_ops += stats.join_ops;
     worker.served.busy_ms += elapsed_ms;
+    worker.served.match_ms += stats.match_ms;
+    worker.served.prune_down_ms += stats.prune_down_ms;
+    worker.served.prime_ms += stats.prime_ms;
+    worker.served.prune_up_ms += stats.prune_up_ms;
+    worker.served.matching_graph_ms += stats.matching_graph_ms;
+    worker.served.enumerate_ms += stats.enumerate_ms;
   }
   return result;
 }
 
 std::vector<QueryResult> QueryServer::EvaluateBatch(
     std::span<const Gtpq> queries, BatchInfo* info) {
-  return EvaluateBatch(queries, info, options_.eval_options);
+  return EvaluateBatch(queries, info, options_.eval_options, {});
 }
 
 std::vector<QueryResult> QueryServer::EvaluateBatch(
     std::span<const Gtpq> queries, BatchInfo* info,
     const GteaOptions& options) {
+  return EvaluateBatch(queries, info, options, {});
+}
+
+std::vector<QueryResult> QueryServer::EvaluateBatch(
+    std::span<const Gtpq> queries, BatchInfo* info,
+    const GteaOptions& options,
+    std::span<const obs::TraceContext> traces) {
+  GTPQ_CHECK(traces.empty() || traces.size() == queries.size())
+      << "trace contexts must be absent or one per query";
   Timer wall;
   std::vector<QueryResult> results(queries.size());
 
@@ -105,8 +199,11 @@ std::vector<QueryResult> QueryServer::EvaluateBatch(
   state.remaining = queries.size();
 
   for (size_t i = 0; i < queries.size(); ++i) {
-    pool_->Submit([this, &queries, &results, &state, &snap, &options, i] {
-      results[i] = EvaluateOnWorker(queries[i], snap, options);
+    const obs::TraceContext trace =
+        traces.empty() ? obs::TraceContext{} : traces[i];
+    pool_->Submit([this, &queries, &results, &state, &snap, &options,
+                   trace, i] {
+      results[i] = EvaluateOnWorker(queries[i], snap, options, trace);
       // Notify while holding the lock: the waiter owns `state` and
       // destroys it as soon as it observes remaining == 0, so the cv
       // must not be touched after the mutex is released.
@@ -118,7 +215,12 @@ std::vector<QueryResult> QueryServer::EvaluateBatch(
   std::unique_lock<std::mutex> lock(state.mu);
   state.cv.wait(lock, [&state] { return state.remaining == 0; });
   batches_.fetch_add(1, std::memory_order_relaxed);
-  if (info != nullptr) info->wall_ms = wall.ElapsedMillis();
+  const double wall_ms = wall.ElapsedMillis();
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.batch_latency_us->Record(static_cast<uint64_t>(wall_ms * 1000.0));
+  // The batch held its snapshot pin for its whole wall time.
+  metrics.snapshot_pin_us->Record(static_cast<uint64_t>(wall_ms * 1000.0));
+  if (info != nullptr) info->wall_ms = wall_ms;
   return results;
 }
 
@@ -128,8 +230,9 @@ std::future<QueryResult> QueryServer::Submit(Gtpq query) {
   auto shared_query = std::make_shared<Gtpq>(std::move(query));
   std::shared_ptr<const EngineSnapshot> snap = factory_->snapshot();
   pool_->Submit([this, promise, shared_query, snap = std::move(snap)] {
-    promise->set_value(
-        EvaluateOnWorker(*shared_query, snap, options_.eval_options));
+    promise->set_value(EvaluateOnWorker(*shared_query, snap,
+                                        options_.eval_options,
+                                        obs::TraceContext{}));
   });
   return future;
 }
@@ -168,7 +271,10 @@ Status QueryServer::ProbeReachability(bool reverse, NodeId pivot,
 
 Status QueryServer::ApplyUpdates(const UpdateBatch& batch) {
   const Status st = factory_->ApplyUpdates(batch);
-  if (st.ok()) updates_applied_.fetch_add(1, std::memory_order_relaxed);
+  if (st.ok()) {
+    updates_applied_.fetch_add(1, std::memory_order_relaxed);
+    QueryMetrics::Get().epoch->Set(static_cast<int64_t>(factory_->epoch()));
+  }
   return st;
 }
 
@@ -182,6 +288,12 @@ QueryServer::Snapshot QueryServer::stats() const {
     total.intermediate_size += worker->served.intermediate_size;
     total.join_ops += worker->served.join_ops;
     total.busy_ms += worker->served.busy_ms;
+    total.match_ms += worker->served.match_ms;
+    total.prune_down_ms += worker->served.prune_down_ms;
+    total.prime_ms += worker->served.prime_ms;
+    total.prune_up_ms += worker->served.prune_up_ms;
+    total.matching_graph_ms += worker->served.matching_graph_ms;
+    total.enumerate_ms += worker->served.enumerate_ms;
   }
   return total;
 }
@@ -200,6 +312,12 @@ ServingStats QueryServer::serving_stats() const {
   out.intermediate_size = counters.intermediate_size;
   out.join_ops = counters.join_ops;
   out.busy_ms = counters.busy_ms;
+  out.match_ms = counters.match_ms;
+  out.prune_down_ms = counters.prune_down_ms;
+  out.prime_ms = counters.prime_ms;
+  out.prune_up_ms = counters.prune_up_ms;
+  out.matching_graph_ms = counters.matching_graph_ms;
+  out.enumerate_ms = counters.enumerate_ms;
   return out;
 }
 

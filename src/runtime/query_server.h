@@ -12,6 +12,7 @@
 #include "core/evaluator.h"
 #include "dynamic/graph_delta.h"
 #include "graph/data_graph.h"
+#include "obs/trace.h"
 #include "query/gtpq.h"
 #include "runtime/engine_factory.h"
 #include "runtime/thread_pool.h"
@@ -39,6 +40,15 @@ struct ServingStats {
   uint64_t join_ops = 0;
   /// Sum of per-query evaluation times (not wall clock).
   double busy_ms = 0;
+  /// Per-stage engine time sums (EngineStats accumulated across every
+  /// query served). Optional trailing fields on the wire; 0 when
+  /// reported by an older server.
+  double match_ms = 0;
+  double prune_down_ms = 0;
+  double prime_ms = 0;
+  double prune_up_ms = 0;
+  double matching_graph_ms = 0;
+  double enumerate_ms = 0;
 };
 
 struct QueryServerOptions {
@@ -126,6 +136,17 @@ class QueryServer {
                                          BatchInfo* info,
                                          const GteaOptions& options);
 
+  /// Same, with a per-query trace context (empty span = untraced, else
+  /// one entry per query). traces[i].parent_span becomes the parent of
+  /// query i's evaluate span, and the context is installed thread-
+  /// locally around evaluation so downstream code — the cluster
+  /// router's shard probes in particular — records child spans with no
+  /// parameter plumbing.
+  std::vector<QueryResult> EvaluateBatch(
+      std::span<const Gtpq> queries, BatchInfo* info,
+      const GteaOptions& options,
+      std::span<const obs::TraceContext> traces);
+
   /// Enqueues one query; the future resolves when a worker answers it.
   /// The query sees the epoch current at submit time.
   std::future<QueryResult> Submit(Gtpq query);
@@ -164,6 +185,13 @@ class QueryServer {
     uint64_t join_ops = 0;
     /// Sum of per-query evaluation times (not wall clock).
     double busy_ms = 0;
+    /// Per-stage engine time sums (see ServingStats).
+    double match_ms = 0;
+    double prune_down_ms = 0;
+    double prime_ms = 0;
+    double prune_up_ms = 0;
+    double matching_graph_ms = 0;
+    double enumerate_ms = 0;
   };
   Snapshot stats() const;
 
@@ -187,7 +215,7 @@ class QueryServer {
   QueryResult EvaluateOnWorker(
       const Gtpq& query,
       const std::shared_ptr<const EngineSnapshot>& snap,
-      const GteaOptions& options);
+      const GteaOptions& options, const obs::TraceContext& trace);
 
   const DataGraph& g_;
   QueryServerOptions options_;

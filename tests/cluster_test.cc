@@ -6,6 +6,7 @@
 // the materialized closure, before and after a routed update with its
 // epoch barrier. Enrolled in the TSan CI job.
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -25,6 +26,8 @@
 #include "graph/graph_io.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reachability/sharded_oracle.h"
 #include "reachability/transitive_closure.h"
 #include "storage/index_io.h"
@@ -413,6 +416,64 @@ TEST(ShardRouterTest, DifferentialAcrossGeneratorSpecs) {
     if (cluster.router == nullptr) return;  // skipped platform
     ExpectDifferential(cluster, 0xc1057e4, 600);
   }
+}
+
+TEST(ShardRouterTest, TracedProbeRecordsShardChildSpans) {
+  TestCluster cluster;
+  BringUp("digraph:150,9,3", "traced", &cluster);
+  if (cluster.router == nullptr) return;  // skipped platform
+
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  const uint64_t trace = obs::NewTraceId();
+  const uint64_t parent = recorder.NewSpanId();
+  const auto& ranges = cluster.art.map.ranges;
+  const NodeId from = static_cast<NodeId>(
+      (ranges[0].begin + ranges[0].end) / 2);
+  const NodeId to = static_cast<NodeId>(
+      (ranges[2].begin + ranges[2].end) / 2);
+  {
+    // Stand in for the query worker: EvaluateOnWorker installs exactly
+    // this context around engine evaluation.
+    obs::ScopedTraceContext scoped({trace, parent});
+    cluster.router->Reaches(from, to);
+  }
+
+  // The cross-shard probe fan-out landed as "probe shard=N" spans, all
+  // children of the worker's span, under the one trace id.
+  const std::vector<obs::Span> spans = recorder.SpansForTrace(trace);
+  ASSERT_GE(spans.size(), 1u);
+  EXPECT_LE(spans.size(), 2u);  // forward + (optional) reverse probe
+  std::vector<std::string> shards_probed;
+  for (const obs::Span& span : spans) {
+    EXPECT_EQ(span.trace_id, trace);
+    EXPECT_EQ(span.parent_span, parent);
+    EXPECT_EQ(span.name.rfind("probe shard=", 0), 0u) << span.name;
+    EXPECT_GE(span.dur_us, 0.0);
+    shards_probed.push_back(span.name);
+  }
+  EXPECT_EQ(std::unique(shards_probed.begin(), shards_probed.end()),
+            shards_probed.end());  // distinct shards
+
+  // The router's Chrome-trace export carries the trace id.
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(trace));
+  EXPECT_NE(recorder.RenderChromeTrace().find(hex), std::string::npos);
+
+  // Untraced probes stay out of the ring entirely.
+  const uint64_t before = recorder.total_recorded();
+  cluster.router->Reaches(from, to);
+  EXPECT_EQ(recorder.total_recorded(), before);
+
+  // And the per-shard probe metrics registered by the router moved.
+  uint64_t probes_total = 0;
+  for (size_t s = 0; s < cluster.art.map.num_shards(); ++s) {
+    probes_total += obs::Registry::Global()
+                        .GetCounter("gtpq_shard_probes_total{shard=\"" +
+                                    std::to_string(s) + "\"}")
+                        ->Value();
+  }
+  EXPECT_GE(probes_total, 2u);
 }
 
 TEST(ShardRouterTest, NativeUpdateCommitsEpochBarrier) {

@@ -22,6 +22,8 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/query_generator.h"
 #include "runtime/engine_factory.h"
 #include "runtime/query_server.h"
@@ -189,6 +191,149 @@ TEST(WireCodecTest, PayloadCodecsRoundTrip) {
   }
 }
 
+TEST(WireCodecTest, TraceFieldsStayWireCompatible) {
+  // Frames hand-built in the original v1 layout (no parallelism, no
+  // trace pair) must decode with every optional field zeroed — an old
+  // peer keeps talking to a new server unchanged.
+  {
+    storage::Writer w;
+    w.WriteU64(9);
+    w.WriteString("a\n");
+    net::QueryRequest out{1, "x", 5, 5, 5};  // poisoned optionals
+    ASSERT_TRUE(net::DecodeQueryRequest(w.buffer(), &out).ok());
+    EXPECT_EQ(out.result_limit, 9u);
+    EXPECT_EQ(out.text, "a\n");
+    EXPECT_EQ(out.parallelism, 0u);
+    EXPECT_EQ(out.trace_id, 0u);
+    EXPECT_EQ(out.parent_span, 0u);
+  }
+  {
+    storage::Writer w;
+    w.WriteU64(0);
+    w.WriteU32(2);
+    w.WriteString("a\n");
+    w.WriteString("b\n");
+    net::BatchRequest out;
+    out.trace_id = 5;
+    ASSERT_TRUE(net::DecodeBatchRequest(w.buffer(), {}, &out).ok());
+    EXPECT_EQ(out.texts.size(), 2u);
+    EXPECT_EQ(out.parallelism, 0u);
+    EXPECT_EQ(out.trace_id, 0u);
+  }
+  {
+    storage::Writer w;
+    w.WriteU8(1);
+    w.WriteU64(3);
+    w.WritePodVec(std::vector<NodeId>{1, 2, 7});
+    net::ProbeRequest out;
+    out.trace_id = 5;
+    ASSERT_TRUE(net::DecodeProbeRequest(w.buffer(), &out).ok());
+    EXPECT_TRUE(out.reverse);
+    EXPECT_EQ(out.ids.size(), 3u);
+    EXPECT_EQ(out.trace_id, 0u);
+    EXPECT_EQ(out.parent_span, 0u);
+  }
+
+  // Untraced requests still encode byte-identically to the old layout;
+  // a traced request appends parallelism (even when 0, to keep the
+  // positional decode) plus the 16-byte trace pair.
+  net::QueryRequest plain{4, "q\n"};
+  net::QueryRequest traced = plain;
+  traced.trace_id = 0xabcdef01;
+  traced.parent_span = 77;
+  EXPECT_EQ(net::EncodeQueryRequest(traced).size(),
+            net::EncodeQueryRequest(plain).size() + 4 + 16);
+  net::QueryRequest traced2;
+  ASSERT_TRUE(
+      net::DecodeQueryRequest(net::EncodeQueryRequest(traced), &traced2)
+          .ok());
+  EXPECT_EQ(traced2.trace_id, 0xabcdef01u);
+  EXPECT_EQ(traced2.parent_span, 77u);
+  EXPECT_EQ(traced2.parallelism, 0u);
+  EXPECT_EQ(traced2.text, plain.text);
+
+  net::BatchRequest traced_batch{0, {"a\n"}};
+  traced_batch.parallelism = 3;
+  traced_batch.trace_id = 11;
+  traced_batch.parent_span = 12;
+  net::BatchRequest traced_batch2;
+  ASSERT_TRUE(net::DecodeBatchRequest(
+                  net::EncodeBatchRequest(traced_batch), {},
+                  &traced_batch2)
+                  .ok());
+  EXPECT_EQ(traced_batch2.parallelism, 3u);
+  EXPECT_EQ(traced_batch2.trace_id, 11u);
+  EXPECT_EQ(traced_batch2.parent_span, 12u);
+
+  net::ProbeRequest traced_probe;
+  traced_probe.pivot = 5;
+  traced_probe.ids = {8, 9};
+  traced_probe.trace_id = 21;
+  traced_probe.parent_span = 22;
+  EXPECT_EQ(net::EncodeProbeRequest(traced_probe).size(),
+            net::EncodeProbeRequest({false, 5, {8, 9}}).size() + 16);
+  net::ProbeRequest traced_probe2;
+  ASSERT_TRUE(net::DecodeProbeRequest(
+                  net::EncodeProbeRequest(traced_probe), &traced_probe2)
+                  .ok());
+  EXPECT_EQ(traced_probe2.ids, traced_probe.ids);
+  EXPECT_EQ(traced_probe2.trace_id, 21u);
+  EXPECT_EQ(traced_probe2.parent_span, 22u);
+}
+
+TEST(WireCodecTest, ObserveCodecsRoundTripAndValidate) {
+  for (net::ObserveKind kind :
+       {net::ObserveKind::kMetrics, net::ObserveKind::kTrace,
+        net::ObserveKind::kSlowlog}) {
+    net::ObserveKind out;
+    ASSERT_TRUE(
+        net::DecodeObserveRequest(net::EncodeObserveRequest(kind), &out)
+            .ok());
+    EXPECT_EQ(out, kind);
+  }
+  {
+    storage::Writer w;
+    w.WriteU8(3);  // out of range
+    net::ObserveKind out;
+    EXPECT_EQ(net::DecodeObserveRequest(w.buffer(), &out).code(),
+              StatusCode::kParseError);
+  }
+  const std::string body = "# TYPE x counter\nx 1\n";
+  std::string body2;
+  ASSERT_TRUE(
+      net::DecodeObserveResult(net::EncodeObserveResult(body), &body2)
+          .ok());
+  EXPECT_EQ(body2, body);
+  EXPECT_TRUE(net::IsRequestType(
+      static_cast<uint8_t>(FrameType::kObserve)));
+  EXPECT_FALSE(net::IsRequestType(
+      static_cast<uint8_t>(FrameType::kObserveResult)));
+  EXPECT_TRUE(net::IsKnownType(
+      static_cast<uint8_t>(FrameType::kObserveResult)));
+}
+
+TEST(WireCodecTest, ServingStatsCarriesStageTimings) {
+  ServingStats stats;
+  stats.queries = 5;
+  stats.busy_ms = 1.5;
+  stats.match_ms = 0.25;
+  stats.prune_down_ms = 0.5;
+  stats.prime_ms = 0.125;
+  stats.prune_up_ms = 0.0625;
+  stats.matching_graph_ms = 2.0;
+  stats.enumerate_ms = 4.0;
+  ServingStats out;
+  ASSERT_TRUE(
+      net::DecodeServingStats(net::EncodeServingStats(stats), &out).ok());
+  EXPECT_EQ(out.queries, 5u);
+  EXPECT_EQ(out.match_ms, 0.25);
+  EXPECT_EQ(out.prune_down_ms, 0.5);
+  EXPECT_EQ(out.prime_ms, 0.125);
+  EXPECT_EQ(out.prune_up_ms, 0.0625);
+  EXPECT_EQ(out.matching_graph_ms, 2.0);
+  EXPECT_EQ(out.enumerate_ms, 4.0);
+}
+
 TEST(WireCodecTest, DecoderRejectsMalformedFrames) {
   std::string good;
   net::EncodeFrame(FrameType::kStats, 1, "", &good);
@@ -342,6 +487,86 @@ TEST(NetServerTest, HelloQueryBatchStatsRoundTrip) {
 
   server.Stop();
   EXPECT_FALSE(server.running());
+}
+
+TEST(NetServerTest, ObserveExportsAndTracedPipelining) {
+  DataGraph g = RandomDag({.num_nodes = 60,
+                           .avg_degree = 2.2,
+                           .num_labels = 6,
+                           .locality = 1.0,
+                           .seed = 13});
+  const std::vector<Gtpq> queries = MakeQueries(g, 4, 300);
+  ASSERT_GE(queries.size(), 2u) << "generator starved";
+  const std::vector<std::string> texts = ToTexts(g, queries);
+
+  net::NetServerOptions options;
+  options.runtime.num_threads = 2;
+  net::NetServer server(g, options);
+  START_OR_SKIP(server);
+
+  net::NetClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+
+  // Trace-tagged frames through NetClient pipelining: answers must be
+  // byte-compatible with untraced ones, and every request id resolves.
+  std::vector<net::WireResult> untraced;
+  for (const std::string& text : texts) {
+    auto result = client.Query(text);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    untraced.push_back(std::move(*result));
+  }
+  const uint64_t trace_id = obs::NewTraceId();
+  std::vector<uint64_t> ids;
+  for (const std::string& text : texts) {
+    auto id = client.SendQuery(text, 0, 0, trace_id, 1);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+  }
+  // Collect in reverse order to exercise response parking.
+  for (size_t i = ids.size(); i-- > 0;) {
+    auto payload =
+        client.WaitForResponse(ids[i], FrameType::kResult);
+    ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+    net::WireResult result;
+    ASSERT_TRUE(net::DecodeResult(*payload, &result).ok());
+    EXPECT_EQ(result.result, untraced[i].result) << "query " << i;
+  }
+  // A traced BATCH rides the same connection.
+  auto batch = client.QueryBatch(texts, 0, 0, trace_id, 1);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  ASSERT_EQ(batch->results.size(), texts.size());
+
+  // METRICS: parses as Prometheus exposition and shows the load.
+  auto metrics = client.Observe(net::ObserveKind::kMetrics);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics->find("# TYPE gtpq_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("gtpq_batch_latency_us_bucket"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("gtpq_connections_total"), std::string::npos);
+
+  // TRACE: the dispatch/evaluate spans of our trace id are in the dump.
+  auto trace = client.Observe(net::ObserveKind::kTrace);
+  ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  EXPECT_NE(trace->find(hex), std::string::npos);
+  EXPECT_NE(trace->find("\"name\":\"dispatch\""), std::string::npos);
+  EXPECT_NE(trace->find("\"name\":\"evaluate\""), std::string::npos);
+
+  // SLOWLOG: renders (the worst of this tiny load is still a query).
+  auto slowlog = client.Observe(net::ObserveKind::kSlowlog);
+  ASSERT_TRUE(slowlog.ok()) << slowlog.status().ToString();
+  EXPECT_NE(slowlog->find("slow query log"), std::string::npos);
+
+  // STATS now carries the per-stage timing aggregation.
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats->match_ms, 0.0);
+  EXPECT_GE(stats->enumerate_ms, 0.0);
+
+  server.Stop();
 }
 
 #if defined(__linux__)

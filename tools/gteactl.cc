@@ -16,6 +16,9 @@
 //                   --text=<query>) [--limit=<n>] [--parallelism=<n>]
 //   gteactl apply   --connect=<host:port> --updates=<file>
 //   gteactl stats   --connect=<host:port>
+//   gteactl metrics --connect=<host:port>
+//   gteactl trace   --connect=<host:port> [--out=<file>]
+//   gteactl slowlog --connect=<host:port>
 //   gteactl partition (--graph=<file> | --gen=<spec>) --out=<dir>
 //                   [--shards=<n>] [--inner=<spec>]
 //                   [--endpoints=<ep1,ep2,...>] [--no-degree-aware]
@@ -48,9 +51,15 @@
 // `serve` exposes the engine over gtpq-wire v1 (net/server.h): an
 // epoll front-end coalescing pipelined queries into snapshot-pinned
 // batches, with APPLY_UPDATES folding into the live epoch chain. The
-// `--connect=` subcommands (`query`, `apply`, `stats`) are thin
-// net/client.h wrappers, so a built index can be served from one shell
-// and queried/updated from another.
+// `--connect=` subcommands (`query`, `apply`, `stats`, `metrics`,
+// `trace`, `slowlog`) are thin net/client.h wrappers, so a built index
+// can be served from one shell and queried/updated/observed from
+// another: `metrics` scrapes Prometheus text exposition, `trace` dumps
+// the server's span ring as Chrome trace-event JSON (load it at
+// chrome://tracing), and `slowlog` prints the worst-query ring with
+// per-stage timings. `query --trace` stamps the request with a fresh
+// trace id so its server-side spans can be picked out of the dump.
+// A global `--quiet` drops log output below error level.
 //
 // `partition` splits a graph into contiguous vertex shards
 // (degree-aware cuts by default), writing per-shard graphs + indexes
@@ -75,6 +84,7 @@
 
 #include "cluster/partition.h"
 #include "cluster/partition_map.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/timer.h"
@@ -86,6 +96,7 @@
 #include "graph/graph_io.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/trace.h"
 #include "reachability/factory.h"
 #include "storage/index_io.h"
 #include "workload/graph_gen_spec.h"
@@ -113,9 +124,12 @@ int Usage() {
       "                  [--coalesce=<n>] [--window-us=<x>]\n"
       "  gteactl query   --connect=<host:port> (--file=<query-file> | "
       "--text=<query>)\n"
-      "                  [--limit=<n>] [--parallelism=<n>]\n"
+      "                  [--limit=<n>] [--parallelism=<n>] [--trace]\n"
       "  gteactl apply   --connect=<host:port> --updates=<file>\n"
       "  gteactl stats   --connect=<host:port>\n"
+      "  gteactl metrics --connect=<host:port>\n"
+      "  gteactl trace   --connect=<host:port> [--out=<file>]\n"
+      "  gteactl slowlog --connect=<host:port>\n"
       "  gteactl partition (--graph=<file> | --gen=<spec>) --out=<dir>\n"
       "                  [--shards=<n>] [--inner=<spec>]\n"
       "                  [--endpoints=<ep1,ep2,...>] [--no-degree-aware]\n"
@@ -134,7 +148,8 @@ int Usage() {
       "                 interval, sspi, chain_cover, transitive_closure,\n"
       "                 cached:<spec>, sharded:<spec>, delta:<spec>,\n"
       "                 file:<path>, mmap:<path>; serve --mmap rewrites\n"
-      "                 a file: index to the zero-copy mmap: loader)\n");
+      "                 a file: index to the zero-copy mmap: loader)\n"
+      "global flags:    --quiet (suppress log output below error level)\n");
   return 2;
 }
 
@@ -810,9 +825,14 @@ int RunRemoteQuery(int argc, char** argv) {
     parallelism =
         static_cast<uint32_t>(std::strtoul(flag->c_str(), nullptr, 10));
   }
+  // --trace stamps the request with a fresh trace id so the server-side
+  // spans (dispatch, evaluate, stages, shard probes) can be picked out
+  // of a later `gteactl trace` dump.
+  uint64_t trace_id = 0;
+  if (HasFlag(argc, argv, "--trace")) trace_id = obs::NewTraceId();
 
   Timer timer;
-  auto result = client->Query(text, limit, parallelism);
+  auto result = client->Query(text, limit, parallelism, trace_id);
   if (!result.ok()) {
     std::fprintf(stderr, "query: %s\n",
                  result.status().ToString().c_str());
@@ -823,6 +843,10 @@ int RunRemoteQuery(int argc, char** argv) {
               client->server_info().engine.c_str(),
               static_cast<unsigned long long>(
                   client->server_info().graph_nodes));
+  if (trace_id != 0) {
+    std::printf("trace id: %016llx\n",
+                static_cast<unsigned long long>(trace_id));
+  }
   std::printf("epoch %llu, %zu tuple(s) in %.2f ms\n",
               static_cast<unsigned long long>(result->epoch),
               result->result.tuples.size(), ms);
@@ -882,12 +906,46 @@ int RunRemoteStats(int argc, char** argv) {
   std::printf("index lookups  : %llu\n",
               static_cast<unsigned long long>(stats->index_lookups));
   std::printf("busy ms        : %.2f\n", stats->busy_ms);
+  std::printf("stage ms       : match %.2f, prune_down %.2f, prime %.2f, "
+              "prune_up %.2f, matching_graph %.2f, enumerate %.2f\n",
+              stats->match_ms, stats->prune_down_ms, stats->prime_ms,
+              stats->prune_up_ms, stats->matching_graph_ms,
+              stats->enumerate_ms);
+  return 0;
+}
+
+/// Shared body of the metrics/trace/slowlog subcommands: one OBSERVE
+/// round trip, body printed verbatim (or written to --out= for trace
+/// dumps destined for chrome://tracing).
+int RunObserve(int argc, char** argv, const char* command,
+               net::ObserveKind kind) {
+  auto client = ConnectFlag(argc, argv, command);
+  if (client == nullptr) return 1;
+  auto body = client->Observe(kind);
+  if (!body.ok()) {
+    std::fprintf(stderr, "%s: %s\n", command,
+                 body.status().ToString().c_str());
+    return 1;
+  }
+  if (auto out = FlagValue(argc, argv, "--out=")) {
+    std::ofstream file(*out, std::ios::binary);
+    file << *body;
+    if (!file) {
+      std::fprintf(stderr, "%s: cannot write %s\n", command, out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu bytes to %s\n", body->size(), out->c_str());
+    return 0;
+  }
+  std::fwrite(body->data(), 1, body->size(), stdout);
+  if (!body->empty() && body->back() != '\n') std::printf("\n");
   return 0;
 }
 
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string_view command = argv[1];
+  if (HasFlag(argc, argv, "--quiet")) SetLogLevel(LogLevel::kError);
   const bool remote = FlagValue(argc, argv, "--connect=").has_value();
   if (command == "build") return RunBuild(argc, argv);
   if (command == "inspect") return RunInspect(argc, argv);
@@ -900,6 +958,15 @@ int Run(int argc, char** argv) {
   if (command == "route") return RunRoute(argc, argv);
   if (command == "query") return RunRemoteQuery(argc, argv);
   if (command == "stats") return RunRemoteStats(argc, argv);
+  if (command == "metrics") {
+    return RunObserve(argc, argv, "metrics", net::ObserveKind::kMetrics);
+  }
+  if (command == "trace") {
+    return RunObserve(argc, argv, "trace", net::ObserveKind::kTrace);
+  }
+  if (command == "slowlog") {
+    return RunObserve(argc, argv, "slowlog", net::ObserveKind::kSlowlog);
+  }
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return Usage();
 }
