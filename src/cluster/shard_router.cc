@@ -1,6 +1,7 @@
 #include "cluster/shard_router.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/logging.h"
 #include "dynamic/graph_delta.h"
@@ -15,6 +16,8 @@ ShardRouter::ShardRouter(PartitionMap map, ShardRouterOptions options)
       endpoints_(options.endpoints.empty() ? map_.endpoints
                                            : std::move(options.endpoints)),
       limits_(options.limits),
+      health_interval_ms_(options.health_interval_ms),
+      health_failure_threshold_(options.health_failure_threshold),
       name_("cluster:" + map_.inner_spec) {
   boundary_id_.reserve(map_.boundary.size());
   for (uint32_t b = 0; b < map_.boundary.size(); ++b) {
@@ -35,15 +38,34 @@ ShardRouter::ShardRouter(PartitionMap map, ShardRouterOptions options)
   obs::Registry& reg = obs::Registry::Global();
   shard_probes_.reserve(map_.num_shards());
   shard_probe_latency_us_.reserve(map_.num_shards());
+  shard_healthy_.reserve(map_.num_shards());
+  health_failures_.reserve(map_.num_shards());
   for (size_t s = 0; s < map_.num_shards(); ++s) {
     const std::string label = "{shard=\"" + std::to_string(s) + "\"}";
     shard_probes_.push_back(
         reg.GetCounter("gtpq_shard_probes_total" + label));
     shard_probe_latency_us_.push_back(
         reg.GetHistogram("gtpq_shard_probe_latency_us" + label));
+    shard_healthy_.push_back(reg.GetGauge("gtpq_shard_healthy" + label));
+    health_failures_.push_back(
+        reg.GetCounter("gtpq_shard_health_failures_total" + label));
+    // Connect() refuses to hand out a router before every shard
+    // answered HELLO, so shards start healthy; the prober demotes them.
+    shard_healthy_.back()->Set(1);
   }
+  healthy_.assign(map_.num_shards(), true);
+  health_streak_.assign(map_.num_shards(), 0);
   reconnects_ = reg.GetCounter("gtpq_shard_reconnects_total");
   closure_hits_ = reg.GetCounter("gtpq_overlay_closure_hits_total");
+}
+
+ShardRouter::~ShardRouter() {
+  {
+    std::lock_guard<std::mutex> lock(prober_mutex_);
+    prober_stop_ = true;
+  }
+  prober_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
 }
 
 Result<std::unique_ptr<ShardRouter>> ShardRouter::Connect(
@@ -67,10 +89,15 @@ Result<std::unique_ptr<ShardRouter>> ShardRouter::Connect(
     std::lock_guard<std::mutex> lock(router->epoch_mutex_);
     router->shard_epochs_[s] = client->server_info().epoch;
   }
+  router->StartProber();
   return router;
 }
 
 net::NetClient* ShardRouter::Client(size_t shard) const {
+  return Client(shard, /*attempts=*/50);
+}
+
+net::NetClient* ShardRouter::Client(size_t shard, int attempts) const {
   auto& slots = clients_.Local();
   if (slots.size() != num_shards()) slots.resize(num_shards());
   if (slots[shard] != nullptr && slots[shard]->connected()) {
@@ -85,7 +112,7 @@ net::NetClient* ShardRouter::Client(size_t shard) const {
   }
   auto client = std::make_unique<net::NetClient>();
   const Status status = net::ConnectWithRetry(client.get(), host, port,
-                                              limits_);
+                                              limits_, attempts);
   if (!status.ok()) {
     GTPQ_LOG(Warning) << "shard " << shard << " at " << endpoints_[shard]
                       << " unreachable: " << status.ToString();
@@ -135,14 +162,20 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
 
   // The ambient trace was installed thread-locally by the query worker
   // (QueryServer::EvaluateOnWorker): probes fanned out on its behalf
-  // carry the trace on the wire and record child spans here.
+  // carry the trace on the wire and record child spans here. Each wire
+  // probe gets a PRE-ALLOCATED span id sent as the wire parent, so the
+  // shard's server-side "serve probe" span nests under the router's
+  // "probe shard=N" span in the stitched cross-process trace.
   const obs::TraceContext trace = obs::CurrentTrace();
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  const uint64_t fwd_span = trace.active() ? recorder.NewSpanId() : 0;
+  const uint64_t rev_span = trace.active() ? recorder.NewSpanId() : 0;
 
   net::ProbeRequest fwd;
   fwd.reverse = false;
   fwd.pivot = LocalId(from, su);
   fwd.trace_id = trace.trace_id;
-  fwd.parent_span = trace.parent_span;
+  fwd.parent_span = fwd_span;
   if (same) fwd.ids.push_back(LocalId(to, sv));
   for (uint32_t b : shard_boundary_[su]) {
     fwd.ids.push_back(LocalId(map_.boundary[b], su));
@@ -151,7 +184,7 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
   rev.reverse = true;
   rev.pivot = LocalId(to, sv);
   rev.trace_id = trace.trace_id;
-  rev.parent_span = trace.parent_span;
+  rev.parent_span = rev_span;
   for (uint32_t b : shard_boundary_[sv]) {
     rev.ids.push_back(LocalId(map_.boundary[b], sv));
   }
@@ -194,13 +227,14 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
     }
     return Status::OK();
   };
-  auto finish_probe = [&trace, this](size_t shard, double start_us) {
+  auto finish_probe = [&trace, this](size_t shard, uint64_t span_id,
+                                     double start_us) {
     const double dur_us = obs::NowMicros() - start_us;
     shard_probes_[shard]->Add();
     shard_probe_latency_us_[shard]->Record(static_cast<uint64_t>(dur_us));
     if (trace.active()) {
       obs::TraceRecorder::Global().Record(
-          trace.trace_id, trace.parent_span,
+          trace.trace_id, span_id, trace.parent_span,
           "probe shard=" + std::to_string(shard), start_us, dur_us);
     }
   };
@@ -214,7 +248,7 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
     if (want_rev) DropClient(sv);
     return status;
   }
-  finish_probe(su, fwd_start_us);
+  finish_probe(su, fwd_span, fwd_start_us);
   net::ProbeResult rr;
   if (want_rev) {
     status = decode(cv->WaitForResponse(*rev_id, net::FrameType::kProbeResult),
@@ -223,7 +257,7 @@ Result<bool> ShardRouter::ProbeCluster(NodeId from, NodeId to, size_t su,
       DropClient(sv);
       return status;
     }
-    finish_probe(sv, rev_start_us);
+    finish_probe(sv, rev_span, rev_start_us);
   }
 
   IndexStats& st = stats();
@@ -438,6 +472,142 @@ Status ShardRouter::ApplyNativeUpdate(const UpdateBatch& batch) const {
                       << "); did something update a shard directly?";
   }
   return Status::OK();
+}
+
+Result<obs::MetricsSnapshot> ShardRouter::FederatedMetricsSnapshot()
+    const {
+  // Scatter one binary-snapshot request per reachable shard, then
+  // gather. A dead shard is skipped — its absence shows up as a missing
+  // shard="N" series and a zero gtpq_shard_healthy gauge, which is more
+  // useful than an export that errors out whenever one member is down.
+  struct Pending {
+    size_t shard = 0;
+    net::NetClient* client = nullptr;
+    uint64_t request_id = 0;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(num_shards());
+  for (size_t s = 0; s < num_shards(); ++s) {
+    net::NetClient* client = Client(s, /*attempts=*/2);
+    if (client == nullptr) continue;
+    auto id = client->SendObserve(net::ObserveKind::kMetricsSnapshot);
+    if (!id.ok()) {
+      DropClient(s);
+      continue;
+    }
+    pending.push_back({s, client, *id});
+  }
+  std::vector<obs::MemberSnapshot> members;
+  members.reserve(pending.size());
+  for (const Pending& p : pending) {
+    auto payload =
+        p.client->WaitForResponse(p.request_id,
+                                  net::FrameType::kObserveResult);
+    std::string body;
+    if (!payload.ok() ||
+        !net::DecodeObserveResult(*payload, &body).ok()) {
+      DropClient(p.shard);
+      continue;
+    }
+    obs::MetricsSnapshot snapshot;
+    const Status decoded = obs::DecodeMetricsSnapshot(body, &snapshot);
+    if (!decoded.ok()) {
+      GTPQ_LOG(Warning) << "shard " << p.shard
+                        << " metrics snapshot rejected: "
+                        << decoded.ToString();
+      continue;
+    }
+    members.push_back({std::to_string(p.shard), std::move(snapshot)});
+  }
+  return obs::BuildFederatedSnapshot(obs::Registry::Global().Snap(),
+                                     members);
+}
+
+Result<std::vector<obs::ProcessSpans>> ShardRouter::CollectClusterSpans(
+    uint64_t trace_id) const {
+  std::vector<obs::ProcessSpans> groups;
+  groups.reserve(num_shards() + 1);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  groups.push_back({"router", 1,
+                    trace_id != 0 ? recorder.SpansForTrace(trace_id)
+                                  : recorder.Spans()});
+  for (size_t s = 0; s < num_shards(); ++s) {
+    net::NetClient* client = Client(s, /*attempts=*/2);
+    if (client == nullptr) continue;
+    auto payload = client->Observe(net::ObserveKind::kSpans, trace_id);
+    if (!payload.ok()) {
+      DropClient(s);
+      continue;
+    }
+    std::vector<obs::Span> spans;
+    const Status decoded = obs::DecodeSpans(*payload, &spans);
+    if (!decoded.ok()) {
+      GTPQ_LOG(Warning) << "shard " << s << " span dump rejected: "
+                        << decoded.ToString();
+      continue;
+    }
+    groups.push_back({"shard " + std::to_string(s) + " (" +
+                          endpoints_[s] + ")",
+                      static_cast<uint32_t>(2 + s), std::move(spans)});
+  }
+  return groups;
+}
+
+std::vector<bool> ShardRouter::shard_health() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return healthy_;
+}
+
+void ShardRouter::ProbeHealthOnce() const {
+  for (size_t s = 0; s < num_shards(); ++s) {
+    // One connect attempt only: a down shard must cost one refused
+    // connect per sweep, not a reconnect backoff budget.
+    bool ok = false;
+    net::NetClient* client = Client(s, /*attempts=*/1);
+    if (client != nullptr) {
+      auto health = client->Health();
+      if (health.ok() && health->serving != 0) {
+        ok = true;
+      } else {
+        DropClient(s);
+      }
+    }
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (ok) {
+      health_streak_[s] = 0;
+      healthy_[s] = true;
+      shard_healthy_[s]->Set(1);
+    } else {
+      health_failures_[s]->Add();
+      if (++health_streak_[s] >= health_failure_threshold_) {
+        if (healthy_[s]) {
+          GTPQ_LOG(Warning) << "shard " << s << " at " << endpoints_[s]
+                            << " failed " << health_streak_[s]
+                            << " consecutive health probes; marking "
+                               "unhealthy";
+        }
+        healthy_[s] = false;
+        shard_healthy_[s]->Set(0);
+      }
+    }
+  }
+}
+
+void ShardRouter::StartProber() {
+  if (health_interval_ms_ <= 0) return;
+  prober_ = std::thread([this] { ProberLoop(); });
+}
+
+void ShardRouter::ProberLoop() {
+  std::unique_lock<std::mutex> lock(prober_mutex_);
+  while (!prober_stop_) {
+    lock.unlock();
+    ProbeHealthOnce();
+    lock.lock();
+    prober_cv_.wait_for(lock,
+                        std::chrono::milliseconds(health_interval_ms_),
+                        [this] { return prober_stop_; });
+  }
 }
 
 void ShardRouter::RebuildClosure() const {

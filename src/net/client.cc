@@ -284,13 +284,23 @@ Result<ProbeResult> NetClient::Probe(const ProbeRequest& request) {
   return out;
 }
 
-Result<std::string> NetClient::Observe(ObserveKind kind) {
-  auto payload = RoundTrip(FrameType::kObserve, EncodeObserveRequest(kind),
+Result<std::string> NetClient::Observe(ObserveKind kind,
+                                       uint64_t trace_id) {
+  auto payload = RoundTrip(FrameType::kObserve,
+                           EncodeObserveRequest(kind, trace_id),
                            FrameType::kObserveResult);
   if (!payload.ok()) return payload.status();
   std::string out;
   GTPQ_RETURN_NOT_OK(DecodeObserveResult(*payload, &out));
   return out;
+}
+
+Result<HealthReport> NetClient::Health() {
+  auto body = Observe(ObserveKind::kHealth);
+  if (!body.ok()) return body.status();
+  HealthReport report;
+  GTPQ_RETURN_NOT_OK(DecodeHealthReport(*body, &report));
+  return report;
 }
 
 Result<uint64_t> NetClient::SendQuery(const std::string& text,
@@ -331,6 +341,14 @@ Result<uint64_t> NetClient::SendProbe(const ProbeRequest& request) {
   const uint64_t id = next_request_id_++;
   GTPQ_RETURN_NOT_OK(
       SendFrame(FrameType::kProbe, id, EncodeProbeRequest(request)));
+  return id;
+}
+
+Result<uint64_t> NetClient::SendObserve(ObserveKind kind,
+                                        uint64_t trace_id) {
+  const uint64_t id = next_request_id_++;
+  GTPQ_RETURN_NOT_OK(SendFrame(FrameType::kObserve, id,
+                               EncodeObserveRequest(kind, trace_id)));
   return id;
 }
 
@@ -399,7 +417,10 @@ Result<ApplyOk> NetClient::ApplyUpdates(std::span<const UpdateBatch>) {
 Result<ServingStats> NetClient::Stats() {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
-Result<std::string> NetClient::Observe(ObserveKind) {
+Result<std::string> NetClient::Observe(ObserveKind, uint64_t) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<HealthReport> NetClient::Health() {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<uint64_t> NetClient::SendQuery(const std::string&, uint64_t,
@@ -415,6 +436,9 @@ Result<ProbeResult> NetClient::Probe(const ProbeRequest&) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Result<uint64_t> NetClient::SendProbe(const ProbeRequest&) {
+  return Status::Unimplemented("NetClient requires POSIX sockets");
+}
+Result<uint64_t> NetClient::SendObserve(ObserveKind, uint64_t) {
   return Status::Unimplemented("NetClient requires POSIX sockets");
 }
 Status ConnectWithRetry(NetClient*, const std::string&, uint16_t,

@@ -73,8 +73,13 @@ class NetClient {
   /// local to the server's graph.
   Result<ProbeResult> Probe(const ProbeRequest& request);
   /// One observability export (OBSERVE frame): Prometheus metrics,
-  /// Chrome trace JSON, or the slow-query log, rendered server-side.
-  Result<std::string> Observe(ObserveKind kind);
+  /// Chrome trace JSON, the slow-query log, or a binary
+  /// snapshot/span/health export. The optional trace_id filters
+  /// kTrace/kSpans to one trace (0 = whole ring).
+  Result<std::string> Observe(ObserveKind kind, uint64_t trace_id = 0);
+  /// Observe(kHealth), decoded. Answered inline on the server's IO
+  /// thread, so a response bounds event-loop latency too.
+  Result<HealthReport> Health();
 
   // --- Pipelined calls ------------------------------------------------
 
@@ -91,6 +96,9 @@ class NetClient {
                              uint64_t trace_id = 0,
                              uint64_t parent_span = 0);
   Result<uint64_t> SendProbe(const ProbeRequest& request);
+  /// Pipelined OBSERVE — the router fans one export request out to
+  /// every shard, then collects by id.
+  Result<uint64_t> SendObserve(ObserveKind kind, uint64_t trace_id = 0);
   /// Next response frame: parked responses first, then a blocking read.
   Result<Frame> Receive();
   /// Blocking wait for the response to one previously-sent request;

@@ -15,6 +15,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "dynamic/update_io.h"
+#include "obs/federation.h"
 #include "obs/metrics.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
@@ -65,6 +66,7 @@ struct NetMetrics {
   obs::Counter* bytes_sent_total;
   obs::Counter* admission_rejected_total;
   obs::Gauge* dispatch_queue_depth;
+  obs::Gauge* uptime_seconds;
   obs::Histogram* coalesced_batch_size;
 
   static const NetMetrics& Get() {
@@ -76,6 +78,7 @@ struct NetMetrics {
           reg.GetCounter("gtpq_net_bytes_sent_total"),
           reg.GetCounter("gtpq_admission_rejected_total"),
           reg.GetGauge("gtpq_dispatch_queue_depth"),
+          reg.GetGauge("gtpq_uptime_seconds"),
           reg.GetHistogram("gtpq_coalesced_batch_size")};
     }();
     return m;
@@ -472,6 +475,7 @@ void NetServer::Impl::HandleFrame(Connection& conn, Frame frame) {
       }
       ProbeResult result;
       result.count = static_cast<uint32_t>(request.ids.size());
+      const double probe_start_us = obs::NowMicros();
       const Status probed = runtime->ProbeReachability(
           request.reverse, request.pivot, request.ids, &result.epoch,
           &result.bits);
@@ -480,33 +484,107 @@ void NetServer::Impl::HandleFrame(Connection& conn, Frame frame) {
         return;
       }
       probes_served.fetch_add(1, std::memory_order_relaxed);
+      // A traced probe leaves a server-side span parented under the
+      // caller's wire span id — the shard's leg of the stitched
+      // cross-process timeline.
+      if (request.trace_id != 0) {
+        obs::TraceRecorder::Global().Record(
+            request.trace_id, request.parent_span, "serve probe",
+            probe_start_us, obs::NowMicros() - probe_start_us);
+      }
       SendOn(conn, FrameType::kProbeResult, frame.request_id,
              EncodeProbeResult(result));
       return;
     }
     case FrameType::kObserve: {
-      // Also inline, like STATS: rendering an export touches no serving
-      // state that needs the dispatcher.
+      // Also inline, like STATS: leaf exports touch no serving state
+      // that needs the dispatcher, and kHealth deliberately measures
+      // IO-thread responsiveness. On a router the rendered kinds fan
+      // out to every member first (bounded connect retries keep a dead
+      // shard from parking the event loop for long).
       if (!conn.hello_done) break;
       ObserveKind kind = ObserveKind::kMetrics;
-      const Status st = DecodeObserveRequest(frame.payload, &kind);
+      uint64_t filter = 0;
+      const Status st = DecodeObserveRequest(frame.payload, &kind, &filter);
       if (!st.ok()) {
         protocol_errors.fetch_add(1, std::memory_order_relaxed);
         conn.close_after_flush = true;
         SendError(conn, frame.request_id, st);
         return;
       }
+      // The oracle doubles as the federation seam when this process
+      // fronts a cluster (ShardRouter implements ClusterObservable);
+      // keep the snapshot pinned while the fan-out runs.
+      std::shared_ptr<const EngineSnapshot> snap;
+      const obs::ClusterObservable* fed = nullptr;
+      if (kind == ObserveKind::kMetrics ||
+          kind == ObserveKind::kMetricsSnapshot ||
+          kind == ObserveKind::kTrace) {
+        snap = runtime->snapshot();
+        fed = dynamic_cast<const obs::ClusterObservable*>(snap->oracle());
+      }
+      if (kind != ObserveKind::kTrace && kind != ObserveKind::kSpans) {
+        NetMetrics::Get().uptime_seconds->Set(
+            static_cast<int64_t>(obs::NowMicros() / 1e6));
+      }
       std::string body;
       switch (kind) {
         case ObserveKind::kMetrics:
-          body = obs::Registry::Global().RenderPrometheus();
+        case ObserveKind::kMetricsSnapshot: {
+          obs::MetricsSnapshot snapshot;
+          if (fed != nullptr) {
+            auto federated = fed->FederatedMetricsSnapshot();
+            if (!federated.ok()) {
+              SendError(conn, frame.request_id, federated.status());
+              return;
+            }
+            snapshot = std::move(*federated);
+          } else {
+            snapshot = obs::Registry::Global().Snap();
+          }
+          body = kind == ObserveKind::kMetrics
+                     ? obs::RenderPrometheusSnapshot(snapshot)
+                     : obs::EncodeMetricsSnapshot(snapshot);
           break;
-        case ObserveKind::kTrace:
-          body = obs::TraceRecorder::Global().RenderChromeTrace();
+        }
+        case ObserveKind::kTrace: {
+          if (fed != nullptr) {
+            auto groups = fed->CollectClusterSpans(filter);
+            if (!groups.ok()) {
+              SendError(conn, frame.request_id, groups.status());
+              return;
+            }
+            body = obs::RenderChromeTrace(*groups);
+          } else {
+            obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+            body = obs::RenderChromeTrace(
+                {{"gtpq", 1,
+                  filter != 0 ? rec.SpansForTrace(filter) : rec.Spans()}});
+          }
           break;
+        }
         case ObserveKind::kSlowlog:
           body = obs::SlowQueryLog::Global().Render();
           break;
+        case ObserveKind::kHealth: {
+          HealthReport report;
+          report.epoch = runtime->epoch();
+          report.uptime_seconds = obs::NowMicros() / 1e6;
+          {
+            std::lock_guard<std::mutex> lock(queue_mu);
+            report.queue_depth = queue.size();
+          }
+          report.serving = runtime->status().ok() ? 1 : 0;
+          report.engine = runtime->engine_name();
+          body = EncodeHealthReport(report);
+          break;
+        }
+        case ObserveKind::kSpans: {
+          obs::TraceRecorder& rec = obs::TraceRecorder::Global();
+          body = obs::EncodeSpans(
+              filter != 0 ? rec.SpansForTrace(filter) : rec.Spans());
+          break;
+        }
       }
       SendOn(conn, FrameType::kObserveResult, frame.request_id,
              EncodeObserveResult(body));

@@ -522,27 +522,43 @@ Status DecodeProbeResult(std::string_view payload, ProbeResult* out) {
       out);
 }
 
-std::string EncodeObserveRequest(ObserveKind kind) {
+std::string EncodeObserveRequest(ObserveKind kind, uint64_t trace_id) {
   Writer w;
   w.WriteU8(static_cast<uint8_t>(kind));
+  // Optional trailing filter, encoded only when non-zero so filterless
+  // requests stay byte-identical to PR 9 frames.
+  if (trace_id != 0) w.WriteU64(trace_id);
   return w.buffer();
 }
 
-Status DecodeObserveRequest(std::string_view payload, ObserveKind* out) {
+namespace {
+struct ObserveRequestOut {
+  ObserveKind* kind;
+  uint64_t* trace_id;
+};
+}  // namespace
+
+Status DecodeObserveRequest(std::string_view payload, ObserveKind* kind,
+                            uint64_t* trace_id) {
+  ObserveRequestOut out{kind, trace_id};
   return WrapReader(
       payload, "OBSERVE",
       [](Reader* r, void* opaque) -> Status {
-        auto* kind = static_cast<ObserveKind*>(opaque);
+        auto* request = static_cast<ObserveRequestOut*>(opaque);
         uint8_t raw = 0;
         GTPQ_RETURN_NOT_OK(r->ReadU8(&raw));
-        if (raw > static_cast<uint8_t>(ObserveKind::kSlowlog)) {
+        if (raw > static_cast<uint8_t>(ObserveKind::kSpans)) {
           return Status::ParseError("unknown observe kind " +
                                     std::to_string(raw));
         }
-        *kind = static_cast<ObserveKind>(raw);
+        *request->kind = static_cast<ObserveKind>(raw);
+        *request->trace_id = 0;
+        if (r->remaining() > 0) {
+          GTPQ_RETURN_NOT_OK(r->ReadU64(request->trace_id));
+        }
         return Status::OK();
       },
-      out);
+      &out);
 }
 
 std::string EncodeObserveResult(std::string_view body) {
@@ -556,6 +572,41 @@ Status DecodeObserveResult(std::string_view payload, std::string* out) {
       payload, "OBSERVE_RESULT",
       [](Reader* r, void* opaque) -> Status {
         return r->ReadString(static_cast<std::string*>(opaque));
+      },
+      out);
+}
+
+// Health reports travel as the OBSERVE_RESULT body; the magic guards
+// against decoding a text export as a report after a version-skewed
+// exchange.
+inline constexpr uint32_t kHealthMagic = 0x48505447;  // "GTPH"
+
+std::string EncodeHealthReport(const HealthReport& report) {
+  Writer w;
+  w.WriteU32(kHealthMagic);
+  w.WriteU64(report.epoch);
+  WriteDouble(&w, report.uptime_seconds);
+  w.WriteU64(report.queue_depth);
+  w.WriteU8(report.serving);
+  w.WriteString(report.engine);
+  return w.buffer();
+}
+
+Status DecodeHealthReport(std::string_view payload, HealthReport* out) {
+  return WrapReader(
+      payload, "HEALTH",
+      [](Reader* r, void* opaque) -> Status {
+        auto* report = static_cast<HealthReport*>(opaque);
+        uint32_t magic = 0;
+        GTPQ_RETURN_NOT_OK(r->ReadU32(&magic));
+        if (magic != kHealthMagic) {
+          return Status::ParseError("bad health report magic");
+        }
+        GTPQ_RETURN_NOT_OK(r->ReadU64(&report->epoch));
+        GTPQ_RETURN_NOT_OK(ReadDouble(r, &report->uptime_seconds));
+        GTPQ_RETURN_NOT_OK(r->ReadU64(&report->queue_depth));
+        GTPQ_RETURN_NOT_OK(r->ReadU8(&report->serving));
+        return r->ReadString(&report->engine);
       },
       out);
 }

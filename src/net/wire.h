@@ -53,7 +53,10 @@ namespace net {
 ///                  to shard servers (src/cluster/shard_router.h) — then
 ///                  the same optional u64 trace id + u64 parent span
 ///   OBSERVE        u8 kind (0 = Prometheus metrics, 1 = Chrome trace
-///                  JSON, 2 = slow-query log)
+///                  JSON, 2 = slow-query log, 3 = binary metrics
+///                  snapshot, 4 = health report, 5 = binary span dump),
+///                  then an optional trailing u64 trace-id filter
+///                  (encoded only when non-zero; absent for old peers)
 ///
 /// Response payloads (type = request type | 0x80, or ERROR):
 ///   HELLO_OK       u32 magic, u32 version, u64 epoch, u64 graph nodes,
@@ -240,18 +243,46 @@ struct ProbeResult {
 std::string EncodeProbeResult(const ProbeResult& result);
 Status DecodeProbeResult(std::string_view payload, ProbeResult* out);
 
-/// What an OBSERVE frame asks the server to export.
+/// What an OBSERVE frame asks the server to export. The rendered kinds
+/// (kMetrics/kTrace) federate across the cluster when the serving
+/// oracle is an obs::ClusterObservable (the router); the binary kinds
+/// (kMetricsSnapshot/kSpans) are the member-side primitives that
+/// federation pulls; kHealth is always answered inline on the IO
+/// thread so it measures event-loop responsiveness itself.
 enum class ObserveKind : uint8_t {
-  kMetrics = 0,  // Prometheus text exposition
-  kTrace = 1,    // Chrome trace-event JSON
-  kSlowlog = 2,  // slow-query log dump
+  kMetrics = 0,          // Prometheus text exposition
+  kTrace = 1,            // Chrome trace-event JSON
+  kSlowlog = 2,          // slow-query log dump
+  kMetricsSnapshot = 3,  // binary registry snapshot (obs/federation.h)
+  kHealth = 4,           // binary HealthReport
+  kSpans = 5,            // binary span dump (obs/federation.h)
 };
-std::string EncodeObserveRequest(ObserveKind kind);
-Status DecodeObserveRequest(std::string_view payload, ObserveKind* out);
+/// The optional trailing `trace_id` filters kTrace/kSpans exports to
+/// one trace. Like every optional wire field it is encoded only when
+/// non-zero, so frames without it stay byte-identical to PR 9 peers.
+std::string EncodeObserveRequest(ObserveKind kind, uint64_t trace_id = 0);
+Status DecodeObserveRequest(std::string_view payload, ObserveKind* kind,
+                            uint64_t* trace_id);
 
-/// OBSERVE_RESULT carries the rendered export verbatim.
+/// OBSERVE_RESULT carries the rendered or binary export verbatim.
 std::string EncodeObserveResult(std::string_view body);
 Status DecodeObserveResult(std::string_view payload, std::string* out);
+
+/// Lightweight liveness report (OBSERVE kind = kHealth). Answered
+/// inline on the server's IO thread — a response proves the event loop
+/// is turning, not just that the process exists. Consumed by the
+/// router's health prober (the replica-failover seam).
+struct HealthReport {
+  uint64_t epoch = 0;
+  double uptime_seconds = 0;
+  /// Requests parked for the dispatch thread at answer time.
+  uint64_t queue_depth = 0;
+  /// 1 when the runtime's engine spec loaded and the pool is serving.
+  uint8_t serving = 0;
+  std::string engine;
+};
+std::string EncodeHealthReport(const HealthReport& report);
+Status DecodeHealthReport(std::string_view payload, HealthReport* out);
 
 /// ERROR payload round trip; encoding an OK status is a programming
 /// error. DecodeError returns the CARRIED status on success (never OK)

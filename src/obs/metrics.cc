@@ -1,8 +1,12 @@
 #include "obs/metrics.h"
 
 #include <bit>
+#include <cctype>
 #include <cinttypes>
 #include <cstdio>
+#include <optional>
+
+#include "common/logging.h"
 
 namespace gtpq {
 namespace obs {
@@ -85,6 +89,7 @@ Registry& Registry::Global() {
 }
 
 Counter* Registry::GetCounter(const std::string& name) {
+  GTPQ_DCHECK(IsValidSeriesName(name)) << "bad series name: " << name;
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -92,6 +97,7 @@ Counter* Registry::GetCounter(const std::string& name) {
 }
 
 Gauge* Registry::GetGauge(const std::string& name) {
+  GTPQ_DCHECK(IsValidSeriesName(name)) << "bad series name: " << name;
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -99,18 +105,33 @@ Gauge* Registry::GetGauge(const std::string& name) {
 }
 
 Histogram* Registry::GetHistogram(const std::string& name) {
+  GTPQ_DCHECK(IsValidSeriesName(name)) << "bad series name: " << name;
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return slot.get();
 }
 
-namespace {
+MetricsSnapshot Registry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->Value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->Value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace_back(name, histogram->Snap());
+  }
+  return out;
+}
 
-/// Splits "base{a=\"b\"}" into base and the inner label list ("" when
-/// the series has no label block).
-void SplitSeries(const std::string& name, std::string* base,
-                 std::string* labels) {
+void SplitSeriesName(const std::string& name, std::string* base,
+                     std::string* labels) {
   const size_t brace = name.find('{');
   if (brace == std::string::npos || name.back() != '}') {
     *base = name;
@@ -119,6 +140,120 @@ void SplitSeries(const std::string& name, std::string* base,
   }
   *base = name.substr(0, brace);
   *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels) {
+  std::string out(base);
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append(key);
+    out += "=\"";
+    out += EscapeLabelValue(value);
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+namespace {
+
+bool IsValidBaseName(std::string_view base) {
+  if (base.empty()) return false;
+  for (size_t i = 0; i < base.size(); ++i) {
+    const char c = base[i];
+    const bool alpha = std::isalpha(static_cast<unsigned char>(c)) ||
+                       c == '_' || c == ':';
+    if (i == 0 ? !alpha
+               : !(alpha || std::isdigit(static_cast<unsigned char>(c)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses an inner label block (`k="v",k2="v2"`) into key/value pairs,
+/// honoring backslash escapes inside values (the inverse of
+/// EscapeLabelValue, with unknown escapes passing the escaped char
+/// through). Returns false when the text is not a well-formed pair
+/// list.
+bool ParseLabelPairs(
+    std::string_view labels,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  size_t i = 0;
+  while (i < labels.size()) {
+    const size_t eq = labels.find('=', i);
+    if (eq == std::string_view::npos || eq == i) return false;
+    const std::string_view key = labels.substr(i, eq - i);
+    if (!IsValidBaseName(key) || key.find(':') != std::string_view::npos) {
+      return false;
+    }
+    if (eq + 1 >= labels.size() || labels[eq + 1] != '"') return false;
+    std::string value;
+    size_t j = eq + 2;
+    bool closed = false;
+    while (j < labels.size()) {
+      const char c = labels[j];
+      if (c == '\\' && j + 1 < labels.size()) {
+        const char escaped = labels[j + 1];
+        value.push_back(escaped == 'n' ? '\n' : escaped);
+        j += 2;
+      } else if (c == '"') {
+        closed = true;
+        ++j;
+        break;
+      } else {
+        value.push_back(c);
+        ++j;
+      }
+    }
+    if (!closed) return false;
+    out->emplace_back(std::string(key), std::move(value));
+    if (j == labels.size()) return true;
+    if (labels[j] != ',' || j + 1 == labels.size()) return false;
+    i = j + 1;
+  }
+  return true;
+}
+
+/// Re-renders a label block with every value escaped, or nullopt when
+/// the block cannot be parsed.
+std::optional<std::string> NormalizeLabels(const std::string& labels) {
+  if (labels.empty()) return std::string();
+  std::vector<std::pair<std::string, std::string>> pairs;
+  if (!ParseLabelPairs(labels, &pairs)) return std::nullopt;
+  std::string out;
+  for (const auto& [key, value] : pairs) {
+    if (!out.empty()) out.push_back(',');
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  return out;
 }
 
 std::string WithLabels(const std::string& base, const std::string& labels,
@@ -147,35 +282,60 @@ void Append(std::string* out, const std::map<std::string, Family>& fams) {
   }
 }
 
+/// Splits a series name and normalizes its label block for exposition.
+/// Returns false (debug-checked) when the name is malformed — the
+/// renderer skips such a series rather than emit invalid text.
+bool SplitForRender(const std::string& name, std::string* base,
+                    std::string* labels) {
+  SplitSeriesName(name, base, labels);
+  std::optional<std::string> normalized = NormalizeLabels(*labels);
+  const bool ok = IsValidBaseName(*base) && normalized.has_value();
+  GTPQ_DCHECK(ok) << "malformed series name: " << name;
+  if (!ok) return false;
+  *labels = *std::move(normalized);
+  return true;
+}
+
 }  // namespace
 
-std::string Registry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::map<std::string, Family> fams;
-  char buf[160];
+bool IsValidSeriesName(const std::string& name) {
+  std::string base, labels;
+  SplitSeriesName(name, &base, &labels);
+  if (!IsValidBaseName(base)) return false;
+  if (labels.empty()) {
+    // Either no label block at all, or a literal "{}"/dangling brace —
+    // only the former is valid.
+    return name == base;
+  }
+  std::vector<std::pair<std::string, std::string>> pairs;
+  return ParseLabelPairs(labels, &pairs);
+}
 
-  for (const auto& [name, counter] : counters_) {
+std::string RenderPrometheusSnapshot(const MetricsSnapshot& snapshot) {
+  std::map<std::string, Family> fams;
+  char buf[192];
+
+  for (const auto& [name, value] : snapshot.counters) {
     std::string base, labels;
-    SplitSeries(name, &base, &labels);
+    if (!SplitForRender(name, &base, &labels)) continue;
     Family& fam = fams[base];
     fam.type = "counter";
-    std::snprintf(buf, sizeof(buf), "%s %" PRIu64, name.c_str(),
-                  counter->Value());
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64,
+                  WithLabels(base, labels).c_str(), value);
     fam.lines.push_back(buf);
   }
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : snapshot.gauges) {
     std::string base, labels;
-    SplitSeries(name, &base, &labels);
+    if (!SplitForRender(name, &base, &labels)) continue;
     Family& fam = fams[base];
     fam.type = "gauge";
-    std::snprintf(buf, sizeof(buf), "%s %" PRId64, name.c_str(),
-                  gauge->Value());
+    std::snprintf(buf, sizeof(buf), "%s %" PRId64,
+                  WithLabels(base, labels).c_str(), value);
     fam.lines.push_back(buf);
   }
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, snap] : snapshot.histograms) {
     std::string base, labels;
-    SplitSeries(name, &base, &labels);
-    const Histogram::Snapshot snap = histogram->Snap();
+    if (!SplitForRender(name, &base, &labels)) continue;
     Family& fam = fams[base];
     fam.type = "histogram";
     uint64_t cumulative = 0;
@@ -223,6 +383,10 @@ std::string Registry::RenderPrometheus() const {
   std::string out;
   Append(&out, fams);
   return out;
+}
+
+std::string Registry::RenderPrometheus() const {
+  return RenderPrometheusSnapshot(Snap());
 }
 
 }  // namespace obs

@@ -4,10 +4,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace gtpq {
@@ -104,6 +107,47 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+/// A point-in-time copy of an entire registry: every series by name,
+/// with full histogram buckets rather than rendered text. This is the
+/// unit of cross-process federation — a shard exports its snapshot over
+/// the wire, the router merges counters by addition and histograms via
+/// Histogram::Snapshot::Merge, and the merged result renders exactly as
+/// if one process had recorded every sample.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+/// Escapes a label VALUE per the Prometheus text format: backslash,
+/// double quote, and newline become \\, \", and \n.
+std::string EscapeLabelValue(std::string_view value);
+
+/// Builds a series name `base{k1="v1",k2="v2"}` with every value
+/// escaped. The canonical way to register a labeled series.
+std::string LabeledName(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
+
+/// Splits "base{inner}" into base and the inner label text (empty when
+/// the series carries no label block).
+void SplitSeriesName(const std::string& name, std::string* base,
+                     std::string* labels);
+
+/// True when `name` is a well-formed series name: a Prometheus metric
+/// identifier, optionally followed by one brace-balanced label block of
+/// parseable k="v" pairs. Registration DCHECKs this.
+bool IsValidSeriesName(const std::string& name);
+
+/// Renders a snapshot as Prometheus text exposition (version 0.0.4):
+/// one TYPE line per family, counters/gauges as single samples,
+/// histograms as cumulative _bucket{le=}/_sum/_count series (empty
+/// buckets elided) plus _p50/_p90/_p99 gauge families computed from the
+/// same snapshot. Label values are escaped on the way out, so a raw
+/// quote or newline in a registered name cannot corrupt the exposition.
+std::string RenderPrometheusSnapshot(const MetricsSnapshot& snapshot);
+
 /// Name-keyed registry of every metric in the process. Series names
 /// follow Prometheus conventions and may embed a label block:
 /// "gtpq_queries_total", "gtpq_shard_probe_latency_us{shard=\"2\"}".
@@ -118,11 +162,10 @@ class Registry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
-  /// Prometheus text exposition (version 0.0.4): one TYPE line per
-  /// family, counters/gauges as single samples, histograms as
-  /// cumulative _bucket{le=}/_sum/_count series (empty buckets elided)
-  /// plus _p50/_p90/_p99 gauge families computed from the same
-  /// snapshot.
+  /// Every registered series, copied under the registry lock.
+  MetricsSnapshot Snap() const;
+
+  /// RenderPrometheusSnapshot(Snap()).
   std::string RenderPrometheus() const;
 
  private:

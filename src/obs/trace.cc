@@ -60,6 +60,8 @@ ScopedTraceContext::ScopedTraceContext(TraceContext context)
 
 ScopedTraceContext::~ScopedTraceContext() { g_current_trace = saved_; }
 
+TraceRecorder::TraceRecorder() : next_span_id_(NewTraceId() | 1) {}
+
 TraceRecorder& TraceRecorder::Global() {
   static TraceRecorder* instance = new TraceRecorder();
   return *instance;
@@ -121,26 +123,56 @@ void TraceRecorder::Clear() {
   next_ = 0;
 }
 
-std::string TraceRecorder::RenderChromeTrace() const {
-  const std::vector<Span> spans = Spans();
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderChromeTrace(const std::vector<ProcessSpans>& processes) {
   std::string out = "{\"traceEvents\":[";
-  char buf[320];
-  for (size_t i = 0; i < spans.size(); ++i) {
-    const Span& span = spans[i];
-    // Span names are internal constants ("dispatch", "probe shard=2"),
-    // never user input, so plain %s is JSON-safe here.
-    std::snprintf(
-        buf, sizeof(buf),
-        "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
-        "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":\"%016" PRIx64
-        "\",\"span_id\":\"%" PRIx64 "\",\"parent_span\":\"%" PRIx64
-        "\"}}",
-        i == 0 ? "" : ",", span.name.c_str(), span.tid, span.start_us,
-        span.dur_us, span.trace_id, span.span_id, span.parent_span);
+  char buf[352];
+  bool first = true;
+  for (const ProcessSpans& proc : processes) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                  "\"args\":{\"name\":\"%s\"}}",
+                  first ? "" : ",", proc.pid,
+                  JsonEscape(proc.process_name).c_str());
+    first = false;
     out += buf;
+    for (const Span& span : proc.spans) {
+      // Span names are internal constants ("dispatch", "probe shard=2"),
+      // never user input, so plain %s is JSON-safe here.
+      std::snprintf(
+          buf, sizeof(buf),
+          ",{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%u,\"tid\":%u,"
+          "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"trace_id\":\"%016" PRIx64
+          "\",\"span_id\":\"%" PRIx64 "\",\"parent_span\":\"%" PRIx64
+          "\"}}",
+          span.name.c_str(), proc.pid, span.tid, span.start_us,
+          span.dur_us, span.trace_id, span.span_id, span.parent_span);
+      out += buf;
+    }
   }
   out += "]}";
   return out;
+}
+
+std::string TraceRecorder::RenderChromeTrace() const {
+  return gtpq::obs::RenderChromeTrace({{"gtpq", 1, Spans()}});
 }
 
 }  // namespace obs

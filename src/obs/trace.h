@@ -64,11 +64,34 @@ struct Span {
   uint32_t tid = 0;  // small per-thread ordinal, for trace-row grouping
 };
 
+/// One process's contribution to a stitched multi-process trace.
+struct ProcessSpans {
+  /// Perfetto process label, e.g. "router" or "shard 0 (127.0.0.1:7501)".
+  std::string process_name;
+  uint32_t pid = 1;
+  std::vector<Span> spans;
+};
+
+/// Renders span groups from several processes as ONE Chrome trace-event
+/// JSON document: a process_name "M" metadata event per group, then the
+/// group's spans as "X" complete events under that pid. Parent links
+/// (span ids in args) hold across processes because span ids are
+/// randomly seeded per process and the parent id crosses the wire with
+/// the request. Timestamps stay in each process's own NowMicros
+/// timebase — steady clocks are not aligned across machines — so the
+/// stitched view reads as per-process tracks of one trace.
+std::string RenderChromeTrace(const std::vector<ProcessSpans>& processes);
+
 /// Process-wide ring of the most recent completed spans. Writers take
 /// one short mutex-protected append (tracing is opt-in per request, so
 /// the lock is cold on untraced traffic); readers copy the ring.
 class TraceRecorder {
  public:
+  /// Span ids start at a random 64-bit seed so rings pulled from
+  /// several processes can be stitched into one trace without id
+  /// collisions (every process used to count from 1).
+  TraceRecorder();
+
   static TraceRecorder& Global();
 
   /// Allocates a span id to hand to children before the span itself
@@ -108,7 +131,7 @@ class TraceRecorder {
   std::vector<Span> ring_;
   size_t next_ = 0;  // ring cursor once full
   std::atomic<uint64_t> total_{0};
-  std::atomic<uint64_t> next_span_id_{1};
+  std::atomic<uint64_t> next_span_id_;
 };
 
 }  // namespace obs

@@ -7,6 +7,7 @@
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/slowlog.h"
+#include "storage/index_io.h"
 
 namespace gtpq {
 
@@ -15,19 +16,35 @@ namespace {
 /// Registry handles for the per-query hot path, resolved once.
 struct QueryMetrics {
   obs::Counter* queries_total;
+  obs::Counter* updates_applied_total;
+  obs::Counter* update_rows_total;
   obs::Histogram* query_latency_us;
   obs::Histogram* batch_latency_us;
   obs::Histogram* snapshot_pin_us;
   obs::Gauge* epoch;
+  obs::Gauge* uptime_seconds;
 
   static const QueryMetrics& Get() {
     static const QueryMetrics m = [] {
       obs::Registry& reg = obs::Registry::Global();
+      // gtpq_build_info is the standard info-series idiom: value
+      // constant 1, the payload lives in the labels (wire protocol
+      // revision, .gtpqidx format revision). Registered here so every
+      // serving process exports it without touching the hot path again.
+      const std::string format =
+          "gtpqidx v" + std::to_string(storage::kIndexFormatVersion);
+      reg.GetGauge(obs::LabeledName("gtpq_build_info",
+                                    {{"version", "gtpq-wire v1"},
+                                     {"format", format}}))
+          ->Set(1);
       return QueryMetrics{reg.GetCounter("gtpq_queries_total"),
+                          reg.GetCounter("gtpq_updates_applied_total"),
+                          reg.GetCounter("gtpq_update_rows_total"),
                           reg.GetHistogram("gtpq_query_latency_us"),
                           reg.GetHistogram("gtpq_batch_latency_us"),
                           reg.GetHistogram("gtpq_snapshot_pin_us"),
-                          reg.GetGauge("gtpq_epoch")};
+                          reg.GetGauge("gtpq_epoch"),
+                          reg.GetGauge("gtpq_uptime_seconds")};
     }();
     return m;
   }
@@ -63,7 +80,12 @@ QueryServer::QueryServer(const DataGraph& g, QueryServerOptions options)
   // The pool starts after the workers so a task can never observe a
   // half-initialized slot.
   pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-  QueryMetrics::Get().epoch->Set(static_cast<int64_t>(factory_->epoch()));
+  const QueryMetrics& metrics = QueryMetrics::Get();
+  metrics.epoch->Set(static_cast<int64_t>(factory_->epoch()));
+  // Seeded here, refreshed on every metrics scrape (net/server.cc) so
+  // the exported value is current without a dedicated ticker thread.
+  metrics.uptime_seconds->Set(
+      static_cast<int64_t>(obs::NowMicros() / 1e6));
 }
 
 QueryServer::~QueryServer() {
@@ -273,7 +295,10 @@ Status QueryServer::ApplyUpdates(const UpdateBatch& batch) {
   const Status st = factory_->ApplyUpdates(batch);
   if (st.ok()) {
     updates_applied_.fetch_add(1, std::memory_order_relaxed);
-    QueryMetrics::Get().epoch->Set(static_cast<int64_t>(factory_->epoch()));
+    const QueryMetrics& metrics = QueryMetrics::Get();
+    metrics.epoch->Set(static_cast<int64_t>(factory_->epoch()));
+    metrics.updates_applied_total->Add();
+    metrics.update_rows_total->Add(batch.NumOps());
   }
   return st;
 }

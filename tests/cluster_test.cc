@@ -26,6 +26,7 @@
 #include "graph/graph_io.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/federation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reachability/sharded_oracle.h"
@@ -330,7 +331,7 @@ struct TestCluster {
 };
 
 void BringUp(const std::string& gen_spec, const std::string& name,
-             TestCluster* cluster) {
+             TestCluster* cluster, int health_interval_ms = 500) {
   auto graph = workload::GenerateGraphFromSpec(gen_spec);
   ASSERT_TRUE(graph.ok()) << graph.status().ToString();
   cluster->g = graph.TakeValue();
@@ -363,6 +364,7 @@ void BringUp(const std::string& gen_spec, const std::string& name,
 
   cluster::ShardRouterOptions router_options;
   router_options.endpoints = std::move(endpoints);
+  router_options.health_interval_ms = health_interval_ms;
   auto router = ShardRouter::Connect(cluster->art.map, router_options);
   ASSERT_TRUE(router.ok()) << router.status().ToString();
   cluster->router = router.TakeValue();
@@ -439,20 +441,42 @@ TEST(ShardRouterTest, TracedProbeRecordsShardChildSpans) {
   }
 
   // The cross-shard probe fan-out landed as "probe shard=N" spans, all
-  // children of the worker's span, under the one trace id.
+  // children of the worker's span, under the one trace id. The shard
+  // servers run in THIS process, so their "serve probe" spans land in
+  // the same ring — parented under the router's probe span ids, exactly
+  // the cross-process links the stitched cluster trace relies on.
   const std::vector<obs::Span> spans = recorder.SpansForTrace(trace);
-  ASSERT_GE(spans.size(), 1u);
-  EXPECT_LE(spans.size(), 2u);  // forward + (optional) reverse probe
-  std::vector<std::string> shards_probed;
+  std::vector<obs::Span> probe_spans;
+  std::vector<obs::Span> serve_spans;
   for (const obs::Span& span : spans) {
     EXPECT_EQ(span.trace_id, trace);
+    if (span.name.rfind("probe shard=", 0) == 0) {
+      probe_spans.push_back(span);
+    } else {
+      EXPECT_EQ(span.name, "serve probe") << span.name;
+      serve_spans.push_back(span);
+    }
+  }
+  ASSERT_GE(probe_spans.size(), 1u);
+  EXPECT_LE(probe_spans.size(), 2u);  // forward + (optional) reverse
+  std::vector<std::string> shards_probed;
+  std::vector<uint64_t> probe_span_ids;
+  for (const obs::Span& span : probe_spans) {
     EXPECT_EQ(span.parent_span, parent);
-    EXPECT_EQ(span.name.rfind("probe shard=", 0), 0u) << span.name;
+    EXPECT_NE(span.span_id, 0u);
     EXPECT_GE(span.dur_us, 0.0);
     shards_probed.push_back(span.name);
+    probe_span_ids.push_back(span.span_id);
   }
   EXPECT_EQ(std::unique(shards_probed.begin(), shards_probed.end()),
             shards_probed.end());  // distinct shards
+  ASSERT_GE(serve_spans.size(), 1u);
+  for (const obs::Span& span : serve_spans) {
+    EXPECT_NE(std::find(probe_span_ids.begin(), probe_span_ids.end(),
+                        span.parent_span),
+              probe_span_ids.end())
+        << "serve span not parented under a router probe span";
+  }
 
   // The router's Chrome-trace export carries the trace id.
   char hex[32];
@@ -474,6 +498,154 @@ TEST(ShardRouterTest, TracedProbeRecordsShardChildSpans) {
                         ->Value();
   }
   EXPECT_GE(probes_total, 2u);
+}
+
+TEST(ShardRouterTest, FederatedSnapshotAndStitchedClusterTrace) {
+  TestCluster cluster;
+  BringUp("digraph:130,5,3", "federated", &cluster);
+  if (cluster.router == nullptr) return;  // skipped platform
+
+  // Drive a little traffic so the probe counters move.
+  for (NodeId v = 0; v < 20; ++v) {
+    cluster.router->Reaches(v, static_cast<NodeId>(v * 3 % 100));
+  }
+
+  const auto fed = cluster.router->FederatedMetricsSnapshot();
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+
+  // Per-shard copies carry shard="N"; the router's own registry comes
+  // back as shard="router"; member series that were already
+  // shard-labeled (the router's probe counters live in the same
+  // process-global registry here) pass through un-doubled.
+  uint64_t aggregate = 0;
+  uint64_t labeled_sum = 0;
+  bool saw_router_label = false;
+  for (const auto& [name, value] : fed->counters) {
+    if (name == "gtpq_queries_total") aggregate = value;
+    for (size_t s = 0; s < 3; ++s) {
+      if (name ==
+          "gtpq_queries_total{shard=\"" + std::to_string(s) + "\"}") {
+        labeled_sum += value;
+      }
+    }
+    if (name.find("{shard=\"router\"") != std::string::npos) {
+      saw_router_label = true;
+    }
+    EXPECT_EQ(name.find("shard=\"router\",shard="), std::string::npos)
+        << name;
+  }
+  EXPECT_EQ(labeled_sum, aggregate);
+  EXPECT_TRUE(saw_router_label);
+
+  // Histogram federation: the unlabeled aggregate's _count equals the
+  // sum of the per-shard _counts (exact bucket merge, the acceptance
+  // invariant for the cluster /metrics endpoint).
+  uint64_t histogram_aggregate = 0;
+  uint64_t histogram_labeled_sum = 0;
+  for (const auto& [name, snap] : fed->histograms) {
+    if (name == "gtpq_query_latency_us") {
+      histogram_aggregate = snap.TotalCount();
+    } else if (name.rfind("gtpq_query_latency_us{shard=\"", 0) == 0 &&
+               name.find("router") == std::string::npos) {
+      histogram_labeled_sum += snap.TotalCount();
+    }
+  }
+  EXPECT_EQ(histogram_labeled_sum, histogram_aggregate);
+
+  // The merged snapshot renders as exposition text with the per-shard
+  // labels intact.
+  const std::string text = obs::RenderPrometheusSnapshot(*fed);
+  EXPECT_NE(text.find("gtpq_queries_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gtpq_shard_healthy{shard=\"1\"} 1"),
+            std::string::npos);
+
+  // Stitched cluster trace: one traced probe, then pull spans from
+  // every process. Four groups (router + 3 shards) with distinct pids,
+  // rendered as ONE Chrome trace with a process_name metadata event
+  // per group.
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  const uint64_t trace = obs::NewTraceId();
+  {
+    obs::ScopedTraceContext scoped({trace, recorder.NewSpanId()});
+    cluster.router->Reaches(
+        static_cast<NodeId>(cluster.art.map.ranges[0].begin),
+        static_cast<NodeId>(cluster.art.map.ranges[2].begin));
+  }
+  const auto groups = cluster.router->CollectClusterSpans(trace);
+  ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+  ASSERT_EQ(groups->size(), 4u);
+  EXPECT_EQ((*groups)[0].process_name, "router");
+  std::vector<uint32_t> pids;
+  for (const obs::ProcessSpans& group : *groups) {
+    pids.push_back(group.pid);
+  }
+  std::sort(pids.begin(), pids.end());
+  EXPECT_EQ(pids, (std::vector<uint32_t>{1, 2, 3, 4}));
+
+  const std::string json = obs::RenderChromeTrace(*groups);
+  size_t metadata_events = 0;
+  for (size_t pos = json.find("\"ph\":\"M\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"M\"", pos + 1)) {
+    ++metadata_events;
+  }
+  EXPECT_EQ(metadata_events, 4u);
+  char hex[32];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(trace));
+  EXPECT_NE(json.find(hex), std::string::npos);
+}
+
+TEST(ShardRouterTest, HealthProberDemotesDeadShardAndFederationSkipsIt) {
+  TestCluster cluster;
+  // Background prober disabled: this test drives ProbeHealthOnce() by
+  // hand so the threshold arithmetic is deterministic.
+  BringUp("dag:90,3,3", "health", &cluster, /*health_interval_ms=*/0);
+  if (cluster.router == nullptr) return;  // skipped platform
+
+  obs::Registry& registry = obs::Registry::Global();
+  cluster.router->ProbeHealthOnce();
+  std::vector<bool> health = cluster.router->shard_health();
+  ASSERT_EQ(health.size(), 3u);
+  for (const bool healthy : health) EXPECT_TRUE(healthy);
+  EXPECT_EQ(
+      registry.GetGauge("gtpq_shard_healthy{shard=\"1\"}")->Value(), 1);
+
+  const uint64_t failures_before =
+      registry
+          .GetCounter("gtpq_shard_health_failures_total{shard=\"1\"}")
+          ->Value();
+  cluster.servers[1]->Stop();
+
+  // First failed sweep counts a failure but stays below the demotion
+  // threshold (2); the second flips the gauge.
+  cluster.router->ProbeHealthOnce();
+  EXPECT_TRUE(cluster.router->shard_health()[1]);
+  cluster.router->ProbeHealthOnce();
+  health = cluster.router->shard_health();
+  EXPECT_TRUE(health[0]);
+  EXPECT_FALSE(health[1]);
+  EXPECT_TRUE(health[2]);
+  EXPECT_EQ(
+      registry.GetGauge("gtpq_shard_healthy{shard=\"1\"}")->Value(), 0);
+  EXPECT_GE(
+      registry
+          .GetCounter("gtpq_shard_health_failures_total{shard=\"1\"}")
+          ->Value(),
+      failures_before + 2);
+
+  // Federation stays best-effort: the dead member is skipped (no
+  // shard="1" copy of its registry), the live members still merge.
+  const auto fed = cluster.router->FederatedMetricsSnapshot();
+  ASSERT_TRUE(fed.ok()) << fed.status().ToString();
+  bool saw_shard0 = false;
+  bool saw_shard1 = false;
+  for (const auto& [name, value] : fed->counters) {
+    if (name == "gtpq_queries_total{shard=\"0\"}") saw_shard0 = true;
+    if (name == "gtpq_queries_total{shard=\"1\"}") saw_shard1 = true;
+  }
+  EXPECT_TRUE(saw_shard0);
+  EXPECT_FALSE(saw_shard1);
 }
 
 TEST(ShardRouterTest, NativeUpdateCommitsEpochBarrier) {

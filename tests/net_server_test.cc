@@ -22,6 +22,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "net/wire.h"
+#include "obs/federation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/query_generator.h"
@@ -284,19 +285,41 @@ TEST(WireCodecTest, TraceFieldsStayWireCompatible) {
 TEST(WireCodecTest, ObserveCodecsRoundTripAndValidate) {
   for (net::ObserveKind kind :
        {net::ObserveKind::kMetrics, net::ObserveKind::kTrace,
-        net::ObserveKind::kSlowlog}) {
+        net::ObserveKind::kSlowlog, net::ObserveKind::kMetricsSnapshot,
+        net::ObserveKind::kHealth, net::ObserveKind::kSpans}) {
     net::ObserveKind out;
-    ASSERT_TRUE(
-        net::DecodeObserveRequest(net::EncodeObserveRequest(kind), &out)
-            .ok());
+    uint64_t filter = 7;
+    ASSERT_TRUE(net::DecodeObserveRequest(net::EncodeObserveRequest(kind),
+                                          &out, &filter)
+                    .ok());
     EXPECT_EQ(out, kind);
+    // No trailing filter encoded -> decoded as 0, never left stale.
+    EXPECT_EQ(filter, 0u);
   }
   {
     storage::Writer w;
-    w.WriteU8(3);  // out of range
+    w.WriteU8(6);  // out of range
     net::ObserveKind out;
-    EXPECT_EQ(net::DecodeObserveRequest(w.buffer(), &out).code(),
+    uint64_t filter = 0;
+    EXPECT_EQ(net::DecodeObserveRequest(w.buffer(), &out, &filter).code(),
               StatusCode::kParseError);
+  }
+  {
+    // The trace-id filter round-trips as the optional trailing field...
+    const std::string encoded =
+        net::EncodeObserveRequest(net::ObserveKind::kSpans, 0xabcdef);
+    EXPECT_EQ(encoded.size(),
+              net::EncodeObserveRequest(net::ObserveKind::kSpans).size() +
+                  8);
+    net::ObserveKind out;
+    uint64_t filter = 0;
+    ASSERT_TRUE(net::DecodeObserveRequest(encoded, &out, &filter).ok());
+    EXPECT_EQ(out, net::ObserveKind::kSpans);
+    EXPECT_EQ(filter, 0xabcdefu);
+    // ...and a filter of 0 encodes the original single-byte layout, so
+    // unfiltered requests stay byte-identical for old peers.
+    EXPECT_EQ(net::EncodeObserveRequest(net::ObserveKind::kTrace, 0).size(),
+              1u);
   }
   const std::string body = "# TYPE x counter\nx 1\n";
   std::string body2;
@@ -310,6 +333,34 @@ TEST(WireCodecTest, ObserveCodecsRoundTripAndValidate) {
       static_cast<uint8_t>(FrameType::kObserveResult)));
   EXPECT_TRUE(net::IsKnownType(
       static_cast<uint8_t>(FrameType::kObserveResult)));
+}
+
+TEST(WireCodecTest, HealthReportRoundTripAndValidate) {
+  net::HealthReport report;
+  report.epoch = 9;
+  report.uptime_seconds = 123.5;
+  report.queue_depth = 4;
+  report.serving = 1;
+  report.engine = "gtea[contour]";
+  const std::string encoded = net::EncodeHealthReport(report);
+  net::HealthReport out;
+  ASSERT_TRUE(net::DecodeHealthReport(encoded, &out).ok());
+  EXPECT_EQ(out.epoch, 9u);
+  EXPECT_EQ(out.uptime_seconds, 123.5);
+  EXPECT_EQ(out.queue_depth, 4u);
+  EXPECT_EQ(out.serving, 1);
+  EXPECT_EQ(out.engine, "gtea[contour]");
+  // Truncation anywhere must be a ParseError, not a garbage report.
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    net::HealthReport junk;
+    EXPECT_FALSE(
+        net::DecodeHealthReport(encoded.substr(0, cut), &junk).ok());
+  }
+  // Wrong magic is rejected up front.
+  std::string wrong = encoded;
+  wrong[0] ^= 0x5a;
+  net::HealthReport junk;
+  EXPECT_FALSE(net::DecodeHealthReport(wrong, &junk).ok());
 }
 
 TEST(WireCodecTest, ServingStatsCarriesStageTimings) {
@@ -565,6 +616,48 @@ TEST(NetServerTest, ObserveExportsAndTracedPipelining) {
   ASSERT_TRUE(stats.ok()) << stats.status().ToString();
   EXPECT_GE(stats->match_ms, 0.0);
   EXPECT_GE(stats->enumerate_ms, 0.0);
+
+  // HEALTH: answered inline on the IO thread; a standalone leaf server
+  // reports itself serving at epoch 0 with its engine name.
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_EQ(health->serving, 1);
+  EXPECT_EQ(health->epoch, 0u);
+  EXPECT_GE(health->uptime_seconds, 0.0);
+  EXPECT_FALSE(health->engine.empty());
+
+  // Binary METRICS_SNAPSHOT: decodes to the same series the text
+  // exposition rendered, with full histogram buckets.
+  auto snap_body = client.Observe(net::ObserveKind::kMetricsSnapshot);
+  ASSERT_TRUE(snap_body.ok()) << snap_body.status().ToString();
+  obs::MetricsSnapshot snapshot;
+  ASSERT_TRUE(obs::DecodeMetricsSnapshot(*snap_body, &snapshot).ok());
+  const auto counter_value = [&snapshot](const std::string& name) {
+    for (const auto& [n, v] : snapshot.counters) {
+      if (n == name) return v;
+    }
+    return uint64_t{0};
+  };
+  EXPECT_GE(counter_value("gtpq_queries_total"), texts.size());
+  bool found_latency = false;
+  for (const auto& [n, h] : snapshot.histograms) {
+    if (n == "gtpq_query_latency_us") {
+      found_latency = true;
+      EXPECT_GE(h.TotalCount(), texts.size());
+    }
+  }
+  EXPECT_TRUE(found_latency);
+
+  // Binary SPANS with the trace-id filter: only our trace comes back.
+  auto spans_body =
+      client.Observe(net::ObserveKind::kSpans, trace_id);
+  ASSERT_TRUE(spans_body.ok()) << spans_body.status().ToString();
+  std::vector<obs::Span> spans;
+  ASSERT_TRUE(obs::DecodeSpans(*spans_body, &spans).ok());
+  ASSERT_FALSE(spans.empty());
+  for (const obs::Span& span : spans) {
+    EXPECT_EQ(span.trace_id, trace_id);
+  }
 
   server.Stop();
 }

@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/federation.h"
 #include "obs/metrics.h"
 #include "obs/slowlog.h"
 #include "obs/trace.h"
@@ -208,6 +209,327 @@ TEST(RegistryTest, PrometheusRenderIsWellFormed) {
       std::string::npos);
   EXPECT_EQ(text.find("# TYPE gtpq_test_render_labeled_total{"),
             std::string::npos);
+}
+
+TEST(RegistryTest, LabelValuesEscapeOnRender) {
+  // A label value with every character the text format escapes:
+  // backslash, double quote, newline.
+  const std::string name = LabeledName(
+      "gtpq_test_escape_total", {{"path", "a\\b\"c\nd"}});
+  EXPECT_EQ(name,
+            "gtpq_test_escape_total{path=\"a\\\\b\\\"c\\nd\"}");
+  EXPECT_TRUE(IsValidSeriesName(name));
+  Registry& registry = Registry::Global();
+  registry.GetCounter(name)->Add(2);
+  const std::string text = registry.RenderPrometheus();
+  // Rendered escaped — one line, no raw newline or bare quote breaks
+  // the exposition grammar.
+  EXPECT_NE(
+      text.find(
+          "gtpq_test_escape_total{path=\"a\\\\b\\\"c\\nd\"} 2"),
+      std::string::npos);
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("gtpq_test_escape_total", 0) == 0) {
+      EXPECT_NE(line.find("\\n"), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(RegistryTest, SeriesNameValidation) {
+  EXPECT_TRUE(IsValidSeriesName("gtpq_queries_total"));
+  EXPECT_TRUE(IsValidSeriesName("gtpq:aggregated_total"));
+  EXPECT_TRUE(IsValidSeriesName("gtpq_x_total{shard=\"1\"}"));
+  EXPECT_TRUE(
+      IsValidSeriesName("gtpq_x_total{a=\"1\",b=\"two words\"}"));
+  EXPECT_TRUE(IsValidSeriesName(
+      LabeledName("gtpq_x_total", {{"v", "quote\"and\\slash"}})));
+
+  EXPECT_FALSE(IsValidSeriesName(""));
+  EXPECT_FALSE(IsValidSeriesName("1starts_with_digit"));
+  EXPECT_FALSE(IsValidSeriesName("has space"));
+  EXPECT_FALSE(IsValidSeriesName("gtpq_x_total{"));            // unclosed
+  EXPECT_FALSE(IsValidSeriesName("gtpq_x_total{shard=1}"));    // unquoted
+  EXPECT_FALSE(IsValidSeriesName("gtpq_x_total{shard=\"1\""));  // no brace
+  EXPECT_FALSE(IsValidSeriesName("gtpq_x_total{shard=\"1}"));  // unclosed "
+  EXPECT_FALSE(
+      IsValidSeriesName("gtpq_x_total{a=\"1\"b=\"2\"}"));  // no comma
+  EXPECT_FALSE(IsValidSeriesName("gtpq_x_total{a=\"1\",}"));  // trailing ,
+  EXPECT_FALSE(IsValidSeriesName("gtpq_x_total{=\"1\"}"));    // empty key
+}
+
+// --------------------------------------------------------- Federation
+
+TEST(FederationTest, SnapshotCodecRoundTripsEverySeriesType) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("gtpq_a_total", 7);
+  snapshot.counters.emplace_back("gtpq_b_total{shard=\"2\"}", 0);
+  snapshot.gauges.emplace_back("gtpq_depth", int64_t{-3});
+  snapshot.gauges.emplace_back("gtpq_epoch", int64_t{12});
+  Histogram h;
+  h.Record(0);
+  h.Record(5);
+  h.Record(1000);
+  h.Record(1ull << 40);
+  snapshot.histograms.emplace_back("gtpq_lat_us", h.Snap());
+  snapshot.histograms.emplace_back("gtpq_empty_us",
+                                   Histogram().Snap());
+
+  const std::string bytes = EncodeMetricsSnapshot(snapshot);
+  MetricsSnapshot out;
+  ASSERT_TRUE(DecodeMetricsSnapshot(bytes, &out).ok());
+  ASSERT_EQ(out.counters.size(), 2u);
+  EXPECT_EQ(out.counters[0].first, "gtpq_a_total");
+  EXPECT_EQ(out.counters[0].second, 7u);
+  EXPECT_EQ(out.counters[1].first, "gtpq_b_total{shard=\"2\"}");
+  ASSERT_EQ(out.gauges.size(), 2u);
+  EXPECT_EQ(out.gauges[0].second, -3);  // negative survives the u64 trip
+  ASSERT_EQ(out.histograms.size(), 2u);
+  EXPECT_EQ(out.histograms[0].second.counts,
+            snapshot.histograms[0].second.counts);
+  EXPECT_EQ(out.histograms[0].second.sum,
+            snapshot.histograms[0].second.sum);
+  EXPECT_EQ(out.histograms[1].second.TotalCount(), 0u);
+}
+
+TEST(FederationTest, SnapshotCodecRejectsTruncationAndCorruption) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("gtpq_a_total", 1);
+  Histogram h;
+  h.Record(42);
+  snapshot.histograms.emplace_back("gtpq_lat_us", h.Snap());
+  const std::string bytes = EncodeMetricsSnapshot(snapshot);
+
+  // Truncation at EVERY byte boundary is rejected (the trailing CRC
+  // guarantees no prefix of a valid encoding validates).
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    MetricsSnapshot out;
+    EXPECT_FALSE(
+        DecodeMetricsSnapshot(bytes.substr(0, cut), &out).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+  // So is any single bit flip.
+  for (size_t i = 0; i < bytes.size(); i += 7) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    MetricsSnapshot out;
+    EXPECT_FALSE(DecodeMetricsSnapshot(corrupt, &out).ok())
+        << "bit flip at byte " << i << " decoded";
+  }
+}
+
+TEST(FederationTest, ShardLabelInjection) {
+  EXPECT_EQ(WithShardLabel("gtpq_queries_total", "2"),
+            "gtpq_queries_total{shard=\"2\"}");
+  // Injected FIRST into an existing label block.
+  EXPECT_EQ(WithShardLabel("gtpq_x_total{a=\"1\"}", "0"),
+            "gtpq_x_total{shard=\"0\",a=\"1\"}");
+  // Already shard-labeled: pass through unchanged (no duplicate key).
+  EXPECT_EQ(WithShardLabel("gtpq_probes_total{shard=\"1\"}", "9"),
+            "gtpq_probes_total{shard=\"1\"}");
+  EXPECT_EQ(WithShardLabel("gtpq_x_total{a=\"1\",shard=\"3\"}", "9"),
+            "gtpq_x_total{a=\"1\",shard=\"3\"}");
+  // The label value is escaped on the way in.
+  EXPECT_EQ(WithShardLabel("gtpq_x_total", "a\"b"),
+            "gtpq_x_total{shard=\"a\\\"b\"}");
+}
+
+TEST(FederationTest, MergedShardSnapshotsEqualOneProcess) {
+  // The tentpole property: K member snapshots merged through
+  // BuildFederatedSnapshot produce unlabeled aggregates identical to
+  // one process that recorded every sample.
+  std::mt19937_64 rng(77);
+  Histogram all;  // the would-be single process
+  uint64_t all_queries = 0;
+  std::vector<MemberSnapshot> members;
+  for (size_t shard = 0; shard < 3; ++shard) {
+    Histogram local;
+    uint64_t queries = 0;
+    const size_t n = 200 + 100 * shard;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t sample = rng() % (1ull << (8 + 8 * shard));
+      local.Record(sample);
+      all.Record(sample);
+      ++queries;
+    }
+    all_queries += queries;
+    MetricsSnapshot member;
+    member.counters.emplace_back("gtpq_queries_total", queries);
+    member.counters.emplace_back(
+        "gtpq_already_labeled_total{shard=\"x\"}", 5);
+    member.gauges.emplace_back("gtpq_epoch", int64_t(shard));
+    member.histograms.emplace_back("gtpq_query_latency_us",
+                                   local.Snap());
+    members.push_back({std::to_string(shard), std::move(member)});
+  }
+
+  MetricsSnapshot self;
+  self.counters.emplace_back("gtpq_connections_total", 9);
+  const MetricsSnapshot merged = BuildFederatedSnapshot(self, members);
+
+  uint64_t agg_queries = 0, labeled_sum = 0;
+  bool saw_self = false, saw_double_label = false;
+  for (const auto& [name, value] : merged.counters) {
+    if (name == "gtpq_queries_total") agg_queries = value;
+    if (name == "gtpq_connections_total{shard=\"router\"}") {
+      saw_self = true;
+      EXPECT_EQ(value, 9u);
+    }
+    for (size_t shard = 0; shard < 3; ++shard) {
+      if (name == "gtpq_queries_total{shard=\"" +
+                      std::to_string(shard) + "\"}") {
+        labeled_sum += value;
+      }
+    }
+    if (name.find("shard=\"x\"") != std::string::npos) {
+      // Member series that already carried shard= must NOT get a second
+      // shard label or an unlabeled aggregate.
+      EXPECT_EQ(name, "gtpq_already_labeled_total{shard=\"x\"}");
+      saw_double_label |=
+          name.find("shard=\"") != name.rfind("shard=\"");
+    }
+  }
+  EXPECT_TRUE(saw_self);
+  EXPECT_FALSE(saw_double_label);
+  EXPECT_EQ(agg_queries, all_queries);
+  EXPECT_EQ(labeled_sum, all_queries);
+  for (const auto& [name, value] : merged.counters) {
+    // No unlabeled aggregate for the pre-labeled member series — that
+    // would double count it once per shard.
+    EXPECT_NE(name, "gtpq_already_labeled_total");
+  }
+
+  // Histogram aggregate: bucket-for-bucket equal to the single-process
+  // histogram, so quantiles and _count agree exactly.
+  const Histogram::Snapshot want = all.Snap();
+  bool found = false;
+  for (const auto& [name, snap] : merged.histograms) {
+    if (name != "gtpq_query_latency_us") continue;
+    found = true;
+    EXPECT_EQ(snap.counts, want.counts);
+    EXPECT_EQ(snap.sum, want.sum);
+    EXPECT_EQ(snap.TotalCount(), all_queries);
+    EXPECT_EQ(snap.Quantile(0.5), want.Quantile(0.5));
+  }
+  EXPECT_TRUE(found);
+  // Gauges never aggregate: no unlabeled gtpq_epoch; per-shard copies
+  // keep their instantaneous values.
+  int epoch_gauges = 0;
+  for (const auto& [name, value] : merged.gauges) {
+    EXPECT_NE(name, "gtpq_epoch");
+    if (name.rfind("gtpq_epoch{", 0) == 0) ++epoch_gauges;
+  }
+  EXPECT_EQ(epoch_gauges, 3);
+
+  // The federated snapshot also renders as valid exposition and
+  // round-trips the wire codec (the router re-exports what it merged).
+  MetricsSnapshot decoded;
+  ASSERT_TRUE(
+      DecodeMetricsSnapshot(EncodeMetricsSnapshot(merged), &decoded)
+          .ok());
+  const std::string text = RenderPrometheusSnapshot(decoded);
+  EXPECT_NE(text.find("gtpq_queries_total{shard=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("gtpq_query_latency_us_count " +
+                      std::to_string(all_queries)),
+            std::string::npos);
+}
+
+TEST(FederationTest, SpanCodecRoundTripsAndRejectsTruncation) {
+  std::vector<Span> spans;
+  Span a;
+  a.trace_id = 0xdeadbeefcafe1234ull;
+  a.span_id = 0x1111;
+  a.parent_span = 0;
+  a.name = "route query";
+  a.start_us = 10.5;
+  a.dur_us = 250.25;
+  a.tid = 3;
+  Span b;
+  b.trace_id = a.trace_id;
+  b.span_id = 0x2222;
+  b.parent_span = 0x1111;
+  b.name = "probe shard=1";
+  b.start_us = 12;
+  b.dur_us = 80;
+  spans.push_back(a);
+  spans.push_back(b);
+
+  const std::string bytes = EncodeSpans(spans);
+  std::vector<Span> out;
+  ASSERT_TRUE(DecodeSpans(bytes, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].trace_id, a.trace_id);
+  EXPECT_EQ(out[0].span_id, a.span_id);
+  EXPECT_EQ(out[0].name, "route query");
+  EXPECT_EQ(out[0].start_us, 10.5);  // bit-exact via bit_cast framing
+  EXPECT_EQ(out[0].dur_us, 250.25);
+  EXPECT_EQ(out[0].tid, 3u);
+  EXPECT_EQ(out[1].parent_span, 0x1111u);
+
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<Span> rejected;
+    EXPECT_FALSE(DecodeSpans(bytes.substr(0, cut), &rejected).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+  std::string corrupt = bytes;
+  corrupt[bytes.size() / 2] ^= 0x01;
+  std::vector<Span> rejected;
+  EXPECT_FALSE(DecodeSpans(corrupt, &rejected).ok());
+
+  // Empty dumps are legal (shard with no matching spans).
+  std::vector<Span> none;
+  ASSERT_TRUE(DecodeSpans(EncodeSpans({}), &none).ok());
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(FederationTest, MultiProcessChromeTraceStitching) {
+  const uint64_t trace_id = 0xabc;
+  std::vector<ProcessSpans> processes;
+  ProcessSpans router;
+  router.process_name = "router";
+  router.pid = 1;
+  Span root;
+  root.trace_id = trace_id;
+  root.span_id = 0x10;
+  root.name = "route query";
+  root.dur_us = 100;
+  router.spans.push_back(root);
+  ProcessSpans shard;
+  shard.process_name = "shard 0 (127.0.0.1:7501)";
+  shard.pid = 2;
+  Span child;
+  child.trace_id = trace_id;
+  child.span_id = 0x20;
+  child.parent_span = 0x10;  // crossed the wire with the request
+  child.name = "serve query";
+  child.dur_us = 60;
+  shard.spans.push_back(child);
+  processes.push_back(router);
+  processes.push_back(shard);
+
+  const std::string json = RenderChromeTrace(processes);
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  // One process_name metadata event per process, with its pid.
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"router\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"shard 0 (127.0.0.1:7501)\""),
+            std::string::npos);
+  // Span events carry their owning pid so the viewer draws two tracks.
+  EXPECT_NE(json.find("\"name\":\"route query\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"serve query\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  // The cross-process parent link survives into the event args.
+  const size_t child_pos = json.find("\"name\":\"serve query\"");
+  ASSERT_NE(child_pos, std::string::npos);
+  const size_t obj_start = json.rfind('{', child_pos);
+  const size_t obj_end = json.find('}', child_pos);
+  const std::string child_event =
+      json.substr(obj_start, obj_end - obj_start + 1);
+  EXPECT_NE(child_event.find("\"parent_span\":\"10\""),
+            std::string::npos)
+      << child_event;
 }
 
 // -------------------------------------------------------------- Trace

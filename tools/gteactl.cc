@@ -17,8 +17,10 @@
 //   gteactl apply   --connect=<host:port> --updates=<file>
 //   gteactl stats   --connect=<host:port>
 //   gteactl metrics --connect=<host:port>
-//   gteactl trace   --connect=<host:port> [--out=<file>]
+//   gteactl trace   --connect=<host:port> [--id=<hex>] [--out=<file>]
 //   gteactl slowlog --connect=<host:port>
+//   gteactl top     --connect=<host:port> [--interval=<sec>]
+//                   [--count=<n>]
 //   gteactl partition (--graph=<file> | --gen=<spec>) --out=<dir>
 //                   [--shards=<n>] [--inner=<spec>]
 //                   [--endpoints=<ep1,ep2,...>] [--no-degree-aware]
@@ -52,13 +54,19 @@
 // epoll front-end coalescing pipelined queries into snapshot-pinned
 // batches, with APPLY_UPDATES folding into the live epoch chain. The
 // `--connect=` subcommands (`query`, `apply`, `stats`, `metrics`,
-// `trace`, `slowlog`) are thin net/client.h wrappers, so a built index
-// can be served from one shell and queried/updated/observed from
-// another: `metrics` scrapes Prometheus text exposition, `trace` dumps
-// the server's span ring as Chrome trace-event JSON (load it at
-// chrome://tracing), and `slowlog` prints the worst-query ring with
-// per-stage timings. `query --trace` stamps the request with a fresh
-// trace id so its server-side spans can be picked out of the dump.
+// `trace`, `slowlog`, `top`) are thin net/client.h wrappers, so a
+// built index can be served from one shell and queried/updated/
+// observed from another: `metrics` scrapes Prometheus text exposition,
+// `trace` dumps the server's span ring as Chrome trace-event JSON
+// (load it at chrome://tracing), and `slowlog` prints the worst-query
+// ring with per-stage timings. Against a `route` front-end, `metrics`
+// and `trace` return CLUSTER-wide views: the router pulls every
+// shard's binary snapshot/span ring and merges them (per-shard
+// shard="N" labels plus exact cluster aggregates; one stitched
+// multi-process Chrome trace). `query --trace` stamps the request
+// with a fresh trace id so `trace --id=<hex>` can pull exactly that
+// request's spans, and `top` turns successive federated snapshots
+// into a live per-shard QPS/latency/health dashboard.
 // A global `--quiet` drops log output below error level.
 //
 // `partition` splits a graph into contiguous vertex shards
@@ -69,12 +77,14 @@
 // (cluster/shard_router.h) over those servers, speaking the same
 // gtpq-wire protocol so existing clients and benches work unchanged.
 #include <cerrno>
+#include <cinttypes>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
@@ -96,6 +106,8 @@
 #include "graph/graph_io.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/federation.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "reachability/factory.h"
 #include "storage/index_io.h"
@@ -128,8 +140,11 @@ int Usage() {
       "  gteactl apply   --connect=<host:port> --updates=<file>\n"
       "  gteactl stats   --connect=<host:port>\n"
       "  gteactl metrics --connect=<host:port>\n"
-      "  gteactl trace   --connect=<host:port> [--out=<file>]\n"
+      "  gteactl trace   --connect=<host:port> [--id=<hex-trace-id>] "
+      "[--out=<file>]\n"
       "  gteactl slowlog --connect=<host:port>\n"
+      "  gteactl top     --connect=<host:port> [--interval=<sec>] "
+      "[--count=<n>]\n"
       "  gteactl partition (--graph=<file> | --gen=<spec>) --out=<dir>\n"
       "                  [--shards=<n>] [--inner=<spec>]\n"
       "                  [--endpoints=<ep1,ep2,...>] [--no-degree-aware]\n"
@@ -916,16 +931,40 @@ int RunRemoteStats(int argc, char** argv) {
 
 /// Shared body of the metrics/trace/slowlog subcommands: one OBSERVE
 /// round trip, body printed verbatim (or written to --out= for trace
-/// dumps destined for chrome://tracing).
+/// dumps destined for chrome://tracing). `trace --id=<hex>` narrows
+/// the dump to one trace — against a router, that is the stitched
+/// multi-process view of a single request.
 int RunObserve(int argc, char** argv, const char* command,
                net::ObserveKind kind) {
+  uint64_t filter = 0;
+  if (auto id = FlagValue(argc, argv, "--id=")) {
+    filter = std::strtoull(id->c_str(), nullptr, 16);
+    if (filter == 0) {
+      std::fprintf(stderr,
+                   "%s: --id= wants the non-zero hex trace id that "
+                   "`gteactl query --trace` printed\n",
+                   command);
+      return 1;
+    }
+  }
   auto client = ConnectFlag(argc, argv, command);
   if (client == nullptr) return 1;
-  auto body = client->Observe(kind);
+  auto body = client->Observe(kind, filter);
   if (!body.ok()) {
     std::fprintf(stderr, "%s: %s\n", command,
                  body.status().ToString().c_str());
     return 1;
+  }
+  if (filter != 0) {
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016" PRIx64, filter);
+    if (body->find(hex) == std::string::npos) {
+      std::fprintf(stderr,
+                   "%s: no spans matched trace %s — each process keeps "
+                   "only the most recent %zu spans, so an older trace "
+                   "may have been evicted from the ring\n",
+                   command, hex, obs::TraceRecorder::kCapacity);
+    }
   }
   if (auto out = FlagValue(argc, argv, "--out=")) {
     std::ofstream file(*out, std::ios::binary);
@@ -939,6 +978,167 @@ int RunObserve(int argc, char** argv, const char* command,
   }
   std::fwrite(body->data(), 1, body->size(), stdout);
   if (!body->empty() && body->back() != '\n') std::printf("\n");
+  return 0;
+}
+
+/// One dashboard row, extracted from the shard="..." series of a
+/// federated snapshot.
+struct TopRow {
+  uint64_t queries = 0;
+  uint64_t probes = 0;
+  uint64_t rejected = 0;
+  int64_t epoch = -1;
+  int64_t healthy = -1;  // -1: no gtpq_shard_healthy gauge for this row
+  bool has_latency = false;
+  obs::Histogram::Snapshot latency;
+};
+
+/// The shard label value of `name` (empty labels / no shard= ->
+/// nullopt). Shard labels are "0".."N" and "router", so no unescaping
+/// is needed.
+std::optional<std::string> ShardOf(const std::string& name,
+                                   std::string* base) {
+  std::string labels;
+  obs::SplitSeriesName(name, base, &labels);
+  size_t pos = labels.find("shard=\"");
+  if (pos != std::string::npos && pos != 0 && labels[pos - 1] != ',') {
+    pos = std::string::npos;
+  }
+  if (pos == std::string::npos) return std::nullopt;
+  const size_t begin = pos + 7;
+  const size_t end = labels.find('"', begin);
+  if (end == std::string::npos) return std::nullopt;
+  return labels.substr(begin, end - begin);
+}
+
+std::map<std::string, TopRow> ExtractTopRows(
+    const obs::MetricsSnapshot& snapshot) {
+  std::map<std::string, TopRow> rows;
+  std::string base;
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto shard = ShardOf(name, &base);
+    if (!shard.has_value()) continue;
+    if (base == "gtpq_queries_total") rows[*shard].queries = value;
+    if (base == "gtpq_shard_probes_total") rows[*shard].probes = value;
+    if (base == "gtpq_admission_rejected_total") {
+      rows[*shard].rejected = value;
+    }
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const auto shard = ShardOf(name, &base);
+    if (!shard.has_value()) continue;
+    if (base == "gtpq_epoch") rows[*shard].epoch = value;
+    if (base == "gtpq_shard_healthy") rows[*shard].healthy = value;
+  }
+  for (const auto& [name, value] : snapshot.histograms) {
+    const auto shard = ShardOf(name, &base);
+    if (!shard.has_value()) continue;
+    if (base == "gtpq_query_latency_us") {
+      rows[*shard].has_latency = true;
+      rows[*shard].latency = value;
+    }
+  }
+  return rows;
+}
+
+/// `gteactl top`: terminal dashboard over successive federated
+/// snapshots. Each tick scrapes the binary kMetricsSnapshot export
+/// (against a router that is the whole cluster, per-shard labels
+/// intact), diffs it against the previous tick, and renders per-shard
+/// QPS, interval latency percentiles (exact histogram-bucket
+/// subtraction, not rendered text), rejection rate, epoch, and the
+/// prober's health verdict.
+int RunTop(int argc, char** argv) {
+  double interval_s = 2.0;
+  if (auto flag = FlagValue(argc, argv, "--interval=")) {
+    char* end = nullptr;
+    interval_s = std::strtod(flag->c_str(), &end);
+    if (end == flag->c_str() || *end != '\0' || !(interval_s >= 0.05)) {
+      std::fprintf(stderr, "top: --interval= wants seconds >= 0.05\n");
+      return 1;
+    }
+  }
+  unsigned long long count = 0;  // 0: run until interrupted
+  if (auto flag = FlagValue(argc, argv, "--count=")) {
+    count = std::strtoull(flag->c_str(), nullptr, 10);
+  }
+  auto client = ConnectFlag(argc, argv, "top");
+  if (client == nullptr) return 1;
+
+  std::map<std::string, TopRow> prev;
+  bool have_prev = false;
+  for (unsigned long long tick = 0; count == 0 || tick < count; ++tick) {
+    if (have_prev) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval_s));
+    }
+    auto body = client->Observe(net::ObserveKind::kMetricsSnapshot);
+    if (!body.ok()) {
+      std::fprintf(stderr, "top: %s\n",
+                   body.status().ToString().c_str());
+      return 1;
+    }
+    obs::MetricsSnapshot snapshot;
+    const Status decoded = obs::DecodeMetricsSnapshot(*body, &snapshot);
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "top: %s\n", decoded.ToString().c_str());
+      return 1;
+    }
+    const std::map<std::string, TopRow> rows = ExtractTopRows(snapshot);
+    if (rows.empty()) {
+      std::fprintf(stderr,
+                   "top: the snapshot carries no shard=\"...\" series — "
+                   "point --connect= at a `gteactl route` front-end\n");
+      return 1;
+    }
+
+    if (have_prev) std::printf("\x1b[2J\x1b[H");  // clear + home
+    std::printf("%-8s %9s %9s %9s %9s %7s %6s %7s\n", "shard", "qps",
+                "probe/s", "p50us", "p99us", "rej/s", "epoch", "health");
+    for (const auto& [shard, row] : rows) {
+      double qps = 0, pps = 0, rejs = 0;
+      double p50 = 0, p99 = 0;
+      const auto it = prev.find(shard);
+      if (have_prev && it != prev.end()) {
+        const TopRow& old = it->second;
+        qps = static_cast<double>(row.queries - old.queries) / interval_s;
+        pps = static_cast<double>(row.probes - old.probes) / interval_s;
+        rejs =
+            static_cast<double>(row.rejected - old.rejected) / interval_s;
+        if (row.has_latency && old.has_latency &&
+            row.latency.counts.size() == old.latency.counts.size()) {
+          // Interval percentiles: subtract the previous tick's buckets
+          // (counters are monotonic, so the delta is a valid snapshot).
+          obs::Histogram::Snapshot delta = row.latency;
+          for (size_t i = 0; i < delta.counts.size(); ++i) {
+            delta.counts[i] -= old.latency.counts[i];
+          }
+          delta.sum -= old.latency.sum;
+          p50 = delta.Quantile(0.5);
+          p99 = delta.Quantile(0.99);
+        }
+      } else if (row.has_latency) {
+        p50 = row.latency.Quantile(0.5);
+        p99 = row.latency.Quantile(0.99);
+      }
+      const char* health = row.healthy < 0 ? "-"
+                           : row.healthy > 0 ? "up"
+                                             : "DOWN";
+      char epoch[24];
+      if (row.epoch < 0) {
+        std::snprintf(epoch, sizeof(epoch), "-");
+      } else {
+        std::snprintf(epoch, sizeof(epoch), "%" PRId64, row.epoch);
+      }
+      std::printf("%-8s %9.1f %9.1f %9.0f %9.0f %7.1f %6s %7s\n",
+                  shard.c_str(), qps, pps, p50, p99, rejs, epoch, health);
+    }
+    std::printf("(tick %llu, interval %.2fs; first tick shows "
+                "cumulative percentiles)\n",
+                tick + 1, interval_s);
+    std::fflush(stdout);
+    prev = rows;
+    have_prev = true;
+  }
   return 0;
 }
 
@@ -967,6 +1167,7 @@ int Run(int argc, char** argv) {
   if (command == "slowlog") {
     return RunObserve(argc, argv, "slowlog", net::ObserveKind::kSlowlog);
   }
+  if (command == "top") return RunTop(argc, argv);
   std::fprintf(stderr, "unknown command '%s'\n", argv[1]);
   return Usage();
 }
